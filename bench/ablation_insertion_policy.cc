@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation (§IV-B1): `4way` vs `4way-8way` insertion policies.
+ *
+ * The paper picked 4way for correctness (no duplicate installs under
+ * base/super aliasing), cheaper installs, partition-scoped coherence,
+ * and a hit-rate cost of only ~1%. This bench quantifies the hit-rate
+ * delta and the coherence-energy gap between the two policies.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+    using namespace seesaw::bench;
+
+    printBanner("Ablation: insertion policy",
+                "4way vs 4way-8way (64KB, OoO, 1.33GHz)");
+
+    TableReporter table({"workload", "memhog", "hitrate 4way",
+                         "hitrate 4w-8w", "delta",
+                         "coh energy 4way(nJ)",
+                         "coh energy 4w-8w(nJ)"});
+    double worst_delta = 0.0;
+    for (const auto &w : cloudWorkloads()) {
+        // The policies only diverge on base-page insertions, so sweep
+        // fragmentation: memhog(60%) forces a real base-page mix.
+        for (double memhog : {0.0, 0.6}) {
+            SystemConfig cfg = makeConfig(kCacheOrgs[1], 1.33);
+            cfg.memhogFraction = memhog;
+            cfg.policy = InsertionPolicy::FourWay;
+            const RunResult four = simulate(w, cfg);
+            cfg.policy = InsertionPolicy::FourWayEightWay;
+            const RunResult four_eight = simulate(w, cfg);
+
+            const double hr4 = 100.0 * four.l1Hits /
+                               static_cast<double>(four.l1Accesses);
+            const double hr48 =
+                100.0 * four_eight.l1Hits /
+                static_cast<double>(four_eight.l1Accesses);
+            worst_delta = std::max(worst_delta, hr48 - hr4);
+            table.addRow(
+                {w.name,
+                 "mh" + std::to_string(static_cast<int>(memhog * 100)),
+                 TableReporter::pct(hr4, 2),
+                 TableReporter::pct(hr48, 2),
+                 TableReporter::fmt(hr48 - hr4, 3),
+                 TableReporter::fmt(four.l1CoherenceDynamicNj, 0),
+                 TableReporter::fmt(four_eight.l1CoherenceDynamicNj,
+                                    0)});
+        }
+    }
+    table.print();
+
+    std::printf("\nShape check (paper): hit-rate cost of 4way is ~1%% "
+                "at most (worst here: %.2f points), while 4way keeps "
+                "coherence probes at 4-way cost.\n",
+                worst_delta);
+    return 0;
+}

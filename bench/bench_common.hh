@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench runs with a modest default instruction budget so the
+ * whole suite finishes quickly; set SEESAW_INSTRUCTIONS (and
+ * optionally SEESAW_MEM_BYTES) to crank a full reproduction.
+ */
+
+#ifndef SEESAW_BENCH_BENCH_COMMON_HH
+#define SEESAW_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace seesaw::bench {
+
+/** The three evaluated cache organisations (Table III). */
+struct CacheOrg
+{
+    std::uint64_t sizeBytes;
+    unsigned assoc;
+    const char *label;
+};
+
+inline const CacheOrg kCacheOrgs[] = {
+    {32 * 1024, 8, "32KB"},
+    {64 * 1024, 16, "64KB"},
+    {128 * 1024, 32, "128KB"},
+};
+
+/** The three evaluated frequencies. */
+inline const double kFrequencies[] = {1.33, 2.80, 4.00};
+
+/** Default bench configuration for one (org, freq) point. */
+inline SystemConfig
+makeConfig(const CacheOrg &org, double freq_ghz,
+           std::uint64_t default_instr = 300'000)
+{
+    SystemConfig cfg;
+    cfg.l1SizeBytes = org.sizeBytes;
+    cfg.l1Assoc = org.assoc;
+    cfg.freqGhz = freq_ghz;
+    cfg.instructions = experimentInstructions(default_instr);
+    cfg.os.memBytes = experimentMemBytes(4ULL << 30);
+    cfg.seed = 1;
+    return cfg;
+}
+
+} // namespace seesaw::bench
+
+#endif // SEESAW_BENCH_BENCH_COMMON_HH

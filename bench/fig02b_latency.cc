@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 2b: L1 access latency (ns) vs associativity for 16-128KB caches
+ * (22nm-scaled SRAM model). Expected shape: 10-25% growth per
+ * associativity doubling, with some configurations (128KB 32-way)
+ * clearly infeasible for an L1.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "model/sram_model.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+
+    printBanner("Fig 2b", "Cache access latency (ns) vs associativity");
+
+    SramModel sram(TechNode::Intel22);
+    const std::uint64_t sizes[] = {16 * 1024, 32 * 1024, 64 * 1024,
+                                   128 * 1024};
+    const unsigned assocs[] = {1, 2, 4, 8, 16, 32};
+
+    TableReporter table({"cache", "DM", "2-way", "4-way", "8-way",
+                         "16-way", "32-way"});
+    for (auto size : sizes) {
+        std::vector<std::string> row{std::to_string(size / 1024) +
+                                     "KB"};
+        for (auto assoc : assocs)
+            row.push_back(
+                TableReporter::fmt(sram.accessLatencyNs(size, assoc), 2));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nPer-step growth (paper: 10-25%% per associativity "
+                "doubling):\n");
+    for (auto size : sizes) {
+        std::printf("  %3lluKB:",
+                    static_cast<unsigned long long>(size / 1024));
+        for (unsigned a = 2; a <= 32; a *= 2) {
+            const double step = sram.accessLatencyNs(size, a) /
+                                sram.accessLatencyNs(size, a / 2);
+            std::printf(" %+.0f%%", (step - 1.0) * 100.0);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nTech scaling (paper: -3%% at 22nm, -17%% at 14nm "
+                "vs 28-32nm; relative trends unchanged):\n");
+    SramModel s28(TechNode::Tsmc28), s14(TechNode::Intel14);
+    const double l28 = s28.accessLatencyNs(32 * 1024, 8);
+    const double l22 = sram.accessLatencyNs(32 * 1024, 8);
+    const double l14 = s14.accessLatencyNs(32 * 1024, 8);
+    std::printf("  32KB 8-way: 28nm %.2fns -> 22nm %.2fns (%.0f%%) -> "
+                "14nm %.2fns (%.0f%%)\n",
+                l28, l22, (l22 / l28 - 1.0) * 100.0, l14,
+                (l14 / l28 - 1.0) * 100.0);
+    return 0;
+}

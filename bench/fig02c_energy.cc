@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig 2c: L1 access energy (nJ) vs associativity for 16-128KB caches.
+ * Expected shape: ~40-50% growth per associativity doubling — much
+ * steeper than latency, because synthesis fights timing closure as
+ * associativity rises.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "model/sram_model.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+
+    printBanner("Fig 2c", "Cache access energy (nJ) vs associativity");
+
+    SramModel sram(TechNode::Intel22);
+    const std::uint64_t sizes[] = {16 * 1024, 32 * 1024, 64 * 1024,
+                                   128 * 1024};
+    const unsigned assocs[] = {1, 2, 4, 8, 16, 32};
+
+    TableReporter table({"cache", "DM", "2-way", "4-way", "8-way",
+                         "16-way", "32-way"});
+    for (auto size : sizes) {
+        std::vector<std::string> row{std::to_string(size / 1024) +
+                                     "KB"};
+        for (auto assoc : assocs)
+            row.push_back(TableReporter::fmt(
+                sram.accessEnergyNj(size, assoc), 4));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nPer-step growth (paper: ~40-50%% per associativity "
+                "doubling):\n");
+    for (auto size : sizes) {
+        std::printf("  %3lluKB:",
+                    static_cast<unsigned long long>(size / 1024));
+        for (unsigned a = 2; a <= 32; a *= 2) {
+            const double step = sram.accessEnergyNj(size, a) /
+                                sram.accessEnergyNj(size, a / 2);
+            std::printf(" %+.0f%%", (step - 1.0) * 100.0);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nSEESAW partition economics (§IV-A4, 32KB 8-way):\n");
+    const double full = sram.accessEnergyNj(32 * 1024, 8);
+    const double part = sram.lookupEnergyNj(32 * 1024, 8, 4);
+    const double small = sram.accessEnergyNj(16 * 1024, 4);
+    std::printf("  full 8-way lookup:        %.4f nJ\n", full);
+    std::printf("  4-way partition lookup:   %.4f nJ (%.2f%% below "
+                "baseline; paper: 39.43%%)\n",
+                part, (1.0 - part / full) * 100.0);
+    std::printf("  standalone 16KB 4-way:    %.4f nJ (partition is "
+                "+%.2f%%; paper: +0.41%%)\n",
+                small, (part / small - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 8: avg/min/max percent runtime improvement of SEESAW over
+ * baseline VIPT on the out-of-order core, across all workloads, for
+ * every (cache size, frequency) pair.
+ *
+ * Expected shape: benefits grow with both cache size and clock
+ * frequency (the baseline full-set access takes more cycles).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+    using namespace seesaw::bench;
+
+    printBanner("Fig 8", "% runtime improvement, SEESAW vs baseline "
+                         "(OoO), avg/min/max across workloads");
+
+    TableReporter table({"freq", "cache", "avg", "min", "max"});
+    for (double freq : kFrequencies) {
+        for (const auto &org : kCacheOrgs) {
+            std::vector<double> gains;
+            for (const auto &w : paperWorkloads()) {
+                SystemConfig cfg = makeConfig(org, freq, 200'000);
+                gains.push_back(compareBaselineVsSeesaw(w, cfg)
+                                    .runtimeImprovementPct);
+            }
+            const Summary s = summarize(gains);
+            table.addRow({TableReporter::fmt(freq, 2) + "GHz",
+                          org.label, TableReporter::pct(s.avg, 1),
+                          TableReporter::pct(s.min, 1),
+                          TableReporter::pct(s.max, 1)});
+        }
+    }
+    table.print();
+
+    std::printf(
+        "\nShape check (paper): improvement rises with cache size at "
+        "every frequency.\nKnown divergence: the paper also reports "
+        "gains rising with frequency; here fixed-ns\nouter-memory "
+        "penalties consume more cycles at higher clocks, diluting the "
+        "percentage\n(our workload models carry higher MPKI than the "
+        "paper's traces).\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the library's hot primitives:
+ * tag-store lookups, TFT probes, TLB lookups, buddy allocation and
+ * end-to-end simulated-instruction throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc_cache.hh"
+#include "common/random.hh"
+#include "core/seesaw_cache.hh"
+#include "core/tft.hh"
+#include "mem/buddy_allocator.hh"
+#include "sim/experiment.hh"
+#include "tlb/tlb.hh"
+
+namespace {
+
+using namespace seesaw;
+
+void
+BM_TagStoreLookup(benchmark::State &state)
+{
+    SetAssocCache cache(32 * 1024, 8, 64, 2);
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i) {
+        cache.insert(rng.next() & 0xffffff,
+                     SetAssocCache::InsertScope::Partition,
+                     CoherenceState::Exclusive, PageSize::Base4KB);
+    }
+    Addr pa = 0;
+    for (auto _ : state) {
+        pa = (pa + 8191) & 0xffffff;
+        benchmark::DoNotOptimize(cache.lookup(pa));
+    }
+}
+BENCHMARK(BM_TagStoreLookup);
+
+void
+BM_TagStorePartitionLookup(benchmark::State &state)
+{
+    SetAssocCache cache(32 * 1024, 8, 64, 2);
+    Addr pa = 0;
+    for (auto _ : state) {
+        pa = (pa + 8191) & 0xffffff;
+        benchmark::DoNotOptimize(
+            cache.lookupPartition(pa, cache.partitionIndex(pa)));
+    }
+}
+BENCHMARK(BM_TagStorePartitionLookup);
+
+void
+BM_TftLookup(benchmark::State &state)
+{
+    Tft tft(16);
+    for (Addr r = 0; r < 16; ++r)
+        tft.markRegion(r << 21);
+    Addr va = 0;
+    for (auto _ : state) {
+        va += 0x200000;
+        benchmark::DoNotOptimize(tft.lookup(va));
+    }
+}
+BENCHMARK(BM_TftLookup);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb("bm", 128, 4, PageSize::Base4KB);
+    for (Addr p = 0; p < 128; ++p)
+        tlb.insert(1, p << 12, p << 12);
+    Addr va = 0;
+    for (auto _ : state) {
+        va = (va + 4096) & 0x7ffff;
+        benchmark::DoNotOptimize(tlb.lookup(1, va));
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    BuddyAllocator buddy(256ULL << 20);
+    for (auto _ : state) {
+        auto f = buddy.allocate(0);
+        benchmark::DoNotOptimize(f);
+        buddy.free(*f, 0);
+    }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void
+BM_SeesawAccess(benchmark::State &state)
+{
+    LatencyTable latency;
+    SeesawConfig cfg;
+    SeesawCache cache(cfg, latency);
+    const Addr va = (7ULL << 21) | 0x1440;
+    const Addr pa = (0x99ULL << 21) | (va & 0x1fffff);
+    cache.tft().markRegion(va);
+    L1Access req{va, pa, PageSize::Super2MB, AccessType::Read};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(req));
+}
+BENCHMARK(BM_SeesawAccess);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    WorkloadSpec w = findWorkload("redis");
+    w.footprintBytes = 8ULL << 20;
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.instructions = 20'000;
+        cfg.os.memBytes = 256ULL << 20;
+        benchmark::DoNotOptimize(simulate(w, cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

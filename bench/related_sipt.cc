@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Related-work comparison (§VII): SEESAW vs SIPT (speculatively
+ * indexed, physically tagged — Zheng et al., HPCA'18), the design the
+ * paper calls "closest in spirit". SIPT breaks the VIPT ceiling with
+ * more sets and speculation+rollback; SEESAW with way filtering and a
+ * guarantee (the TFT never mispredicts). This bench compares both
+ * against the VIPT baseline and shows where each benefit comes from.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+    using namespace seesaw::bench;
+
+    printBanner("Related work: SIPT",
+                "SEESAW vs speculative indexing (OoO, 1.33GHz)");
+
+    TableReporter table({"cache", "workload", "design", "perf",
+                         "energy", "notes"});
+    for (const auto &org : {kCacheOrgs[0], kCacheOrgs[2]}) {
+        for (const char *name : {"redis", "mcf", "omnet"}) {
+            const WorkloadSpec &w = findWorkload(name);
+            SystemConfig cfg = makeConfig(org, 1.33, 150'000);
+
+            cfg.l1Kind = L1Kind::ViptBaseline;
+            const RunResult base = simulate(w, cfg);
+
+            cfg.l1Kind = L1Kind::Seesaw;
+            const RunResult see = simulate(w, cfg);
+            table.addRow(
+                {org.label, name, "SEESAW",
+                 TableReporter::pct(
+                     runtimeImprovementPercent(base, see), 2),
+                 TableReporter::pct(energySavedPercent(base, see), 2),
+                 "guaranteed fast path"});
+
+            // One speculative index bit: half the baseline's ways,
+            // twice its sets — the gentlest SIPT configuration.
+            cfg.l1Kind = L1Kind::Sipt;
+            cfg.siptAssoc = org.assoc / 2;
+            const RunResult sipt = simulate(w, cfg);
+            table.addRow(
+                {org.label, name,
+                 "SIPT " + std::to_string(org.assoc / 2) + "-way",
+                 TableReporter::pct(
+                     runtimeImprovementPercent(base, sipt), 2),
+                 TableReporter::pct(energySavedPercent(base, sipt), 2),
+                 "speculation + rollback"});
+        }
+    }
+    table.print();
+
+    std::printf(
+        "\nReading the table: both designs escape the VIPT ceiling. "
+        "SIPT can be strong when\nits per-page bit predictor is warm "
+        "(pages keep their frames), but every cold or\nmigrated page "
+        "pays a rollback squash, its fast path rests on speculation "
+        "rather\nthan a guarantee, and hit rates drop at the low "
+        "associativity that speculative\nindexing requires — the "
+        "complexity/robustness contrast §VII draws.\n");
+    return 0;
+}

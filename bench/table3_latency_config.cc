@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table III: L1 access latencies (cycles) for every evaluated cache
+ * size and frequency — baseline (base-page / full-set) vs SEESAW
+ * superpage fast path, plus the single-cycle TFT.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "model/latency_table.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+
+    printBanner("Table III", "L1 cache configurations: access latency "
+                             "(cycles)");
+
+    LatencyTable latency;
+    TableReporter table({"Cache", "Assoc", "Freq(GHz)", "TFT",
+                         "L1 base-page", "L1 superpage"});
+    for (const auto &row : latency.rows()) {
+        table.addRow({std::to_string(row.sizeBytes / 1024) + "KB",
+                      std::to_string(row.assoc),
+                      TableReporter::fmt(row.freqGhz, 2),
+                      std::to_string(row.tftCycles),
+                      std::to_string(row.basePageCycles),
+                      std::to_string(row.superpageCycles)});
+    }
+    table.print();
+
+    std::printf("\nAnalytical-model fallback for configurations outside "
+                "Table III (e.g., Fig 14 PIPT alternatives):\n");
+    TableReporter alt({"Cache", "Assoc", "Freq(GHz)", "cycles"});
+    for (unsigned assoc : {2u, 4u, 8u}) {
+        alt.addRow({"128KB", std::to_string(assoc), "1.33",
+                    std::to_string(latency.basePageCycles(
+                        128 * 1024, assoc, 1.33))});
+    }
+    alt.print();
+    return 0;
+}

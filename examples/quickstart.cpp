@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: simulate one workload on a baseline VIPT L1 and on
+ * SEESAW, and print what the superpage-aware cache buys you.
+ *
+ *   $ ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+
+    // 1. Pick a workload. The library ships statistical models of the
+    //    paper's 16 workloads; `redis` is a superpage-friendly
+    //    key-value store.
+    const WorkloadSpec &workload = findWorkload("redis");
+
+    // 2. Describe the system: a Sandybridge-like out-of-order core
+    //    with a 32KB 8-way L1 at 1.33GHz, 4GB of physical memory and
+    //    transparent huge pages enabled (all defaults).
+    SystemConfig config;
+    config.l1SizeBytes = 32 * 1024;
+    config.l1Assoc = 8;
+    config.freqGhz = 1.33;
+    config.instructions = 1'000'000;
+
+    // 3. Run both designs. compareBaselineVsSeesaw() holds everything
+    //    fixed except the L1 organisation.
+    const DesignComparison cmp =
+        compareBaselineVsSeesaw(workload, config);
+
+    std::printf("workload: %s (%.0f MB footprint)\n",
+                workload.name.c_str(),
+                workload.footprintBytes / 1048576.0);
+    std::printf("superpage coverage:     %5.1f%% of footprint\n",
+                100.0 * cmp.seesaw.superpageCoverage);
+    std::printf("superpage references:   %5.1f%% of accesses\n",
+                100.0 * cmp.seesaw.superpageRefFraction);
+    std::printf("TFT hit rate:           %5.1f%%\n",
+                100.0 * cmp.seesaw.tftHits /
+                    static_cast<double>(cmp.seesaw.tftLookups));
+    std::printf("\n%-22s %14s %14s\n", "", "baseline VIPT", "SEESAW");
+    std::printf("%-22s %14llu %14llu\n", "cycles",
+                static_cast<unsigned long long>(cmp.baseline.cycles),
+                static_cast<unsigned long long>(cmp.seesaw.cycles));
+    std::printf("%-22s %14.3f %14.3f\n", "IPC", cmp.baseline.ipc,
+                cmp.seesaw.ipc);
+    std::printf("%-22s %14.1f %14.1f\n", "mem energy (uJ)",
+                cmp.baseline.energyTotalNj / 1000.0,
+                cmp.seesaw.energyTotalNj / 1000.0);
+    std::printf("\nSEESAW: %.1f%% faster, %.1f%% less memory-hierarchy "
+                "energy.\n",
+                cmp.runtimeImprovementPct, cmp.energySavedPct);
+    return 0;
+}

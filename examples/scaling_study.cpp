@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-core scaling study using the MultiCoreSystem API.
+ *
+ * Runs a shared-heap multi-threaded workload across 1-16 cores with
+ * exact MOESI directory coherence and shows how SEESAW's two benefit
+ * sources scale in opposite directions: the CPU-side fast-path saving
+ * is per-access (flat with cores), while the coherence saving grows
+ * with the probe traffic that sharing generates.
+ *
+ *   $ ./build/examples/scaling_study
+ */
+
+#include <cstdio>
+
+#include "sim/multicore.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace seesaw;
+
+    printBanner("scaling_study",
+                "SEESAW benefit sources vs core count (tunkrank, "
+                "64KB L1s, exact MOESI directory)");
+
+    const WorkloadSpec &w = findWorkload("tunk");
+
+    TableReporter table({"cores", "agg IPC", "probes/kinstr",
+                         "probe hitrate", "CPU-side saved(uJ)",
+                         "coherence saved(uJ)", "coherence share"});
+
+    for (unsigned cores : {1u, 2u, 4u, 8u, 16u}) {
+        MultiCoreConfig cfg;
+        cfg.cores = cores;
+        cfg.l1SizeBytes = 64 * 1024;
+        cfg.l1Assoc = 16;
+        cfg.instructionsPerCore = 80'000;
+        cfg.warmupInstructionsPerCore = 40'000;
+        cfg.seed = 3;
+
+        cfg.l1Kind = L1Kind::ViptBaseline;
+        const MultiRunResult base = MultiCoreSystem(cfg, w).run();
+        cfg.l1Kind = L1Kind::Seesaw;
+        const MultiRunResult see = MultiCoreSystem(cfg, w).run();
+
+        const double cpu_saved =
+            (base.l1CpuDynamicNj - see.l1CpuDynamicNj) / 1000.0;
+        const double coh_saved = (base.l1CoherenceDynamicNj -
+                                  see.l1CoherenceDynamicNj) /
+                                 1000.0;
+        const double kinstr = see.instructions / 1000.0;
+        table.addRow(
+            {std::to_string(cores),
+             TableReporter::fmt(see.aggregateIpc, 2),
+             TableReporter::fmt(see.probes / kinstr, 1),
+             see.probes ? TableReporter::pct(
+                              100.0 * see.probeHits / see.probes, 1)
+                        : std::string("-"),
+             TableReporter::fmt(cpu_saved, 1),
+             TableReporter::fmt(coh_saved, 1),
+             TableReporter::pct(100.0 * coh_saved /
+                                    (coh_saved + cpu_saved),
+                                1)});
+    }
+    table.print();
+
+    std::printf(
+        "\nReading the table: per-instruction CPU-side savings are "
+        "flat in core count; probe\ntraffic — and with it the "
+        "coherence-side savings SEESAW's 4-way probes unlock —\ngrows "
+        "superlinearly as more threads share the hot set. This is the "
+        "dynamic behind\nFig 11 and the paper's observation that "
+        "coherence savings matter even for\nsingle-threaded workloads "
+        "once system activity is included.\n");
+    return 0;
+}

@@ -1,0 +1,187 @@
+#include "cache/baseline_caches.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+ViptCache::ViptCache(const BaselineL1Config &config,
+                     const LatencyTable &latency)
+    : config_(config),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1),
+      hitCycles_(latency.basePageCycles(config.sizeBytes, config.assoc,
+                                        config.freqGhz)),
+      wpMispredictPenalty_(1),
+      stats_("vipt")
+{
+    if (config.wayPrediction) {
+        predictor_ = std::make_unique<MruWayPredictor>(
+            tags_.numSets(), config.assoc, 1);
+    }
+}
+
+L1AccessResult
+ViptCache::access(const L1Access &req)
+{
+    L1AccessResult res;
+    ++stats_.scalar("accesses");
+
+    const unsigned set = tags_.setIndex(req.pa);
+    unsigned predicted = 0;
+    if (predictor_) {
+        predicted = predictor_->predict(set);
+        res.wpUsed = true;
+    }
+
+    const TagLookup look = tags_.lookup(req.pa);
+    res.hit = look.hit;
+
+    if (!predictor_) {
+        res.latencyCycles = hitCycles_;
+        res.waysRead = config_.assoc;
+        res.fastPath = look.hit;
+    } else if (look.hit && look.way == predicted) {
+        // Correct prediction: only the predicted way is energised.
+        res.wpCorrect = true;
+        res.latencyCycles = hitCycles_;
+        res.waysRead = 1;
+        res.fastPath = true;
+        predictor_->recordOutcome(true);
+    } else {
+        // Mispredict (or miss). Way prediction gates only the data
+        // array: all tags compare in parallel, so the mispredict is
+        // known at tag-match time and costs one extra data-array
+        // access — dependents are rescheduled with a bubble, not a
+        // full replay (Powell et al.).
+        res.wpCorrect = false;
+        res.latencyCycles = hitCycles_ + wpMispredictPenalty_;
+        res.waysRead = 2; // predicted way + the correct way
+        res.fastPath = false;
+        predictor_->recordOutcome(false);
+    }
+
+    if (look.hit) {
+        ++stats_.scalar("hits");
+        CacheLine *line = tags_.findLine(req.pa);
+        if (req.type == AccessType::Write)
+            line->state = CoherenceState::Modified;
+        if (predictor_)
+            predictor_->update(set, look.way);
+        return res;
+    }
+
+    // Miss: install with a set-wide LRU victim.
+    ++stats_.scalar("misses");
+    const auto state = req.type == AccessType::Write
+                           ? CoherenceState::Modified
+                           : CoherenceState::Exclusive;
+    res.eviction = tags_.insert(req.pa, SetAssocCache::InsertScope::FullSet,
+                                state, req.pageSize);
+    res.installWays = config_.assoc;
+    if (predictor_) {
+        const TagLookup filled = tags_.peek(req.pa);
+        SEESAW_ASSERT(filled.hit, "fill must be visible");
+        predictor_->update(set, filled.way);
+    }
+    return res;
+}
+
+L1ProbeResult
+ViptCache::probe(Addr pa, bool invalidating)
+{
+    L1ProbeResult res;
+    // Coherence probes carry a physical address; the unpartitioned
+    // baseline must energise every way of the set.
+    res.waysRead = config_.assoc;
+    CacheLine *line = tags_.findLine(pa);
+    if (!line)
+        return res;
+    res.hit = true;
+    res.wasDirty = isDirtyState(line->state);
+    if (invalidating) {
+        line->valid = false;
+        line->state = CoherenceState::Invalid;
+    } else {
+        // Downgrade: a remote reader leaves us Shared (or Owned when we
+        // held dirty data and must supply it).
+        line->state = res.wasDirty ? CoherenceState::Owned
+                                   : CoherenceState::Shared;
+    }
+    return res;
+}
+
+unsigned
+ViptCache::sweepRegion(Addr pa_base, std::uint64_t bytes)
+{
+    return tags_.sweepRegion(pa_base, bytes);
+}
+
+PiptCache::PiptCache(const BaselineL1Config &config,
+                     const LatencyTable &latency,
+                     unsigned tlb_latency_cycles)
+    : config_(config),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1),
+      hitCycles_(latency.piptCycles(config.sizeBytes, config.assoc,
+                                    config.freqGhz,
+                                    tlb_latency_cycles)),
+      stats_("pipt")
+{
+    SEESAW_ASSERT(!config.wayPrediction,
+                  "way prediction unsupported on the PIPT baseline");
+}
+
+L1AccessResult
+PiptCache::access(const L1Access &req)
+{
+    L1AccessResult res;
+    ++stats_.scalar("accesses");
+
+    const TagLookup look = tags_.lookup(req.pa);
+    res.hit = look.hit;
+    res.latencyCycles = hitCycles_;
+    res.waysRead = config_.assoc;
+    res.fastPath = look.hit;
+
+    if (look.hit) {
+        ++stats_.scalar("hits");
+        if (req.type == AccessType::Write)
+            tags_.findLine(req.pa)->state = CoherenceState::Modified;
+        return res;
+    }
+
+    ++stats_.scalar("misses");
+    const auto state = req.type == AccessType::Write
+                           ? CoherenceState::Modified
+                           : CoherenceState::Exclusive;
+    res.eviction = tags_.insert(req.pa, SetAssocCache::InsertScope::FullSet,
+                                state, req.pageSize);
+    res.installWays = config_.assoc;
+    return res;
+}
+
+L1ProbeResult
+PiptCache::probe(Addr pa, bool invalidating)
+{
+    L1ProbeResult res;
+    res.waysRead = config_.assoc;
+    CacheLine *line = tags_.findLine(pa);
+    if (!line)
+        return res;
+    res.hit = true;
+    res.wasDirty = isDirtyState(line->state);
+    if (invalidating) {
+        line->valid = false;
+        line->state = CoherenceState::Invalid;
+    } else {
+        line->state = res.wasDirty ? CoherenceState::Owned
+                                   : CoherenceState::Shared;
+    }
+    return res;
+}
+
+unsigned
+PiptCache::sweepRegion(Addr pa_base, std::uint64_t bytes)
+{
+    return tags_.sweepRegion(pa_base, bytes);
+}
+
+} // namespace seesaw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The abstract L1 data-cache interface shared by the baseline VIPT
+ * cache, the PIPT alternative, and the SEESAW cache.
+ *
+ * Timing contract: access() reports the L1 lookup latency and how many
+ * ways were read (for energy); on a miss it installs the line (the
+ * caller is responsible for charging the outer-hierarchy fetch) and
+ * reports any displaced dirty line for write-back accounting.
+ */
+
+#ifndef SEESAW_CACHE_L1_CACHE_HH
+#define SEESAW_CACHE_L1_CACHE_HH
+
+#include "cache/set_assoc_cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace seesaw {
+
+/** One CPU-side L1 access. */
+struct L1Access
+{
+    Addr va = 0;
+    Addr pa = 0;
+    PageSize pageSize = PageSize::Base4KB;
+    AccessType type = AccessType::Read;
+
+    /** SEESAW only: the TFT decision probed *before* the TLB lookup
+     *  could refresh the entry — hardware probes the TFT and the L1
+     *  TLBs in parallel, so the cache must not see a TFT state newer
+     *  than the probe. -1 = not pre-probed (the cache probes itself;
+     *  fine for standalone use). */
+    int tftProbe = -1;
+};
+
+/** Outcome of a CPU-side L1 access. */
+struct L1AccessResult
+{
+    bool hit = false;
+    unsigned latencyCycles = 0; //!< lookup latency (hit, or to detect miss)
+    unsigned waysRead = 0;      //!< data/tag ways energised
+    bool fastPath = false;      //!< finished at fastHitCycles()
+    bool tftHit = false;        //!< SEESAW only
+    bool wpUsed = false;        //!< way predictor consulted
+    bool wpCorrect = false;     //!< way predictor was right
+
+    /** True when the core learns the final latency late (at tag
+     *  compare: misses, way-predictor mispredicts). TFT-signalled slow
+     *  hits are discovered within the first cycle — the scheduler can
+     *  cancel the fast wakeup with a bubble instead of a full
+     *  squash-and-replay. */
+    bool lateDiscovery = false;
+    Eviction eviction;          //!< line displaced by the miss fill
+    unsigned installWays = 0;   //!< ways tracked by replacement on fill
+};
+
+/** Outcome of a coherence probe. */
+struct L1ProbeResult
+{
+    bool hit = false;
+    unsigned waysRead = 0;
+    bool wasDirty = false; //!< probe found a dirty (M/O) line
+};
+
+/**
+ * Abstract L1 data cache.
+ */
+class L1Cache
+{
+  public:
+    virtual ~L1Cache() = default;
+
+    /** Perform one CPU access; installs the line on a miss. */
+    virtual L1AccessResult access(const L1Access &req) = 0;
+
+    /**
+     * Coherence probe by physical address.
+     * @param pa Probed address.
+     * @param invalidating True for invalidation probes (line dropped),
+     *        false for read/downgrade probes.
+     */
+    virtual L1ProbeResult probe(Addr pa, bool invalidating) = 0;
+
+    /** Slow (baseline) hit latency the scheduler may assume. */
+    virtual unsigned baseHitCycles() const = 0;
+
+    /** Fast hit latency (equals baseHitCycles for non-SEESAW caches). */
+    virtual unsigned fastHitCycles() const = 0;
+
+    /** Evict all lines in [pa_base, pa_base+bytes): promotion sweep. */
+    virtual unsigned sweepRegion(Addr pa_base, std::uint64_t bytes) = 0;
+
+    /** The underlying tag store (tests and directory bookkeeping). */
+    virtual const SetAssocCache &tags() const = 0;
+    virtual SetAssocCache &tags() = 0;
+
+    /** Per-cache statistics. */
+    virtual const StatGroup &stats() const = 0;
+    virtual StatGroup &stats() = 0;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_CACHE_L1_CACHE_HH

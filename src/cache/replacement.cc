@@ -1,0 +1,24 @@
+#include "cache/replacement.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+unsigned
+selectLruVictim(const CacheLine *lines, unsigned begin, unsigned end)
+{
+    SEESAW_ASSERT(begin < end, "empty victim range");
+    unsigned victim = begin;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned way = begin; way < end; ++way) {
+        if (!lines[way].valid)
+            return way;
+        if (lines[way].lastUse < oldest) {
+            oldest = lines[way].lastUse;
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+} // namespace seesaw

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Replacement-victim selection over contiguous way ranges.
+ *
+ * SEESAW's insertion policies (Section IV-B1) differ only in the way
+ * range a victim is drawn from: the line's partition (`4way`) or the
+ * whole set (`4way-8way` for base pages). Keeping selection separate
+ * from the tag store lets both caches and TLBs share it.
+ */
+
+#ifndef SEESAW_CACHE_REPLACEMENT_HH
+#define SEESAW_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace seesaw {
+
+/** Coherence state of a cached line (MOESI). */
+enum class CoherenceState : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+/** @return True when the state implies the local copy is dirty. */
+constexpr bool
+isDirtyState(CoherenceState s)
+{
+    return s == CoherenceState::Modified || s == CoherenceState::Owned;
+}
+
+/** One line of a tag store. */
+struct CacheLine
+{
+    bool valid = false;
+    Addr lineAddr = 0; //!< physical address >> log2(line size)
+    CoherenceState state = CoherenceState::Invalid;
+    std::uint64_t lastUse = 0; //!< LRU timestamp
+    PageSize pageSize = PageSize::Base4KB; //!< page the line came from
+};
+
+/**
+ * Pick an LRU victim among ways [begin, end) of @p lines.
+ * Invalid ways win immediately.
+ * @return The victim way index (absolute, i.e., in [begin, end)).
+ */
+unsigned selectLruVictim(const CacheLine *lines, unsigned begin,
+                         unsigned end);
+
+} // namespace seesaw
+
+#endif // SEESAW_CACHE_REPLACEMENT_HH

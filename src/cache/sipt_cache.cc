@@ -1,0 +1,126 @@
+#include "cache/sipt_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+SiptCache::SiptCache(const SiptConfig &config,
+                     const LatencyTable &latency)
+    : config_(config),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1),
+      hitCycles_(latency.sram().accessLatencyCycles(
+          config.sizeBytes, config.assoc, config.freqGhz)),
+      predictor_(config.predictorEntries),
+      stats_("sipt")
+{
+    // How many index bits exceed the 4KB page offset?
+    const unsigned set_span_bits =
+        log2Floor(tags_.numSets()) + log2Floor(config.lineBytes);
+    SEESAW_ASSERT(set_span_bits > 12,
+                  "SIPT needs more sets than VIPT allows; use a lower "
+                  "associativity");
+    specBits_ = set_span_bits - 12;
+    SEESAW_ASSERT(config.predictorEntries > 0, "empty predictor");
+}
+
+unsigned
+SiptCache::predictBits(Addr va) const
+{
+    const Addr vpn = va >> 12;
+    const PredictorEntry &e =
+        predictor_[vpn % config_.predictorEntries];
+    if (e.valid && e.vpn == vpn)
+        return e.bits;
+    // Untrained: speculate identity (the VA's own bits) — correct for
+    // superpages by construction.
+    return extraBitsOf(va);
+}
+
+void
+SiptCache::train(Addr va, unsigned pa_bits)
+{
+    const Addr vpn = va >> 12;
+    PredictorEntry &e = predictor_[vpn % config_.predictorEntries];
+    e.valid = true;
+    e.vpn = vpn;
+    e.bits = pa_bits;
+}
+
+L1AccessResult
+SiptCache::access(const L1Access &req)
+{
+    L1AccessResult res;
+    ++stats_.scalar("accesses");
+
+    // Speculate the index; the TLB reveals the truth in parallel.
+    const unsigned predicted = predictBits(req.va);
+    const unsigned actual = extraBitsOf(req.pa);
+    const bool correct = predicted == actual;
+    if (correct)
+        ++stats_.scalar("spec_correct");
+    else
+        ++stats_.scalar("spec_wrong");
+    train(req.va, actual);
+
+    // Lines live at their physical index; a wrong speculation reads
+    // the wrong set first and replays at the right one (rollback).
+    const TagLookup look = tags_.lookup(req.pa);
+    res.hit = look.hit;
+    res.waysRead = correct ? config_.assoc : 2 * config_.assoc;
+    res.latencyCycles =
+        correct ? hitCycles_
+                : hitCycles_ + config_.replayPenaltyCycles;
+    res.fastPath = correct;
+    // The mispeculation is only discovered when the TLB result
+    // arrives at tag-compare time: a late discovery, i.e., the full
+    // squash-and-replay cost the SEESAW paper contrasts with its
+    // guarantee-based TFT.
+    res.lateDiscovery = !correct;
+
+    if (look.hit) {
+        ++stats_.scalar("hits");
+        CacheLine *line = tags_.findLine(req.pa);
+        if (req.type == AccessType::Write)
+            line->state = CoherenceState::Modified;
+        return res;
+    }
+
+    ++stats_.scalar("misses");
+    const auto state = req.type == AccessType::Write
+                           ? CoherenceState::Modified
+                           : CoherenceState::Exclusive;
+    res.eviction = tags_.insert(req.pa, SetAssocCache::InsertScope::FullSet,
+                                state, req.pageSize);
+    res.installWays = config_.assoc;
+    return res;
+}
+
+L1ProbeResult
+SiptCache::probe(Addr pa, bool invalidating)
+{
+    L1ProbeResult res;
+    // Physical index: probes go straight to the right (small) set.
+    res.waysRead = config_.assoc;
+    CacheLine *line = tags_.findLine(pa);
+    if (!line)
+        return res;
+    res.hit = true;
+    res.wasDirty = isDirtyState(line->state);
+    if (invalidating) {
+        line->valid = false;
+        line->state = CoherenceState::Invalid;
+    } else {
+        line->state = res.wasDirty ? CoherenceState::Owned
+                                   : CoherenceState::Shared;
+    }
+    return res;
+}
+
+unsigned
+SiptCache::sweepRegion(Addr pa_base, std::uint64_t bytes)
+{
+    return tags_.sweepRegion(pa_base, bytes);
+}
+
+} // namespace seesaw

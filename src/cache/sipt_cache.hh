@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A speculatively-indexed, physically-tagged (SIPT) L1 cache — the
+ * related design the paper calls "closest in spirit" to SEESAW
+ * (Section VII; Zheng et al., HPCA 2018).
+ *
+ * SIPT breaks the VIPT set-count ceiling differently: it uses k
+ * virtual-address bits *above* the page offset as extra index bits
+ * (2^k times the sets at 1/2^k the associativity) and speculates that
+ * those bits survive translation. A per-page predictor supplies the
+ * expected physical bits; when the TLB result disagrees, the access is
+ * replayed at the correct index (a rollback — the mechanism the SEESAW
+ * paper contrasts against its speculation-free TFT guarantee).
+ *
+ * Lines are placed by their *physical* index bits, so coherence probes
+ * index directly and mispeculation can never produce duplicates.
+ */
+
+#ifndef SEESAW_CACHE_SIPT_CACHE_HH
+#define SEESAW_CACHE_SIPT_CACHE_HH
+
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "model/latency_table.hh"
+
+namespace seesaw {
+
+/** SIPT configuration. */
+struct SiptConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;       //!< reduced: sets grow instead (e.g.,
+                              //!< 32KB 2-way = 256 sets)
+    unsigned lineBytes = 64;
+    double freqGhz = 1.33;
+    unsigned predictorEntries = 512; //!< per-page index-bit predictor
+    unsigned replayPenaltyCycles = 2; //!< re-access at the right index
+};
+
+/**
+ * The SIPT L1 data cache.
+ */
+class SiptCache : public L1Cache
+{
+  public:
+    SiptCache(const SiptConfig &config, const LatencyTable &latency);
+
+    L1AccessResult access(const L1Access &req) override;
+    L1ProbeResult probe(Addr pa, bool invalidating) override;
+
+    unsigned baseHitCycles() const override
+    {
+        return hitCycles_ + config_.replayPenaltyCycles;
+    }
+    unsigned fastHitCycles() const override { return hitCycles_; }
+
+    unsigned sweepRegion(Addr pa_base, std::uint64_t bytes) override;
+    const SetAssocCache &tags() const override { return tags_; }
+    SetAssocCache &tags() override { return tags_; }
+    const StatGroup &stats() const override { return stats_; }
+    StatGroup &stats() override { return stats_; }
+
+    /** Bits of the index that lie above the page offset. */
+    unsigned speculativeBits() const { return specBits_; }
+
+    /** Fraction of accesses whose speculated index bits were right. */
+    double
+    predictionAccuracy() const
+    {
+        const double total = stats_.get("accesses");
+        return total > 0.0 ? stats_.get("spec_correct") / total : 0.0;
+    }
+
+  private:
+    struct PredictorEntry
+    {
+        bool valid = false;
+        Addr vpn = 0;
+        unsigned bits = 0; //!< last observed PA index bits above 4KB
+    };
+
+    SiptConfig config_;
+    SetAssocCache tags_;
+    unsigned hitCycles_;
+    unsigned specBits_; //!< index bits above bit 11
+    std::vector<PredictorEntry> predictor_;
+    StatGroup stats_;
+
+    /** PA bits [11+specBits : 12]. */
+    unsigned
+    extraBitsOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> 12) &
+                                     ((1u << specBits_) - 1));
+    }
+
+    /** Predict the extra index bits for @p va. */
+    unsigned predictBits(Addr va) const;
+
+    /** Train the predictor with the observed translation. */
+    void train(Addr va, unsigned pa_bits);
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_CACHE_SIPT_CACHE_HH

@@ -1,0 +1,55 @@
+#include "cache/way_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+MruWayPredictor::MruWayPredictor(unsigned sets, unsigned ways,
+                                 unsigned partitions)
+    : sets_(sets), ways_(ways), partitions_(partitions),
+      waysPerPartition_(ways / partitions),
+      setMru_(sets, 0),
+      partitionMru_(static_cast<std::size_t>(sets) * partitions, 0)
+{
+    SEESAW_ASSERT(partitions_ >= 1 && ways_ % partitions_ == 0,
+                  "partitions must divide ways");
+}
+
+unsigned
+MruWayPredictor::predict(unsigned set) const
+{
+    SEESAW_ASSERT(set < sets_, "set out of range");
+    return setMru_[set];
+}
+
+unsigned
+MruWayPredictor::predictInPartition(unsigned set,
+                                    unsigned partition) const
+{
+    SEESAW_ASSERT(set < sets_ && partition < partitions_,
+                  "index out of range");
+    const unsigned local =
+        partitionMru_[static_cast<std::size_t>(set) * partitions_ +
+                      partition];
+    return partition * waysPerPartition_ + local;
+}
+
+void
+MruWayPredictor::update(unsigned set, unsigned way)
+{
+    SEESAW_ASSERT(set < sets_ && way < ways_, "index out of range");
+    setMru_[set] = static_cast<std::uint16_t>(way);
+    const unsigned partition = way / waysPerPartition_;
+    partitionMru_[static_cast<std::size_t>(set) * partitions_ +
+                  partition] =
+        static_cast<std::uint16_t>(way % waysPerPartition_);
+}
+
+void
+MruWayPredictor::recordOutcome(bool correct)
+{
+    ++predictions_;
+    correct_ += correct ? 1 : 0;
+}
+
+} // namespace seesaw

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MRU way prediction (Powell et al., ISCA 2001), used standalone on the
+ * baseline VIPT cache and combined with SEESAW (Section VI-F).
+ *
+ * The predictor remembers the most-recently-used way of each set, and —
+ * to serve the combined WP+SEESAW design — also the MRU way *within
+ * each partition* of each set, so SEESAW can hand it the right
+ * partition and bound the misprediction penalty to that partition.
+ */
+
+#ifndef SEESAW_CACHE_WAY_PREDICTOR_HH
+#define SEESAW_CACHE_WAY_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace seesaw {
+
+/**
+ * Per-set (and per-partition) MRU way tracking.
+ */
+class MruWayPredictor
+{
+  public:
+    /**
+     * @param sets Number of cache sets covered.
+     * @param ways Ways per set.
+     * @param partitions Way groups per set (1 when unpartitioned).
+     */
+    MruWayPredictor(unsigned sets, unsigned ways, unsigned partitions);
+
+    /** Predict the way for a whole-set access. */
+    unsigned predict(unsigned set) const;
+
+    /** Predict the way for an access confined to @p partition
+     *  (returns an absolute way index). */
+    unsigned predictInPartition(unsigned set, unsigned partition) const;
+
+    /** Record the way that actually hit (or was filled). */
+    void update(unsigned set, unsigned way);
+
+    /** Record a prediction outcome for the statistics. */
+    void recordOutcome(bool correct);
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    unsigned partitions() const { return partitions_; }
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t correct() const { return correct_; }
+    double
+    accuracy() const
+    {
+        return predictions_ ? static_cast<double>(correct_) /
+                                  static_cast<double>(predictions_)
+                            : 0.0;
+    }
+
+  private:
+    unsigned sets_;
+    unsigned ways_;
+    unsigned partitions_;
+    unsigned waysPerPartition_;
+
+    std::vector<std::uint16_t> setMru_;        //!< per set
+    std::vector<std::uint16_t> partitionMru_;  //!< per set x partition
+
+    std::uint64_t predictions_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_CACHE_WAY_PREDICTOR_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * MOESI coherence-protocol state transitions (Table II: MOESI
+ * directory).
+ *
+ * The simulator models one L1 in detail; remote cores are abstracted
+ * into the probe stream that the ProbeEngine injects. These transition
+ * functions define how the local L1's line states evolve under local
+ * accesses and remote (probe) events, and are unit-tested against the
+ * MOESI truth table.
+ */
+
+#ifndef SEESAW_COHERENCE_DIRECTORY_HH
+#define SEESAW_COHERENCE_DIRECTORY_HH
+
+#include "cache/replacement.hh"
+
+namespace seesaw {
+
+/**
+ * Stateless MOESI transition rules.
+ */
+class MoesiProtocol
+{
+  public:
+    /** Local load fill: Exclusive when no remote sharer, else Shared. */
+    static CoherenceState
+    onLocalReadFill(bool remote_sharers)
+    {
+        return remote_sharers ? CoherenceState::Shared
+                              : CoherenceState::Exclusive;
+    }
+
+    /** Local load hit: state is unchanged. */
+    static CoherenceState
+    onLocalReadHit(CoherenceState s)
+    {
+        return s;
+    }
+
+    /** Local store (hit or fill): always ends Modified. Stores to
+     *  S/O lines first invalidate remote copies (upgrade). */
+    static CoherenceState
+    onLocalWrite(CoherenceState)
+    {
+        return CoherenceState::Modified;
+    }
+
+    /** @return True when a store to state @p s must send an upgrade
+     *  (remote copies may exist). */
+    static bool
+    writeNeedsUpgrade(CoherenceState s)
+    {
+        return s == CoherenceState::Shared || s == CoherenceState::Owned;
+    }
+
+    /** Remote read probe hits our line: M/O keep ownership as Owned
+     *  (we supply data); E/S drop to Shared. */
+    static CoherenceState
+    onRemoteRead(CoherenceState s)
+    {
+        switch (s) {
+          case CoherenceState::Modified:
+          case CoherenceState::Owned:
+            return CoherenceState::Owned;
+          case CoherenceState::Exclusive:
+          case CoherenceState::Shared:
+            return CoherenceState::Shared;
+          case CoherenceState::Invalid:
+            return CoherenceState::Invalid;
+        }
+        return CoherenceState::Invalid;
+    }
+
+    /** @return True when the probed line must supply data (dirty). */
+    static bool
+    suppliesData(CoherenceState s)
+    {
+        return isDirtyState(s);
+    }
+
+    /** Remote write/upgrade probe: we invalidate. */
+    static CoherenceState
+    onRemoteWrite(CoherenceState)
+    {
+        return CoherenceState::Invalid;
+    }
+
+    /** @return True when @p s may silently drop on eviction (clean). */
+    static bool
+    cleanEviction(CoherenceState s)
+    {
+        return !isDirtyState(s);
+    }
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,116 @@
+#include "coherence/exact_directory.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+ExactDirectory::ExactDirectory(unsigned num_cores)
+    : numCores_(num_cores), stats_("directory")
+{
+    SEESAW_ASSERT(num_cores >= 1 && num_cores <= 64,
+                  "directory supports 1-64 cores");
+}
+
+ExactDirectory::ProbeList
+ExactDirectory::onReadMiss(CoreId core, Addr pa)
+{
+    ProbeList probes;
+    auto it = lines_.find(lineOf(pa));
+    if (it == lines_.end())
+        return probes;
+
+    const Entry &e = it->second;
+    if (e.owner >= 0 && static_cast<CoreId>(e.owner) != core) {
+        // Downgrade the dirty owner; it supplies the data.
+        probes.targets.push_back(static_cast<CoreId>(e.owner));
+        probes.ownerSupplies = true;
+        ++stats_.scalar("owner_downgrades");
+    }
+    return probes;
+}
+
+ExactDirectory::ProbeList
+ExactDirectory::onWrite(CoreId core, Addr pa)
+{
+    ProbeList probes;
+    probes.invalidating = true;
+    auto it = lines_.find(lineOf(pa));
+    if (it == lines_.end())
+        return probes;
+
+    Entry &e = it->second;
+    for (CoreId c = 0; c < numCores_; ++c) {
+        if (c != core && (e.sharers & (1ULL << c))) {
+            probes.targets.push_back(c);
+            if (e.owner == static_cast<int>(c))
+                probes.ownerSupplies = true;
+        }
+    }
+    if (!probes.targets.empty())
+        ++stats_.scalar("write_invalidations");
+
+    // The directory reflects the probes' effect immediately.
+    e.sharers &= (1ULL << core);
+    if (e.owner != static_cast<int>(core))
+        e.owner = -1;
+    if (e.sharers == 0)
+        lines_.erase(it);
+    return probes;
+}
+
+void
+ExactDirectory::recordFill(CoreId core, Addr pa, bool dirty)
+{
+    Entry &e = lines_[lineOf(pa)];
+    e.sharers |= (1ULL << core);
+    if (dirty) {
+        e.owner = static_cast<int>(core);
+    } else if (e.owner == static_cast<int>(core)) {
+        e.owner = -1;
+    }
+    ++stats_.scalar("fills");
+}
+
+void
+ExactDirectory::recordEviction(CoreId core, Addr pa)
+{
+    auto it = lines_.find(lineOf(pa));
+    if (it == lines_.end())
+        return;
+    Entry &e = it->second;
+    e.sharers &= ~(1ULL << core);
+    if (e.owner == static_cast<int>(core))
+        e.owner = -1;
+    if (e.sharers == 0)
+        lines_.erase(it);
+    ++stats_.scalar("evictions");
+}
+
+bool
+ExactDirectory::holds(CoreId core, Addr pa) const
+{
+    auto it = lines_.find(lineOf(pa));
+    return it != lines_.end() &&
+           (it->second.sharers & (1ULL << core)) != 0;
+}
+
+unsigned
+ExactDirectory::sharerCount(Addr pa) const
+{
+    auto it = lines_.find(lineOf(pa));
+    if (it == lines_.end())
+        return 0;
+    unsigned count = 0;
+    for (CoreId c = 0; c < numCores_; ++c)
+        count += (it->second.sharers >> c) & 1;
+    return count;
+}
+
+int
+ExactDirectory::owner(Addr pa) const
+{
+    auto it = lines_.find(lineOf(pa));
+    return it == lines_.end() ? -1 : it->second.owner;
+}
+
+} // namespace seesaw

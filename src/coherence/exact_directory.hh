@@ -1,0 +1,92 @@
+/**
+ * @file
+ * An exact MOESI directory for the multi-core system (Table II:
+ * "Coherence: MOESI directory"). Tracks, per cached line, the set of
+ * cores holding it and the owning core (if the line is dirty), and
+ * produces the precise probe lists each access requires — unlike the
+ * stochastic ProbeEngine used for single-core runs, every coherence
+ * lookup here corresponds to a real sharer.
+ */
+
+#ifndef SEESAW_COHERENCE_EXACT_DIRECTORY_HH
+#define SEESAW_COHERENCE_EXACT_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace seesaw {
+
+/**
+ * Directory state for the private L1s of up to 64 cores.
+ */
+class ExactDirectory
+{
+  public:
+    explicit ExactDirectory(unsigned num_cores);
+
+    /** Probes the directory instructs the requester to send. */
+    struct ProbeList
+    {
+        /** Cores to probe, in core-id order. */
+        std::vector<CoreId> targets;
+        bool invalidating = false;
+        /** A dirty owner will supply the data (cache-to-cache). */
+        bool ownerSupplies = false;
+    };
+
+    /**
+     * Core @p core is about to read the line of @p pa and missed in
+     * its L1. @return The probes required (downgrade the dirty owner,
+     * if any). Call recordFill() after the fill completes.
+     */
+    ProbeList onReadMiss(CoreId core, Addr pa);
+
+    /**
+     * Core @p core is about to write the line (miss, or a hit on a
+     * Shared/Owned copy). @return Invalidating probes for every other
+     * sharer.
+     */
+    ProbeList onWrite(CoreId core, Addr pa);
+
+    /** Record that @p core now caches the line (dirty = writer). */
+    void recordFill(CoreId core, Addr pa, bool dirty);
+
+    /** @p core silently evicted the line. */
+    void recordEviction(CoreId core, Addr pa);
+
+    /** Does the directory believe @p core holds the line? */
+    bool holds(CoreId core, Addr pa) const;
+
+    /** Sharer count for the line (0 when untracked). */
+    unsigned sharerCount(Addr pa) const;
+
+    /** The dirty owner, or -1. */
+    int owner(Addr pa) const;
+
+    /** Number of tracked lines. */
+    std::size_t trackedLines() const { return lines_.size(); }
+
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t sharers = 0; //!< bitmask over cores
+        int owner = -1;            //!< core holding M/O, or -1
+    };
+
+    unsigned numCores_;
+    std::unordered_map<Addr, Entry> lines_; //!< keyed by pa >> 6
+    StatGroup stats_;
+
+    static Addr lineOf(Addr pa) { return pa >> 6; }
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_COHERENCE_EXACT_DIRECTORY_HH

@@ -1,0 +1,43 @@
+#include "coherence/probe_engine.hh"
+
+namespace seesaw {
+
+ProbeEngine::ProbeEngine(const ProbeEngineParams &params, L1Cache &l1,
+                         EnergyModel &energy)
+    : params_(params), l1_(l1), energy_(energy),
+      bus_(params.fabric, params.snoopAbsentFactor, params.seed),
+      stats_("probe_engine")
+{
+    directedRate_ = params_.systemProbesPerKiloInstr +
+                    params_.sharingProbesPerKiloInstrPerThread *
+                        params_.remoteThreads * params_.sharedFraction;
+}
+
+void
+ProbeEngine::tick(std::uint64_t instructions)
+{
+    directedCarry_ +=
+        directedRate_ * static_cast<double>(instructions) / 1000.0;
+    if (directedCarry_ < 1.0)
+        return;
+
+    const auto due = static_cast<unsigned>(directedCarry_);
+    directedCarry_ -= due;
+
+    const auto probes =
+        bus_.generate(due, params_.invalidatingFraction, resident_);
+    for (const auto &p : probes) {
+        const L1ProbeResult res = l1_.probe(p.pa, p.invalidating);
+        ++stats_.scalar("probes");
+        if (res.hit)
+            ++stats_.scalar("probe_hits");
+        if (p.invalidating && res.hit)
+            ++stats_.scalar("invalidations");
+        if (res.wasDirty)
+            ++stats_.scalar("dirty_supplies");
+        energy_.addL1Lookup(l1_.tags().sizeBytes(), l1_.tags().assoc(),
+                            res.waysRead, /*coherent=*/true);
+    }
+}
+
+} // namespace seesaw

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used for address slicing throughout the
+ * cache, TLB and page-table code.
+ */
+
+#ifndef SEESAW_COMMON_BITOPS_HH
+#define SEESAW_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace seesaw {
+
+/**
+ * Extract bits [hi:lo] (inclusive, 0-indexed from the LSB) of @p value.
+ * Mirrors the bit-slice notation used in the paper's figures.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Extract a single bit of @p value. */
+constexpr std::uint64_t
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** @return A mask with bits [hi:lo] set. */
+constexpr std::uint64_t
+mask(unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    if (width >= 64)
+        return ~std::uint64_t{0} << lo;
+    return ((std::uint64_t{1} << width) - 1) << lo;
+}
+
+/** @return True when @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return floor(log2(value)); @p value must be non-zero. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    return 63 - std::countl_zero(value);
+}
+
+/** @return ceil(log2(value)); @p value must be non-zero. */
+constexpr unsigned
+log2Ceil(std::uint64_t value)
+{
+    return value <= 1 ? 0 : log2Floor(value - 1) + 1;
+}
+
+/** Round @p value up to the next multiple of the power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of the power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace seesaw
+
+#endif // SEESAW_COMMON_BITOPS_HH

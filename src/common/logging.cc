@@ -1,0 +1,51 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace seesaw {
+
+namespace {
+std::atomic<bool> verboseFlag{true};
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    verboseFlag.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+logVerbose()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logMessage(const char *prefix, const char *file, int line,
+           const std::string &msg)
+{
+    if (!logVerbose())
+        return;
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file,
+                 line);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace seesaw

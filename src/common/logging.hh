@@ -1,0 +1,76 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user configuration errors, warn()/inform() for status.
+ */
+
+#ifndef SEESAW_COMMON_LOGGING_HH
+#define SEESAW_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace seesaw {
+
+namespace detail {
+
+/** Emit @p msg with a severity prefix and source location. */
+void logMessage(const char *prefix, const char *file, int line,
+                const std::string &msg);
+
+/** Emit and abort(); used for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit and exit(1); used for invalid user configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Stream-concatenate arbitrary arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Global verbosity switch for inform()/warn(); tests silence output. */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+} // namespace seesaw
+
+/** Invariant violation: a simulator bug. Aborts. */
+#define SEESAW_PANIC(...) \
+    ::seesaw::detail::panicImpl(__FILE__, __LINE__, \
+                                ::seesaw::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error. Exits with status 1. */
+#define SEESAW_FATAL(...) \
+    ::seesaw::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::seesaw::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define SEESAW_WARN(...) \
+    ::seesaw::detail::logMessage("warn", __FILE__, __LINE__, \
+                                 ::seesaw::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define SEESAW_INFORM(...) \
+    ::seesaw::detail::logMessage("info", __FILE__, __LINE__, \
+                                 ::seesaw::detail::concat(__VA_ARGS__))
+
+/** Cheap always-on assertion macro that reports via panic. */
+#define SEESAW_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SEESAW_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // SEESAW_COMMON_LOGGING_HH

@@ -1,0 +1,123 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+
+/** splitmix64: expands a single seed into well-distributed state words. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : s_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    SEESAW_ASSERT(bound > 0, "nextBounded requires bound > 0");
+    // Rejection-free multiply-shift; bias is negligible for our bounds.
+    __uint128_t product = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+void
+Rng::buildZipf(std::uint64_t n, double alpha)
+{
+    zipfN_ = n;
+    zipfAlpha_ = alpha;
+    zipfCdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        zipfCdf_[i] = sum;
+    }
+    for (auto &v : zipfCdf_)
+        v /= sum;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double alpha)
+{
+    SEESAW_ASSERT(n > 0, "nextZipf requires n > 0");
+    if (n != zipfN_ || alpha != zipfAlpha_)
+        buildZipf(n, alpha);
+    const double u = nextDouble();
+    // Binary search for the first CDF entry >= u.
+    std::uint64_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (zipfCdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    const double u = nextDouble();
+    // Inverse-CDF of the exponential, rounded to the nearest integer
+    // (plain truncation would bias the mean low by ~0.5).
+    return static_cast<std::uint64_t>(-mean * std::log1p(-u) + 0.5);
+}
+
+} // namespace seesaw

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All stochastic components of the simulator draw from an explicitly
+ * seeded Rng so that every experiment is reproducible bit-for-bit.
+ */
+
+#ifndef SEESAW_COMMON_RANDOM_HH
+#define SEESAW_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace seesaw {
+
+/**
+ * A small, fast, deterministic generator (xoshiro256**).
+ *
+ * We deliberately avoid std::mt19937 in hot paths: the workload
+ * generators draw hundreds of millions of values per experiment.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x5ee5a3d5eedULL);
+
+    /** @return The next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return A uniform value in [0, bound). @p bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** @return A uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return True with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Sample from a Zipf distribution over {0, .., n-1} with exponent
+     * @p alpha, using a cached CDF built lazily per (n, alpha).
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double alpha);
+
+    /** Sample a geometric-like reuse distance with mean @p mean. */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+
+    // Cached Zipf CDF to avoid rebuilding per sample.
+    std::uint64_t zipfN_ = 0;
+    double zipfAlpha_ = -1.0;
+    std::vector<double> zipfCdf_;
+
+    void buildZipf(std::uint64_t n, double alpha);
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_COMMON_RANDOM_HH

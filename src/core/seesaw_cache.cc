@@ -1,0 +1,186 @@
+#include "core/seesaw_cache.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+SeesawCache::SeesawCache(const SeesawConfig &config,
+                         const LatencyTable &latency)
+    : config_(config),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes,
+            config.assoc / config.partitionWays),
+      tft_(config.tftEntries, config.tftAssoc),
+      slowCycles_(latency.basePageCycles(config.sizeBytes, config.assoc,
+                                         config.freqGhz)),
+      fastCycles_(latency.superpageCycles(config.sizeBytes, config.assoc,
+                                          config.partitionWays,
+                                          config.freqGhz)),
+      tftCycles_(latency.tftCycles(config.freqGhz)),
+      stats_("seesaw")
+{
+    SEESAW_ASSERT(config.assoc % config.partitionWays == 0,
+                  "partition width must divide associativity");
+    // The partition index must sit above the 4KB page offset (so it is
+    // only trusted for superpages) and inside the 2MB page offset.
+    SEESAW_ASSERT(tags_.partitionLowBit() == 12,
+                  "SEESAW requires sets x linesize == 4KB; got partition "
+                  "bit ", tags_.partitionLowBit());
+    if (config.wayPrediction) {
+        predictor_ = std::make_unique<MruWayPredictor>(
+            tags_.numSets(), config.assoc, tags_.numPartitions());
+    }
+}
+
+L1AccessResult
+SeesawCache::access(const L1Access &req)
+{
+    L1AccessResult res;
+    ++stats_.scalar("accesses");
+
+    // The TFT is probed in parallel with set selection (and with the
+    // TLB): honour a pre-TLB probe when the caller supplies one.
+    res.tftHit = req.tftProbe >= 0 ? req.tftProbe == 1
+                                   : tft_.lookup(req.va);
+
+    const bool super_ref = isSuperpage(req.pageSize);
+    if (super_ref) {
+        ++stats_.scalar("superpage_refs");
+        if (!res.tftHit)
+            ++stats_.scalar("superpage_refs_tft_miss");
+    } else {
+        // A TFT hit guarantees a superpage-backed region: entries are
+        // only created from 2MB TLB fills and are invalidated on
+        // splinters and context switches.
+        SEESAW_ASSERT(!res.tftHit, "TFT hit on a base-page access");
+    }
+
+    const unsigned set = tags_.setIndex(req.pa);
+    const unsigned partition = tags_.partitionIndex(req.pa);
+
+    TagLookup look;
+    if (res.tftHit) {
+        // Fast path: the VA's partition bits are page-offset bits, so
+        // they equal the PA's; one partition suffices (Table I rows
+        // 1-2).
+        SEESAW_ASSERT(tags_.partitionIndex(req.va) == partition,
+                      "superpage VA/PA partition bits must agree");
+        look = tags_.lookupPartition(req.pa, partition);
+        res.fastPath = true;
+        res.latencyCycles = fastCycles_;
+        res.waysRead = config_.partitionWays;
+    } else {
+        // Slow path: the speculated partition is read first; the TFT
+        // miss signal triggers a read of the remaining partitions in
+        // the next cycle (Table I rows 3-4). Same latency and energy
+        // as baseline VIPT.
+        look = tags_.lookup(req.pa);
+        res.fastPath = false;
+        res.latencyCycles = slowCycles_;
+        res.waysRead = config_.assoc;
+    }
+
+    // Optional combined way prediction (Section VI-F): SEESAW hands the
+    // predictor the right partition, shrinking both the energised ways
+    // and the misprediction penalty for superpage accesses.
+    if (predictor_) {
+        res.wpUsed = true;
+        const unsigned predicted =
+            res.tftHit ? predictor_->predictInPartition(set, partition)
+                       : predictor_->predict(set);
+        if (look.hit && look.way == predicted) {
+            res.wpCorrect = true;
+            res.waysRead = 1;
+            predictor_->recordOutcome(true);
+        } else {
+            // Mispredict: tags compare in parallel, so only one extra
+            // data-array read (of the correct way) is needed; the
+            // scheduler re-arbitrates with a bubble. SEESAW bounds the
+            // extra read to the partition on the fast path.
+            res.wpCorrect = false;
+            res.latencyCycles += 1;
+            res.waysRead = 2; // predicted way + the correct way
+            res.fastPath = false;
+            predictor_->recordOutcome(false);
+        }
+        if (look.hit)
+            predictor_->update(set, look.way);
+    }
+
+    res.hit = look.hit;
+    if (look.hit) {
+        ++stats_.scalar("hits");
+        if (super_ref && !res.tftHit)
+            ++stats_.scalar("superpage_refs_tft_miss_l1_hit");
+        CacheLine *line = tags_.findLine(req.pa);
+        if (req.type == AccessType::Write)
+            line->state = CoherenceState::Modified;
+        return res;
+    }
+
+    // Miss: install. Under the 4way policy the victim partition is
+    // named by the *physical* address — maintaining the placement
+    // invariant coherence relies on.
+    ++stats_.scalar("misses");
+    if (super_ref && !res.tftHit)
+        ++stats_.scalar("superpage_refs_tft_miss_l1_miss");
+
+    const auto scope = insertScopeFor(req.pageSize);
+    const auto state = req.type == AccessType::Write
+                           ? CoherenceState::Modified
+                           : CoherenceState::Exclusive;
+    res.eviction = tags_.insert(req.pa, scope, state, req.pageSize);
+    res.installWays = scope == SetAssocCache::InsertScope::Partition
+                          ? config_.partitionWays
+                          : config_.assoc;
+    if (predictor_) {
+        const TagLookup filled = tags_.peek(req.pa);
+        SEESAW_ASSERT(filled.hit, "fill must be visible");
+        predictor_->update(set, filled.way);
+    }
+    return res;
+}
+
+L1ProbeResult
+SeesawCache::probe(Addr pa, bool invalidating)
+{
+    L1ProbeResult res;
+    ++stats_.scalar("probes");
+
+    TagLookup look;
+    if (config_.policy == InsertionPolicy::FourWay) {
+        // Placement invariant: the PA names the only partition the
+        // line can live in — every coherence lookup is 4-way.
+        look = tags_.lookupPartition(pa, tags_.partitionIndex(pa));
+        res.waysRead = config_.partitionWays;
+    } else {
+        // 4way-8way sacrifices this: base-page lines can sit anywhere
+        // in the set, so probes must energise every way.
+        look = tags_.lookup(pa);
+        res.waysRead = config_.assoc;
+    }
+
+    if (!look.hit)
+        return res;
+    res.hit = true;
+    ++stats_.scalar("probe_hits");
+    CacheLine *line = tags_.findLine(pa);
+    res.wasDirty = isDirtyState(line->state);
+    if (invalidating) {
+        line->valid = false;
+        line->state = CoherenceState::Invalid;
+    } else {
+        line->state = res.wasDirty ? CoherenceState::Owned
+                                   : CoherenceState::Shared;
+    }
+    return res;
+}
+
+unsigned
+SeesawCache::sweepRegion(Addr pa_base, std::uint64_t bytes)
+{
+    const unsigned evicted = tags_.sweepRegion(pa_base, bytes);
+    stats_.scalar("sweep_evictions") += evicted;
+    return evicted;
+}
+
+} // namespace seesaw

@@ -1,0 +1,56 @@
+#include "cpu/cpu_model.hh"
+
+namespace seesaw {
+
+CpuParams
+CpuParams::sandybridge()
+{
+    CpuParams p;
+    p.issueWidth = 4;
+    p.robEntries = 168;
+    p.schedEntries = 54;
+    p.squashPenaltyCycles = 9;
+    p.missOverlapFraction = 0.55;
+    return p;
+}
+
+CpuParams
+CpuParams::atom()
+{
+    CpuParams p;
+    p.issueWidth = 2;
+    p.robEntries = 0;  // in-order: no reorder buffer
+    p.schedEntries = 0;
+    p.squashPenaltyCycles = 0; // no speculative scheduling to replay
+    p.missOverlapFraction = 0.0;
+    p.inorderMissOverlap = 0.10;
+    return p;
+}
+
+CpuModel::CpuModel(const CpuParams &params, std::string name)
+    : params_(params), stats_(std::move(name))
+{
+}
+
+void
+CpuModel::chargeSquashIfNeeded(unsigned actual_cycles,
+                               unsigned assumed_cycles,
+                               bool late_discovery)
+{
+    if (actual_cycles <= assumed_cycles ||
+        params_.squashPenaltyCycles == 0) {
+        return;
+    }
+    if (late_discovery) {
+        cycles_ += params_.squashPenaltyCycles;
+        ++squashes_;
+        ++stats_.scalar("squashes");
+    } else {
+        // Early discovery (e.g., the TFT miss signal): the scheduler
+        // cancels the speculative wakeup and re-arbitrates.
+        cycles_ += 1;
+        ++stats_.scalar("reschedule_bubbles");
+    }
+}
+
+} // namespace seesaw

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Core timing models: an in-order Atom-like core and an out-of-order
+ * Sandybridge-like core (Table II).
+ *
+ * These are throughput models, not pipeline simulators: they charge
+ * cycles for committed instructions and memory accesses, capturing the
+ * effects the paper's evaluation depends on — (i) in-order cores
+ * expose the full L1 hit latency while out-of-order cores hide part of
+ * it, and (ii) speculative scheduling replays (squashes) when a
+ * variable-latency L1 misses the latency the scheduler assumed
+ * (Section IV-B3).
+ */
+
+#ifndef SEESAW_CPU_CPU_MODEL_HH
+#define SEESAW_CPU_CPU_MODEL_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace seesaw {
+
+/** Timing of one memory access as seen by the core. */
+struct MemTiming
+{
+    bool hit = false;
+    unsigned lookupCycles = 0;  //!< L1 lookup latency
+    unsigned missPenalty = 0;   //!< outer-hierarchy cycles (0 on hit)
+    unsigned assumedCycles = 0; //!< latency the scheduler assumed
+
+    /** The true latency was discovered after the speculative wakeup
+     *  (miss, WP mispredict): exceeding the assumption costs a full
+     *  squash-and-replay. Early discoveries (the TFT miss signal
+     *  arrives in a quarter cycle) only cost a scheduler bubble. */
+    bool lateDiscovery = false;
+};
+
+/** Core microarchitecture parameters. */
+struct CpuParams
+{
+    unsigned issueWidth = 4;
+    unsigned robEntries = 168;       //!< Sandybridge (Table II)
+    unsigned schedEntries = 54;
+    unsigned squashPenaltyCycles = 9; //!< replay after a mis-scheduled load
+
+    /**
+     * Exposure coefficient of L1 hit latency: the pipeline exposes
+     * k * x / (1 + x / L) cycles per access, where x = latency - 1.
+     * Exposure starts linear (every extra cycle of a short hit delays
+     * dependents) and saturates at k*L (the window hides most of a
+     * very long 128KB VIPT hit) — which is exactly the gap SEESAW
+     * closes (Table III).
+     */
+    double l1ExposureFactor = 0.10;
+
+    /** Saturation constant L of the exposure curve (cycles). */
+    double l1ExposureSaturation = 4.5;
+
+    /** Fraction of the miss penalty hidden by memory-level
+     *  parallelism and the ROB. */
+    double missOverlapFraction = 0.55;
+
+    /** In-order: small non-blocking-cache overlap on misses. */
+    double inorderMissOverlap = 0.10;
+
+    /** In-order exposure coefficient (same law, larger k and a more
+     *  linear curve): only compiler scheduling and the second issue
+     *  slot cover load-to-use latency — the reason SEESAW's latency
+     *  cut is worth more on in-order cores (Fig 9). */
+    double inorderL1ExposureFactor = 0.26;
+
+    /** In-order saturation constant (cycles). */
+    double inorderL1ExposureSaturation = 4.5;
+
+    /** Exposed cycles of an L1 hit of @p lookup_cycles. */
+    static double
+    exposedHitCycles(unsigned lookup_cycles, double k, double sat)
+    {
+        if (lookup_cycles <= 1)
+            return 0.0;
+        const double x = static_cast<double>(lookup_cycles - 1);
+        return k * x / (1.0 + x / sat);
+    }
+
+    /** ~Intel Sandybridge OoO core (Table II). */
+    static CpuParams sandybridge();
+
+    /** ~Intel Atom in-order core: dual-issue, 16-stage (Table II). */
+    static CpuParams atom();
+};
+
+/**
+ * Abstract core timing model.
+ */
+class CpuModel
+{
+  public:
+    explicit CpuModel(const CpuParams &params, std::string name);
+    virtual ~CpuModel() = default;
+
+    /** Charge @p count non-memory instructions. */
+    virtual void retireNonMemory(std::uint64_t count) = 0;
+
+    /** Charge one memory access. */
+    virtual void retireMemory(const MemTiming &timing) = 0;
+
+    /** Add raw stall cycles (TLB shootdowns, cache sweeps, ...). */
+    void
+    addStallCycles(Cycles cycles)
+    {
+        cycles_ += cycles;
+    }
+
+    Cycles cycles() const { return cycles_; }
+    std::uint64_t squashes() const { return squashes_; }
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** Zero the timing counters (end of a warmup phase). */
+    void
+    resetCounters()
+    {
+        cycles_ = 0;
+        fractionalCycles_ = 0.0;
+        instructions_ = 0;
+        squashes_ = 0;
+        stats_.resetAll();
+    }
+
+    double
+    ipc() const
+    {
+        return cycles_ ? static_cast<double>(instructions_) /
+                             static_cast<double>(cycles_)
+                       : 0.0;
+    }
+
+    const CpuParams &params() const { return params_; }
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  protected:
+    CpuParams params_;
+    Cycles cycles_ = 0;
+    double fractionalCycles_ = 0.0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t squashes_ = 0;
+    StatGroup stats_;
+
+    /** Charge for exceeding the scheduler's latency assumption: a
+     *  full squash-and-replay when discovered late, a one-cycle
+     *  re-arbitration bubble when discovered early. */
+    void chargeSquashIfNeeded(unsigned actual_cycles,
+                              unsigned assumed_cycles,
+                              bool late_discovery);
+};
+
+/**
+ * Dual-issue in-order core: memory latency is exposed in full.
+ */
+class InOrderCore : public CpuModel
+{
+  public:
+    explicit InOrderCore(const CpuParams &params = CpuParams::atom());
+
+    void retireNonMemory(std::uint64_t count) override;
+    void retireMemory(const MemTiming &timing) override;
+};
+
+/**
+ * Out-of-order core: hides part of the hit latency and overlaps
+ * misses, but pays replay penalties on mis-scheduled loads.
+ */
+class OoOCore : public CpuModel
+{
+  public:
+    explicit OoOCore(const CpuParams &params = CpuParams::sandybridge());
+
+    void retireNonMemory(std::uint64_t count) override;
+    void retireMemory(const MemTiming &timing) override;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_CPU_CPU_MODEL_HH

@@ -1,0 +1,43 @@
+#include "cpu/cpu_model.hh"
+
+namespace seesaw {
+
+InOrderCore::InOrderCore(const CpuParams &params)
+    : CpuModel(params, "inorder")
+{
+}
+
+void
+InOrderCore::retireNonMemory(std::uint64_t count)
+{
+    instructions_ += count;
+    // Dual-issue: non-memory work retires issueWidth per cycle.
+    cycles_ += (count + params_.issueWidth - 1) / params_.issueWidth;
+}
+
+void
+InOrderCore::retireMemory(const MemTiming &timing)
+{
+    ++instructions_;
+    // The in-order pipeline exposes much more of the load-to-use
+    // latency than an OoO window: only compiler scheduling and the
+    // second issue slot cover any of it.
+    const double exposed_hit =
+        1.0 + CpuParams::exposedHitCycles(
+                  timing.lookupCycles, params_.inorderL1ExposureFactor,
+                  params_.inorderL1ExposureSaturation);
+    fractionalCycles_ += exposed_hit;
+    const auto whole = static_cast<Cycles>(fractionalCycles_);
+    fractionalCycles_ -= static_cast<double>(whole);
+    cycles_ += whole;
+    if (!timing.hit) {
+        const double exposed =
+            timing.missPenalty * (1.0 - params_.inorderMissOverlap);
+        cycles_ += static_cast<Cycles>(exposed);
+        ++stats_.scalar("miss_stalls");
+    }
+    // In-order issue has no speculative wakeup, hence no squashes —
+    // this is why SEESAW's latency benefit is larger here (Fig 9).
+}
+
+} // namespace seesaw

@@ -1,0 +1,49 @@
+#include "cpu/cpu_model.hh"
+
+namespace seesaw {
+
+OoOCore::OoOCore(const CpuParams &params) : CpuModel(params, "ooo") {}
+
+void
+OoOCore::retireNonMemory(std::uint64_t count)
+{
+    instructions_ += count;
+    fractionalCycles_ +=
+        static_cast<double>(count) / params_.issueWidth;
+    const auto whole = static_cast<Cycles>(fractionalCycles_);
+    fractionalCycles_ -= static_cast<double>(whole);
+    cycles_ += whole;
+}
+
+void
+OoOCore::retireMemory(const MemTiming &timing)
+{
+    ++instructions_;
+
+    // The scheduler speculatively wakes dependents at the assumed
+    // latency; arriving later than assumed forces a squash-and-replay
+    // (Section IV-B3). This applies to slow SEESAW hits under a fast
+    // assumption, to way-predictor mispredicts, and to plain misses.
+    const unsigned actual = timing.lookupCycles + timing.missPenalty;
+    chargeSquashIfNeeded(actual, timing.assumedCycles,
+                         timing.lateDiscovery);
+
+    // Hit latency: the first cycle pipelines under issue; the window
+    // hides most of the remainder, sub-linearly in the latency.
+    fractionalCycles_ += CpuParams::exposedHitCycles(
+        timing.lookupCycles, params_.l1ExposureFactor,
+        params_.l1ExposureSaturation);
+
+    // Miss penalty: partially overlapped by MLP within the ROB window.
+    if (!timing.hit) {
+        fractionalCycles_ +=
+            timing.missPenalty * (1.0 - params_.missOverlapFraction);
+        ++stats_.scalar("miss_stalls");
+    }
+
+    const auto whole = static_cast<Cycles>(fractionalCycles_);
+    fractionalCycles_ -= static_cast<double>(whole);
+    cycles_ += whole;
+}
+
+} // namespace seesaw

@@ -1,0 +1,185 @@
+#include "mem/buddy_allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t mem_bytes)
+    : totalFrames_(mem_bytes >> kFrameBits),
+      freeLists_(kMaxOrder + 1),
+      frameFree_(totalFrames_, false)
+{
+    SEESAW_ASSERT(totalFrames_ > 0, "empty physical memory");
+
+    // Seed the free lists by carving memory into maximal aligned blocks.
+    std::uint64_t frame = 0;
+    while (frame < totalFrames_) {
+        unsigned order = kMaxOrder;
+        while (order > 0 &&
+               ((frame & ((std::uint64_t{1} << order) - 1)) != 0 ||
+                frame + (std::uint64_t{1} << order) > totalFrames_)) {
+            --order;
+        }
+        insertBlock(frame, order);
+        markRange(frame, order, true);
+        freeFrames_ += std::uint64_t{1} << order;
+        frame += std::uint64_t{1} << order;
+    }
+}
+
+void
+BuddyAllocator::markRange(std::uint64_t frame, unsigned order,
+                          bool free_state)
+{
+    const std::uint64_t count = std::uint64_t{1} << order;
+    for (std::uint64_t i = 0; i < count; ++i)
+        frameFree_[frame + i] = free_state;
+}
+
+void
+BuddyAllocator::insertBlock(std::uint64_t frame, unsigned order)
+{
+    auto [it, inserted] = freeLists_[order].insert(frame);
+    SEESAW_ASSERT(inserted, "double insert of free block ", frame);
+}
+
+void
+BuddyAllocator::removeBlock(std::uint64_t frame, unsigned order)
+{
+    const auto erased = freeLists_[order].erase(frame);
+    SEESAW_ASSERT(erased == 1, "free block not found ", frame);
+}
+
+std::optional<std::uint64_t>
+BuddyAllocator::allocate(unsigned order)
+{
+    SEESAW_ASSERT(order <= kMaxOrder, "order too large: ", order);
+
+    unsigned have = order;
+    while (have <= kMaxOrder && freeLists_[have].empty())
+        ++have;
+    if (have > kMaxOrder)
+        return std::nullopt;
+
+    std::uint64_t frame = *freeLists_[have].begin();
+    removeBlock(frame, have);
+
+    // Split down to the requested order, returning upper halves to the
+    // free lists.
+    while (have > order) {
+        --have;
+        insertBlock(frame + (std::uint64_t{1} << have), have);
+    }
+
+    markRange(frame, order, false);
+    freeFrames_ -= std::uint64_t{1} << order;
+    return frame;
+}
+
+std::optional<std::pair<std::uint64_t, unsigned>>
+BuddyAllocator::findContainingFreeBlock(std::uint64_t frame,
+                                        unsigned min_order) const
+{
+    for (unsigned order = min_order; order <= kMaxOrder; ++order) {
+        const std::uint64_t start =
+            frame & ~((std::uint64_t{1} << order) - 1);
+        if (freeLists_[order].count(start))
+            return std::make_pair(start, order);
+    }
+    return std::nullopt;
+}
+
+bool
+BuddyAllocator::allocateSpecific(std::uint64_t frame, unsigned order)
+{
+    SEESAW_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    SEESAW_ASSERT((frame & ((std::uint64_t{1} << order) - 1)) == 0,
+                  "unaligned specific allocation");
+    if (frame + (std::uint64_t{1} << order) > totalFrames_)
+        return false;
+
+    auto block = findContainingFreeBlock(frame, order);
+    if (!block)
+        return false;
+
+    auto [start, have] = *block;
+    removeBlock(start, have);
+
+    // Split the containing block, keeping only the requested sub-block.
+    while (have > order) {
+        --have;
+        const std::uint64_t half = std::uint64_t{1} << have;
+        if (frame < start + half) {
+            insertBlock(start + half, have);
+        } else {
+            insertBlock(start, have);
+            start += half;
+        }
+    }
+    SEESAW_ASSERT(start == frame, "buddy split logic error");
+
+    markRange(frame, order, false);
+    freeFrames_ -= std::uint64_t{1} << order;
+    return true;
+}
+
+void
+BuddyAllocator::free(std::uint64_t frame, unsigned order)
+{
+    SEESAW_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    SEESAW_ASSERT((frame & ((std::uint64_t{1} << order) - 1)) == 0,
+                  "unaligned free");
+    SEESAW_ASSERT(!frameFree_[frame], "double free of frame ", frame);
+
+    markRange(frame, order, true);
+    freeFrames_ += std::uint64_t{1} << order;
+
+    // Coalesce with free buddies as far as possible.
+    while (order < kMaxOrder) {
+        const std::uint64_t buddy = buddyOf(frame, order);
+        if (buddy + (std::uint64_t{1} << order) > totalFrames_ ||
+            !freeLists_[order].count(buddy)) {
+            break;
+        }
+        removeBlock(buddy, order);
+        frame = std::min(frame, buddy);
+        ++order;
+    }
+    insertBlock(frame, order);
+}
+
+bool
+BuddyAllocator::isFrameFree(std::uint64_t frame) const
+{
+    SEESAW_ASSERT(frame < totalFrames_, "frame out of range");
+    return frameFree_[frame];
+}
+
+std::size_t
+BuddyAllocator::freeBlocksAt(unsigned order) const
+{
+    SEESAW_ASSERT(order <= kMaxOrder, "order too large");
+    return freeLists_[order].size();
+}
+
+std::uint64_t
+BuddyAllocator::freeFramesAtOrAbove(unsigned order) const
+{
+    std::uint64_t frames = 0;
+    for (unsigned o = order; o <= kMaxOrder; ++o)
+        frames += freeLists_[o].size() * (std::uint64_t{1} << o);
+    return frames;
+}
+
+double
+BuddyAllocator::fragmentationIndex(unsigned order) const
+{
+    if (freeFrames_ == 0)
+        return 1.0;
+    const double high = static_cast<double>(freeFramesAtOrAbove(order));
+    return 1.0 - high / static_cast<double>(freeFrames_);
+}
+
+} // namespace seesaw

@@ -1,0 +1,78 @@
+#include "mem/memhog.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+Memhog::Memhog(OsMemoryManager &os, MemhogParams params)
+    : os_(os), params_(params), rng_(params.seed)
+{
+}
+
+void
+Memhog::consume(double fraction)
+{
+    SEESAW_ASSERT(!consumed_, "Memhog::consume called twice");
+    consumed_ = true;
+    if (fraction <= 0.0)
+        return;
+    fraction = std::min(fraction, 0.95);
+
+    const std::uint64_t total = os_.buddy().totalFrames();
+    const auto keep = static_cast<std::uint64_t>(total * fraction);
+    const auto overshoot =
+        static_cast<std::uint64_t>(keep * (1.0 + params_.churn));
+
+    // Phase 1: grab frames greedily (buddy hands them out compactly).
+    std::vector<std::uint64_t> grabbed;
+    grabbed.reserve(overshoot);
+    for (std::uint64_t i = 0; i < overshoot; ++i) {
+        auto frame = os_.allocateRawFrame(/*movable=*/true);
+        if (!frame)
+            break;
+        grabbed.push_back(*frame);
+    }
+
+    // Phase 2: free run-structured random stretches until only `keep`
+    // frames remain, scattering holes across page-blocks.
+    std::uint64_t held = grabbed.size();
+    std::vector<bool> freed(grabbed.size(), false);
+    while (held > keep) {
+        const std::uint64_t start = rng_.nextBounded(grabbed.size());
+        std::uint64_t run =
+            1 + rng_.nextGeometric(params_.meanFreeRunLength);
+        for (std::uint64_t i = start;
+             i < grabbed.size() && run > 0 && held > keep; ++i) {
+            if (freed[i])
+                continue;
+            os_.freeRawFrame(grabbed[i]);
+            freed[i] = true;
+            --held;
+            --run;
+        }
+    }
+
+    // Phase 3: retain the rest; pin a small random fraction in place.
+    held_.clear();
+    for (std::uint64_t i = 0; i < grabbed.size(); ++i) {
+        if (freed[i])
+            continue;
+        held_.push_back(grabbed[i]);
+    }
+    for (auto frame : held_) {
+        if (rng_.chance(params_.pinnedProbability))
+            os_.pinRawFrame(frame);
+    }
+}
+
+void
+Memhog::release()
+{
+    for (auto frame : held_)
+        os_.freeRawFrame(frame);
+    held_.clear();
+}
+
+} // namespace seesaw

@@ -1,0 +1,115 @@
+#include "model/energy_model.hh"
+
+namespace seesaw {
+
+EnergyModel::EnergyModel(const SramModel &sram, EnergyParams params)
+    : sram_(sram), params_(params)
+{
+}
+
+void
+EnergyModel::addL1Lookup(std::uint64_t size_bytes, unsigned assoc,
+                         unsigned ways_read, bool coherent)
+{
+    // ways_read beyond the associativity means repeated set accesses
+    // (e.g., a SIPT mispeculation replaying at the correct index).
+    double nj = 0.0;
+    while (ways_read > assoc) {
+        nj += sram_.accessEnergyNj(size_bytes, assoc);
+        ways_read -= assoc;
+    }
+    nj += sram_.lookupEnergyNj(size_bytes, assoc, ways_read);
+    if (coherent)
+        l1CoherenceDynamicNj_ += nj;
+    else
+        l1CpuDynamicNj_ += nj;
+}
+
+void
+EnergyModel::addLineInstall(unsigned ways_tracked)
+{
+    l1CpuDynamicNj_ += params_.lineInstallPerWayNj * ways_tracked;
+}
+
+void
+EnergyModel::addL2Access()
+{
+    outerNj_ += params_.l2AccessNj;
+}
+
+void
+EnergyModel::addLlcAccess()
+{
+    outerNj_ += params_.llcAccessNj;
+}
+
+void
+EnergyModel::addDramAccess()
+{
+    outerNj_ += params_.dramAccessNj;
+}
+
+void
+EnergyModel::addL1TlbLookup()
+{
+    translationNj_ += params_.l1TlbLookupNj;
+}
+
+void
+EnergyModel::addL2TlbLookup()
+{
+    translationNj_ += params_.l2TlbLookupNj;
+}
+
+void
+EnergyModel::addTftLookup()
+{
+    translationNj_ += params_.tftLookupNj;
+}
+
+void
+EnergyModel::addWayPredictorLookup()
+{
+    translationNj_ += params_.wayPredictorLookupNj;
+}
+
+void
+EnergyModel::addPageWalk()
+{
+    translationNj_ += params_.pageWalkNj;
+}
+
+void
+EnergyModel::addL1Leakage(std::uint64_t size_bytes, std::uint64_t cycles,
+                          double freq_ghz)
+{
+    // power (mW) * time (ns) = pJ; convert to nJ.
+    const double ns = static_cast<double>(cycles) / freq_ghz;
+    l1LeakageNj_ += sram_.leakagePowerMw(size_bytes) * ns * 1e-3;
+}
+
+void
+EnergyModel::addBackground(std::uint64_t cycles, double freq_ghz)
+{
+    const double ns = static_cast<double>(cycles) / freq_ghz;
+    outerNj_ += params_.backgroundPowerMw * ns * 1e-3;
+}
+
+double
+EnergyModel::totalNj() const
+{
+    return l1CpuDynamicNj_ + l1CoherenceDynamicNj_ + l1LeakageNj_ +
+           outerNj_ + translationNj_;
+}
+
+void
+EnergyModel::reset()
+{
+    l1CpuDynamicNj_ = 0.0;
+    l1CoherenceDynamicNj_ = 0.0;
+    l1LeakageNj_ = 0.0;
+    outerNj_ = 0.0;
+    translationNj_ = 0.0;
+}
+
+} // namespace seesaw

@@ -1,0 +1,83 @@
+#include "model/latency_table.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+constexpr std::uint64_t kKB = 1024;
+} // namespace
+
+LatencyTable::LatencyTable(TechNode node) : sram_(node)
+{
+    // Table III of the paper, verbatim.
+    rows_ = {
+        {32 * kKB, 8, 1.33, 1, 2, 1},
+        {32 * kKB, 8, 2.80, 1, 4, 2},
+        {32 * kKB, 8, 4.00, 1, 5, 3},
+        {64 * kKB, 16, 1.33, 1, 5, 1},
+        {64 * kKB, 16, 2.80, 1, 9, 2},
+        {64 * kKB, 16, 4.00, 1, 13, 3},
+        {128 * kKB, 32, 1.33, 1, 14, 2},
+        {128 * kKB, 32, 2.80, 1, 30, 3},
+        {128 * kKB, 32, 4.00, 1, 42, 4},
+    };
+}
+
+std::optional<LatencyConfig>
+LatencyTable::find(std::uint64_t size_bytes, unsigned assoc,
+                   double freq_ghz) const
+{
+    for (const auto &row : rows_) {
+        if (row.sizeBytes == size_bytes && row.assoc == assoc &&
+            std::abs(row.freqGhz - freq_ghz) < 1e-6) {
+            return row;
+        }
+    }
+    return std::nullopt;
+}
+
+unsigned
+LatencyTable::basePageCycles(std::uint64_t size_bytes, unsigned assoc,
+                             double freq_ghz) const
+{
+    if (auto row = find(size_bytes, assoc, freq_ghz))
+        return row->basePageCycles;
+    return sram_.accessLatencyCycles(size_bytes, assoc, freq_ghz);
+}
+
+unsigned
+LatencyTable::superpageCycles(std::uint64_t size_bytes, unsigned assoc,
+                              unsigned partition_ways,
+                              double freq_ghz) const
+{
+    SEESAW_ASSERT(partition_ways >= 1 && partition_ways <= assoc,
+                  "bad partition width");
+    if (partition_ways == assoc)
+        return basePageCycles(size_bytes, assoc, freq_ghz);
+    if (auto row = find(size_bytes, assoc, freq_ghz))
+        return row->superpageCycles;
+    const std::uint64_t slice = size_bytes * partition_ways / assoc;
+    return sram_.accessLatencyCycles(slice, partition_ways, freq_ghz);
+}
+
+unsigned
+LatencyTable::tftCycles(double freq_ghz) const
+{
+    // The 86-byte TFT answers in about a quarter of the 1.33GHz cycle
+    // time; it stays a single cycle at every evaluated frequency.
+    (void)freq_ghz;
+    return 1;
+}
+
+unsigned
+LatencyTable::piptCycles(std::uint64_t size_bytes, unsigned assoc,
+                         double freq_ghz, unsigned tlb_cycles) const
+{
+    return tlb_cycles +
+           sram_.accessLatencyCycles(size_bytes, assoc, freq_ghz);
+}
+
+} // namespace seesaw

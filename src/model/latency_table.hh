@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's Table III: calibrated L1 access latencies (in cycles) for
+ * the nine evaluated (cache size, frequency) configurations, for both
+ * base-page (full-set) and superpage (single-partition) lookups, plus
+ * the single-cycle TFT access.
+ *
+ * Configurations outside the table fall back to the analytical
+ * SramModel so that arbitrary design-space sweeps (e.g., Fig 14's PIPT
+ * alternatives) remain possible.
+ */
+
+#ifndef SEESAW_MODEL_LATENCY_TABLE_HH
+#define SEESAW_MODEL_LATENCY_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/sram_model.hh"
+
+namespace seesaw {
+
+/** One row of the paper's Table III. */
+struct LatencyConfig
+{
+    std::uint64_t sizeBytes;  //!< total L1 capacity
+    unsigned assoc;           //!< baseline VIPT associativity
+    double freqGhz;           //!< core operating frequency
+    unsigned tftCycles;       //!< TFT lookup latency
+    unsigned basePageCycles;  //!< full-set (baseline VIPT) hit latency
+    unsigned superpageCycles; //!< single-partition (SEESAW) hit latency
+};
+
+/**
+ * Latency oracle combining Table III with the analytical model.
+ */
+class LatencyTable
+{
+  public:
+    explicit LatencyTable(TechNode node = TechNode::Intel22);
+
+    /** @return The Table III row matching the config, if present. */
+    std::optional<LatencyConfig> find(std::uint64_t size_bytes,
+                                      unsigned assoc,
+                                      double freq_ghz) const;
+
+    /**
+     * Baseline VIPT hit latency in cycles; Table III when available,
+     * otherwise the analytical model.
+     */
+    unsigned basePageCycles(std::uint64_t size_bytes, unsigned assoc,
+                            double freq_ghz) const;
+
+    /**
+     * SEESAW fast-path (superpage, TFT hit) latency in cycles: the
+     * latency of one partition of @p partition_ways ways.
+     */
+    unsigned superpageCycles(std::uint64_t size_bytes, unsigned assoc,
+                             unsigned partition_ways,
+                             double freq_ghz) const;
+
+    /** TFT lookup latency in cycles (single cycle at all evaluated
+     *  frequencies; roughly a quarter cycle at 1.33GHz). */
+    unsigned tftCycles(double freq_ghz) const;
+
+    /**
+     * PIPT hit latency: TLB lookup serialised before a full-set cache
+     * read (used for Fig 14's alternative designs).
+     */
+    unsigned piptCycles(std::uint64_t size_bytes, unsigned assoc,
+                        double freq_ghz, unsigned tlb_cycles) const;
+
+    /** All Table III rows, in the paper's order. */
+    const std::vector<LatencyConfig> &rows() const { return rows_; }
+
+    const SramModel &sram() const { return sram_; }
+
+  private:
+    SramModel sram_;
+    std::vector<LatencyConfig> rows_;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_MODEL_LATENCY_TABLE_HH

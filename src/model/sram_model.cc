@@ -1,0 +1,124 @@
+#include "model/sram_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+
+// Latency multiplier per associativity doubling (paper: 10-25%).
+constexpr double kLatencyPerAssocStep = 1.20;
+
+// Energy multiplier per associativity doubling (paper: 40-50%).
+constexpr double kEnergyPerAssocStep = 1.45;
+
+// Partition-mux overhead measured by the paper's RTL study: +0.41%.
+constexpr double kPartitionMuxOverhead = 1.0041;
+
+} // namespace
+
+SramModel::SramModel(TechNode node) : node_(node)
+{
+    // The paper reports absolute L1 access times shrinking 3% from 32nm
+    // to 22nm and 17% to 14nm while relative trends stay unchanged.
+    // Our baselines are calibrated at 22nm.
+    switch (node) {
+      case TechNode::Tsmc28:
+        latencyScale_ = 1.03;
+        energyScale_ = 1.10;
+        break;
+      case TechNode::Intel22:
+        latencyScale_ = 1.0;
+        energyScale_ = 1.0;
+        break;
+      case TechNode::Intel14:
+        latencyScale_ = 0.86;
+        energyScale_ = 0.72;
+        break;
+      default:
+        SEESAW_PANIC("unknown tech node");
+    }
+}
+
+double
+SramModel::directMappedLatencyNs(std::uint64_t size_bytes) const
+{
+    SEESAW_ASSERT(size_bytes >= 1024, "cache too small: ", size_bytes);
+    // Wordline/bitline delay grows with the square root of capacity;
+    // anchored at 1.0ns for a direct-mapped 32KB array at 22nm.
+    const double kb = static_cast<double>(size_bytes) / 1024.0;
+    return latencyScale_ * (0.45 + 0.55 * std::sqrt(kb / 32.0));
+}
+
+double
+SramModel::directMappedEnergyNj(std::uint64_t size_bytes) const
+{
+    const double kb = static_cast<double>(size_bytes) / 1024.0;
+    // Anchored at 16.5pJ for a direct-mapped 32KB array (a latency-
+    // optimised array, per Fig 2c). The capacity
+    // exponent (0.193) is calibrated so that a 4-way partition read in
+    // a 32KB 8-way cache costs 39.43% less than the full 8-way access
+    // — the paper's RTL measurement (§IV-A4). Lookup energy is
+    // dominated by the ways read, not the rows behind them.
+    return energyScale_ * 0.0165 * std::pow(kb / 32.0, 0.193);
+}
+
+double
+SramModel::accessLatencyNs(std::uint64_t size_bytes, unsigned assoc) const
+{
+    SEESAW_ASSERT(assoc >= 1 && isPowerOfTwo(assoc),
+                  "associativity must be a power of two: ", assoc);
+    const unsigned steps = log2Floor(assoc);
+    return directMappedLatencyNs(size_bytes) *
+           std::pow(kLatencyPerAssocStep, steps);
+}
+
+double
+SramModel::accessEnergyNj(std::uint64_t size_bytes, unsigned assoc) const
+{
+    SEESAW_ASSERT(assoc >= 1 && isPowerOfTwo(assoc),
+                  "associativity must be a power of two: ", assoc);
+    const unsigned steps = log2Floor(assoc);
+    return directMappedEnergyNj(size_bytes) *
+           std::pow(kEnergyPerAssocStep, steps);
+}
+
+double
+SramModel::lookupEnergyNj(std::uint64_t size_bytes, unsigned assoc,
+                          unsigned ways_read) const
+{
+    SEESAW_ASSERT(ways_read >= 1 && ways_read <= assoc,
+                  "ways_read out of range: ", ways_read, "/", assoc);
+    if (ways_read == assoc)
+        return accessEnergyNj(size_bytes, assoc);
+
+    // A partial lookup reads ways_read ways out of assoc: it behaves like
+    // the proportionally smaller array, plus the partition-mux overhead.
+    const std::uint64_t slice_bytes = size_bytes * ways_read / assoc;
+    return accessEnergyNj(slice_bytes, ways_read) * kPartitionMuxOverhead;
+}
+
+double
+SramModel::leakagePowerMw(std::uint64_t size_bytes) const
+{
+    const double kb = static_cast<double>(size_bytes) / 1024.0;
+    // ~1mW leakage for a 32KB array at 22nm, linear in capacity.
+    return energyScale_ * 1.0 * (kb / 32.0);
+}
+
+unsigned
+SramModel::accessLatencyCycles(std::uint64_t size_bytes, unsigned assoc,
+                               double freq_ghz) const
+{
+    SEESAW_ASSERT(freq_ghz > 0.0, "frequency must be positive");
+    const double ns = accessLatencyNs(size_bytes, assoc);
+    const auto cycles =
+        static_cast<unsigned>(std::ceil(ns * freq_ghz - 1e-9));
+    return std::max(1u, cycles);
+}
+
+} // namespace seesaw

@@ -1,0 +1,86 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+TableReporter::TableReporter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SEESAW_ASSERT(!headers_.empty(), "table needs headers");
+}
+
+void
+TableReporter::addRow(std::vector<std::string> cells)
+{
+    SEESAW_ASSERT(cells.size() == headers_.size(),
+                  "row width mismatch: ", cells.size(), " vs ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TableReporter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TableReporter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TableReporter::fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TableReporter::pct(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, value);
+    return buf;
+}
+
+void
+printBanner(const std::string &experiment_id, const std::string &caption)
+{
+    std::printf("\n=== %s — %s ===\n\n", experiment_id.c_str(),
+                caption.c_str());
+}
+
+} // namespace seesaw

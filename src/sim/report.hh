@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench binaries, so each bench can
+ * print the same rows/series the paper's tables and figures report.
+ */
+
+#ifndef SEESAW_SIM_REPORT_HH
+#define SEESAW_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace seesaw {
+
+/**
+ * A fixed-column text table with automatic width computation.
+ */
+class TableReporter
+{
+  public:
+    explicit TableReporter(std::vector<std::string> headers);
+
+    /** Append a row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p decimals places. */
+    static std::string fmt(double value, int decimals = 2);
+
+    /** Format a percentage with a trailing %%. */
+    static std::string pct(double value, int decimals = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner (figure/table id + caption). */
+void printBanner(const std::string &experiment_id,
+                 const std::string &caption);
+
+} // namespace seesaw
+
+#endif // SEESAW_SIM_REPORT_HH

@@ -1,0 +1,601 @@
+#include "sim/system.hh"
+
+#include "cache/sipt_cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+System::System(const SystemConfig &config, const WorkloadSpec &workload)
+    : config_(config), workload_(workload), latency_(TechNode::Intel22),
+      eventRng_(config.seed ^ 0xe7e27ULL)
+{
+    energy_ = std::make_unique<EnergyModel>(latency_.sram());
+
+    // --- OS and physical memory. Fragment first (long-uptime host),
+    // then map the workload's footprint.
+    OsParams os_params = config_.os;
+    os_params.seed ^= config_.seed;
+    os_ = std::make_unique<OsMemoryManager>(os_params);
+    memhog_ = std::make_unique<Memhog>(*os_, config_.memhog);
+    memhog_->consume(config_.memhogFraction);
+
+    asid_ = os_->createProcess();
+    heapBase_ = Addr{1} << 40; // 1GB-aligned heap base
+    if (config_.useOneGbHeap) {
+        // §IV generalisation: back the heap with 1GB pages where the
+        // allocator can find gigabyte contiguity, THP elsewhere.
+        const Addr gb = Addr{1} << 30;
+        Addr off = 0;
+        while (off < workload_.footprintBytes &&
+               os_->mapOneGbPage(asid_, heapBase_ + off)) {
+            off += gb;
+        }
+        if (off < workload_.footprintBytes) {
+            os_->mapAnonymous(asid_, heapBase_ + off,
+                              workload_.footprintBytes - off,
+                              workload_.thpEligibleFraction);
+        }
+    } else {
+        os_->mapAnonymous(asid_, heapBase_, workload_.footprintBytes,
+                          workload_.thpEligibleFraction);
+    }
+
+    // --- TLBs (preset follows the core model, Table II; optionally a
+    // unified fully-associative L1, which SEESAW supports equally).
+    TlbHierarchyParams tlb_params =
+        config_.coreKind == CoreKind::InOrder
+            ? TlbHierarchyParams::atom()
+            : TlbHierarchyParams::sandybridge();
+    if (config_.unifiedL1Tlb) {
+        tlb_params.unifiedL1 = true;
+        tlb_params.unifiedL1Entries = config_.unifiedL1TlbEntries;
+    }
+    tlb_ = std::make_unique<TlbHierarchy>(tlb_params, os_->pageTable());
+
+    // --- L1 cache.
+    switch (config_.l1Kind) {
+      case L1Kind::ViptBaseline:
+      case L1Kind::ViptWayPredicted: {
+        BaselineL1Config c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.l1Assoc;
+        c.freqGhz = config_.freqGhz;
+        c.wayPrediction =
+            config_.l1Kind == L1Kind::ViptWayPredicted;
+        l1_ = std::make_unique<ViptCache>(c, latency_);
+        break;
+      }
+      case L1Kind::Pipt: {
+        BaselineL1Config c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.l1Assoc;
+        c.freqGhz = config_.freqGhz;
+        l1_ = std::make_unique<PiptCache>(c, latency_,
+                                          config_.piptTlbCycles);
+        break;
+      }
+      case L1Kind::Sipt: {
+        SiptConfig c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.siptAssoc;
+        c.freqGhz = config_.freqGhz;
+        l1_ = std::make_unique<SiptCache>(c, latency_);
+        break;
+      }
+      case L1Kind::Seesaw:
+      case L1Kind::SeesawWayPredicted: {
+        SeesawConfig c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.l1Assoc;
+        c.partitionWays = config_.partitionWays;
+        c.freqGhz = config_.freqGhz;
+        c.policy = config_.policy;
+        c.tftEntries = config_.tftEntries;
+        c.tftAssoc = config_.tftAssoc;
+        c.wayPrediction =
+            config_.l1Kind == L1Kind::SeesawWayPredicted;
+        auto cache = std::make_unique<SeesawCache>(c, latency_);
+        // Wire the TFT into the TLB hierarchy: every 2MB L1 TLB fill
+        // marks the region (Fig 5).
+        Tft *tft = &cache->tft();
+        tlb_->setOn2MBFill(
+            [tft](Asid, Addr va_base) { tft->markRegion(va_base); });
+        l1_ = std::move(cache);
+        break;
+      }
+    }
+
+    outer_ = std::make_unique<OuterHierarchy>(config_.outer,
+                                              config_.freqGhz);
+
+    // --- Core model.
+    if (config_.coreKind == CoreKind::InOrder)
+        cpu_ = std::make_unique<InOrderCore>();
+    else
+        cpu_ = std::make_unique<OoOCore>();
+
+    // --- Coherence probe load.
+    ProbeEngineParams pe;
+    pe.systemProbesPerKiloInstr = workload_.systemProbesPerKiloInstr;
+    pe.remoteThreads =
+        workload_.threads > 0 ? workload_.threads - 1 : 0;
+    pe.sharedFraction = workload_.sharedFraction;
+    pe.fabric = config_.fabric;
+    pe.seed = config_.seed ^ 0x9097eULL;
+    probes_ = std::make_unique<ProbeEngine>(pe, *l1_, *energy_);
+
+    stream_ = std::make_unique<ReferenceStream>(
+        workload_, heapBase_, config_.seed ^ 0x57ea0ULL);
+    if (!config_.tracePath.empty())
+        trace_ = std::make_unique<TraceReader>(config_.tracePath);
+
+    // --- Optional L1 instruction cache (§V).
+    if (config_.modelInstructionCache) {
+        textBase_ = Addr{2} << 40;
+        os_->mapAnonymous(asid_, textBase_,
+                          workload_.codeFootprintBytes,
+                          config_.codeThpEligibleFraction);
+        CodeStreamParams code_params;
+        code_params.codeBytes = workload_.codeFootprintBytes;
+        code_ = std::make_unique<CodeStream>(
+            code_params, textBase_, config_.seed ^ 0xc0deULL);
+
+        // Prefill the LLC with the hot-text prefix (hot/cold-split
+        // layout puts the hot functions at the front).
+        const Addr hot_text_end =
+            textBase_ + std::min<std::uint64_t>(
+                            workload_.codeFootprintBytes, 4ULL << 20);
+        for (Addr va = textBase_; va < hot_text_end; va += 64) {
+            if (auto t = os_->translate(asid_, va))
+                outer_->prefill(t->translate(va));
+        }
+
+        const bool seesaw_icache =
+            config_.icacheKind == SystemConfig::ICacheKind::Seesaw ||
+            (config_.icacheKind ==
+                 SystemConfig::ICacheKind::FollowL1 &&
+             isSeesawKind());
+        if (seesaw_icache) {
+            SeesawConfig ic;
+            ic.sizeBytes = 32 * 1024; // Table II: split 32KB L1I
+            ic.assoc = 8;
+            ic.partitionWays = config_.partitionWays;
+            ic.freqGhz = config_.freqGhz;
+            ic.policy = config_.policy;
+            ic.tftEntries = config_.tftEntries;
+            ic.tftAssoc = config_.tftAssoc;
+            auto icache = std::make_unique<SeesawCache>(ic, latency_);
+            // One TLB hierarchy serves both sides here; chain the
+            // superpage hook so both TFTs learn regions.
+            // The single TLB hierarchy serves both sides; route the
+            // superpage hook to the TFT of the side the address
+            // belongs to (real split ITLB/DTLBs would do this
+            // naturally).
+            Tft *itft = &icache->tft();
+            Tft *dtft =
+                isSeesawKind()
+                    ? &static_cast<SeesawCache *>(l1_.get())->tft()
+                    : nullptr;
+            const Addr text_base = textBase_;
+            tlb_->setOn2MBFill(
+                [itft, dtft, text_base](Asid, Addr va_base) {
+                    if (va_base >= text_base)
+                        itft->markRegion(va_base);
+                    else if (dtft)
+                        dtft->markRegion(va_base);
+                });
+            l1i_ = std::move(icache);
+        } else {
+            BaselineL1Config ic;
+            ic.sizeBytes = 32 * 1024;
+            ic.assoc = 8;
+            ic.freqGhz = config_.freqGhz;
+            l1i_ = std::make_unique<ViptCache>(ic, latency_);
+            if (isSeesawKind()) {
+                // Keep code regions out of the D-side TFT.
+                Tft *dtft =
+                    &static_cast<SeesawCache *>(l1_.get())->tft();
+                const Addr text_base = textBase_;
+                tlb_->setOn2MBFill(
+                    [dtft, text_base](Asid, Addr va_base) {
+                        if (va_base < text_base)
+                            dtft->markRegion(va_base);
+                    });
+            }
+        }
+    }
+
+    // Steady-state warmup: prefill the LLC with the stream's hot
+    // ranges so measurement does not start from an unrealistically
+    // cold outer hierarchy (the paper's traces span 10B instructions).
+    for (const auto &[begin, end] : stream_->hotRanges()) {
+        for (Addr va = begin; va < end; va += 64) {
+            if (auto t = os_->translate(asid_, va))
+                outer_->prefill(t->translate(va));
+        }
+    }
+
+    nextContextSwitch_ = config_.contextSwitchInterval;
+    nextPromotion_ = config_.promotionInterval;
+    nextSplinter_ = config_.splinterInterval;
+}
+
+System::~System() = default;
+
+SeesawCache *
+System::seesawL1()
+{
+    if (!isSeesawKind())
+        return nullptr;
+    return static_cast<SeesawCache *>(l1_.get());
+}
+
+void
+System::applyPromotion(const PromotionEvent &event)
+{
+    // The OS's TLB-invalidation instruction (§IV-C2): shoot down the
+    // 512 stale base-page translations and sweep their lines from the
+    // L1. The paper measures the whole operation at 150-200 cycles.
+    for (unsigned i = 0; i < 512; ++i)
+        tlb_->invalidatePage(event.asid, event.vaBase + i * 4096ULL);
+    for (Addr old_pa : event.oldPaBases)
+        l1_->sweepRegion(old_pa, 4096);
+    cpu_->addStallCycles(config_.shootdownCycles);
+}
+
+void
+System::applySplinter(const SplinterEvent &event)
+{
+    // invlpg on the old 2MB translation; the microarchitecture also
+    // invalidates the matching TFT entry in parallel (§IV-C2).
+    tlb_->invalidatePage(event.asid, event.vaBase);
+    if (SeesawCache *cache = seesawL1())
+        cache->tft().invalidateRegion(event.vaBase);
+    cpu_->addStallCycles(config_.shootdownCycles);
+}
+
+void
+System::osTick(std::uint64_t retired)
+{
+    if (config_.contextSwitchInterval &&
+        retired >= nextContextSwitch_) {
+        nextContextSwitch_ += config_.contextSwitchInterval;
+        // The TFT carries no ASID tags; context switches flush it.
+        if (SeesawCache *cache = seesawL1())
+            cache->tft().flush();
+    }
+
+    if (config_.promotionInterval && retired >= nextPromotion_) {
+        nextPromotion_ += config_.promotionInterval;
+        for (const auto &event : os_->runPromotionPass(asid_, 2))
+            applyPromotion(event);
+    }
+
+    if (config_.splinterInterval && retired >= nextSplinter_) {
+        nextSplinter_ += config_.splinterInterval;
+        const auto supers = os_->superpageVas(asid_);
+        if (!supers.empty()) {
+            const Addr va =
+                supers[eventRng_.nextBounded(supers.size())];
+            if (auto event = os_->splinter(asid_, va))
+                applySplinter(*event);
+        }
+    }
+}
+
+void
+System::doInstructionFetches(std::uint64_t instructions)
+{
+    if (!l1i_)
+        return;
+    // 16-byte fetch groups: one 64B line fetch per ~4 instructions.
+    fetchCarry_ += static_cast<double>(instructions) / 4.0;
+    auto fetches = static_cast<std::uint64_t>(fetchCarry_);
+    fetchCarry_ -= static_cast<double>(fetches);
+
+    while (fetches-- > 0) {
+        const Addr va = code_->nextFetchLine();
+
+        int tft_probe = -1;
+        if (auto *icache = dynamic_cast<SeesawCache *>(l1i_.get()))
+            tft_probe = icache->tft().lookup(va) ? 1 : 0;
+
+        energy_->addL1TlbLookup();
+        const TlbLookupResult tr = tlb_->lookup(asid_, va);
+        if (!tr.l1Hit)
+            energy_->addL2TlbLookup();
+        if (tr.walked)
+            energy_->addPageWalk();
+        SEESAW_ASSERT(!tr.fault, "text segment must be premapped");
+
+        const Addr pa = tr.translation.translate(va);
+        L1Access req{va, pa, tr.translation.size, AccessType::Read,
+                     tft_probe};
+        const L1AccessResult res = l1i_->access(req);
+        if (l1i_.get() && dynamic_cast<SeesawCache *>(l1i_.get()))
+            energy_->addTftLookup();
+        energy_->addL1Lookup(32 * 1024, 8, res.waysRead, false);
+
+        if (!res.hit) {
+            const OuterAccessResult outer =
+                outer_->access(pa, AccessType::Read);
+            energy_->addL2Access();
+            if (outer.llcAccessed)
+                energy_->addLlcAccess();
+            if (outer.dramAccessed)
+                energy_->addDramAccess();
+            energy_->addLineInstall(res.installWays);
+            // Front-end refill: the decode queue hides part of it.
+            cpu_->addStallCycles(
+                static_cast<Cycles>(outer.cycles * 0.4));
+        }
+        if (tr.penaltyCycles)
+            cpu_->addStallCycles(tr.penaltyCycles / 2);
+    }
+}
+
+void
+System::doMemoryAccess(const MemRef &ref)
+{
+    // 0. Probe the TFT with its pre-TLB state: hardware reads the TFT
+    //    and the L1 TLBs in parallel, and a 2MB TLB hit may refresh
+    //    the very entry being probed — the refresh must not be
+    //    visible to this access.
+    int tft_probe = -1;
+    if (SeesawCache *cache = seesawL1())
+        tft_probe = cache->tft().lookup(ref.va) ? 1 : 0;
+
+    // 1. Translate (the L1 TLB probe runs in parallel with L1 set
+    //    selection; only L2-TLB latency and walks are exposed).
+    energy_->addL1TlbLookup();
+    TlbLookupResult tr = tlb_->lookup(asid_, ref.va);
+    if (!tr.l1Hit)
+        energy_->addL2TlbLookup();
+    if (tr.walked)
+        energy_->addPageWalk();
+    if (tr.fault) {
+        // Demand-page and retry. Synthetic footprints are premapped so
+        // this is rare; trace replay relies on it. The whole 2MB chunk
+        // is populated so THP can back it (Linux fault-around).
+        ++pageFaults_;
+        os_->mapAnonymous(asid_, alignDown(ref.va, 2 * 1024 * 1024),
+                          2 * 1024 * 1024,
+                          workload_.thpEligibleFraction);
+        cpu_->addStallCycles(2000);
+        tr = tlb_->lookup(asid_, ref.va);
+        SEESAW_ASSERT(!tr.fault, "fault persists after demand paging");
+    }
+
+    const Addr pa = tr.translation.translate(ref.va);
+    const PageSize page_size = tr.translation.size;
+
+    // 2. L1 access.
+    L1Access req{ref.va, pa, page_size, ref.type, tft_probe};
+    const L1AccessResult res = l1_->access(req);
+
+    if (isSeesawKind())
+        energy_->addTftLookup();
+    if (res.wpUsed)
+        energy_->addWayPredictorLookup();
+    energy_->addL1Lookup(l1_->tags().sizeBytes(), l1_->tags().assoc(),
+                         res.waysRead, /*coherent=*/false);
+    probes_->noteResident(pa);
+
+    // 3. Miss handling in the outer hierarchy.
+    unsigned miss_penalty = 0;
+    if (!res.hit) {
+        const OuterAccessResult outer = outer_->access(pa, ref.type);
+        miss_penalty = outer.cycles;
+        energy_->addL2Access();
+        if (outer.llcAccessed)
+            energy_->addLlcAccess();
+        if (outer.dramAccessed)
+            energy_->addDramAccess();
+        energy_->addLineInstall(res.installWays);
+        if (res.eviction.valid && res.eviction.dirty) {
+            outer_->writeback(res.eviction.lineAddr *
+                              l1_->tags().lineBytes());
+            energy_->addL2Access();
+        }
+    }
+
+    // 4. Core timing.
+    MemTiming timing;
+    timing.hit = res.hit;
+    timing.missPenalty = miss_penalty;
+    timing.lateDiscovery = res.lateDiscovery || !res.hit;
+    if (config_.coreKind == CoreKind::InOrder) {
+        // In-order pipelines have no speculative wakeup: data is
+        // consumed whenever it arrives, so the L1's actual latency is
+        // the exposed latency (this is why SEESAW helps in-order cores
+        // more, Fig 9).
+        timing.lookupCycles = res.latencyCycles;
+        timing.assumedCycles = res.latencyCycles;
+    } else {
+        // The out-of-order scheduler speculatively wakes dependents at
+        // an assumed latency (§IV-B3): SEESAW assumes the fast hit
+        // unless the superpage-TLB occupancy counter says superpages
+        // are scarce; other designs assume their base hit time.
+        unsigned assumed = l1_->baseHitCycles();
+        if (isSeesawKind()) {
+            const bool assume_fast =
+                !config_.schedulerCounterPolicy ||
+                tlb_->superpagesAmple();
+            assumed = assume_fast ? l1_->fastHitCycles()
+                                  : l1_->baseHitCycles();
+        } else if (config_.l1Kind == L1Kind::Sipt) {
+            // SIPT is speculation-first by construction: the scheduler
+            // always assumes the speculative index was right and
+            // replays otherwise.
+            assumed = l1_->fastHitCycles();
+        }
+        // A hit that returns earlier than the scheduled wakeup cannot
+        // retire dependents early: the effective latency is the
+        // assumed one. A later return forces a squash (charged by the
+        // core model).
+        timing.lookupCycles = std::max(res.latencyCycles, assumed);
+        timing.assumedCycles = assumed;
+    }
+    cpu_->retireMemory(timing);
+
+    // 5. TLB miss penalties serialise before the tag check only beyond
+    //    the L1 TLB (VIPT hides the L1 probe).
+    if (tr.penaltyCycles)
+        cpu_->addStallCycles(tr.penaltyCycles);
+}
+
+MemRef
+System::nextRef()
+{
+    if (!trace_) {
+        return stream_->next();
+    }
+    if (auto ref = trace_->next())
+        return *ref;
+    // Loop the trace when it is shorter than the budget.
+    trace_ = std::make_unique<TraceReader>(config_.tracePath);
+    auto ref = trace_->next();
+    SEESAW_ASSERT(ref, "empty trace file: ", config_.tracePath);
+    return *ref;
+}
+
+void
+System::runLoop(std::uint64_t budget)
+{
+    std::uint64_t retired = 0;
+    while (retired < budget) {
+        const MemRef raw = nextRef();
+        MemRef ref = raw;
+        // Clamp the gap so we never badly overshoot the budget.
+        const std::uint64_t room = budget - retired;
+        if (ref.gap + 1ULL > room)
+            ref.gap = static_cast<std::uint32_t>(room > 0 ? room - 1
+                                                          : 0);
+        cpu_->retireNonMemory(ref.gap);
+        doMemoryAccess(ref);
+        doInstructionFetches(ref.gap + 1);
+        retired += ref.gap + 1;
+        probes_->tick(ref.gap + 1);
+        osTick(retiredBase_ + retired);
+    }
+    retiredBase_ += retired;
+}
+
+void
+System::resetMeasurement()
+{
+    cpu_->resetCounters();
+    energy_->reset();
+    l1_->stats().resetAll();
+    if (l1i_)
+        l1i_->stats().resetAll();
+    outer_->stats().resetAll();
+    probes_->stats().resetAll();
+    if (SeesawCache *cache = seesawL1())
+        cache->tft().stats().resetAll();
+    pageFaults_ = 0;
+}
+
+RunResult
+System::run()
+{
+    if (config_.warmupInstructions > 0) {
+        runLoop(config_.warmupInstructions);
+        resetMeasurement();
+    }
+    runLoop(config_.instructions);
+
+    // Static energy over the whole run: L1 leakage plus the outer
+    // hierarchy's background power (this is where faster runtime
+    // becomes hierarchy-energy savings).
+    energy_->addL1Leakage(config_.l1SizeBytes, cpu_->cycles(),
+                          config_.freqGhz);
+    if (l1i_)
+        energy_->addL1Leakage(32 * 1024, cpu_->cycles(),
+                              config_.freqGhz);
+    energy_->addBackground(cpu_->cycles(), config_.freqGhz);
+
+    // --- Collect results.
+    RunResult r;
+    r.workload = workload_.name;
+    r.instructions = cpu_->instructions();
+    r.cycles = cpu_->cycles();
+    r.ipc = cpu_->ipc();
+    r.runtimeNs = static_cast<double>(r.cycles) / config_.freqGhz;
+
+    const StatGroup &cs = l1_->stats();
+    r.l1Accesses = static_cast<std::uint64_t>(cs.get("accesses"));
+    r.l1Hits = static_cast<std::uint64_t>(cs.get("hits"));
+    r.l1Misses = static_cast<std::uint64_t>(cs.get("misses"));
+    r.l1Mpki = r.instructions
+                   ? 1000.0 * static_cast<double>(r.l1Misses) /
+                         static_cast<double>(r.instructions)
+                   : 0.0;
+    r.superpageRefs =
+        static_cast<std::uint64_t>(cs.get("superpage_refs"));
+    r.superpageRefsTftMiss =
+        static_cast<std::uint64_t>(cs.get("superpage_refs_tft_miss"));
+    r.superpageRefsTftMissL1Hit = static_cast<std::uint64_t>(
+        cs.get("superpage_refs_tft_miss_l1_hit"));
+    r.superpageRefsTftMissL1Miss = static_cast<std::uint64_t>(
+        cs.get("superpage_refs_tft_miss_l1_miss"));
+    r.superpageRefFraction =
+        r.l1Accesses ? static_cast<double>(r.superpageRefs) /
+                           static_cast<double>(r.l1Accesses)
+                     : 0.0;
+
+    const StatGroup &os_stats = outer_->stats();
+    r.l2Accesses =
+        static_cast<std::uint64_t>(os_stats.get("l2_accesses"));
+    r.l2Hits = static_cast<std::uint64_t>(os_stats.get("l2_hits"));
+    r.llcAccesses =
+        static_cast<std::uint64_t>(os_stats.get("llc_accesses"));
+    r.llcHits = static_cast<std::uint64_t>(os_stats.get("llc_hits"));
+    r.dramAccesses =
+        static_cast<std::uint64_t>(os_stats.get("dram_accesses"));
+
+    if (SeesawCache *cache = seesawL1()) {
+        r.tftLookups = static_cast<std::uint64_t>(
+            cache->tft().stats().get("lookups"));
+        r.tftHits = static_cast<std::uint64_t>(
+            cache->tft().stats().get("hits"));
+        r.fastHits = r.tftHits;
+        if (const MruWayPredictor *wp = cache->wayPredictor())
+            r.wpAccuracy = wp->accuracy();
+    } else if (auto *vipt = dynamic_cast<ViptCache *>(l1_.get())) {
+        if (const MruWayPredictor *wp = vipt->wayPredictor())
+            r.wpAccuracy = wp->accuracy();
+    }
+
+    r.superpageCoverage = os_->superpageCoverage(asid_);
+
+    r.energyTotalNj = energy_->totalNj();
+    r.l1CpuDynamicNj = energy_->l1CpuDynamicNj();
+    r.l1CoherenceDynamicNj = energy_->l1CoherenceDynamicNj();
+    r.l1LeakageNj = energy_->l1LeakageNj();
+    r.outerNj = energy_->outerHierarchyNj();
+    r.translationNj = energy_->translationNj();
+
+    r.squashes = cpu_->squashes();
+    r.probes = probes_->probes();
+    r.probeHits = static_cast<std::uint64_t>(
+        probes_->stats().get("probe_hits"));
+
+    if (l1i_) {
+        r.l1iAccesses = static_cast<std::uint64_t>(
+            l1i_->stats().get("accesses"));
+        r.l1iMisses = static_cast<std::uint64_t>(
+            l1i_->stats().get("misses"));
+    }
+
+    r.promotions = os_->promotions();
+    r.splinters = os_->splinters();
+    r.pageFaults = pageFaults_;
+    return r;
+}
+
+} // namespace seesaw

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The full-system simulation harness: one core, its TLB hierarchy and
+ * TFT, an L1 of the configured design, the outer memory hierarchy, the
+ * coherence probe load, and the OS memory manager that backs the
+ * workload's footprint with superpages when physical contiguity allows.
+ */
+
+#ifndef SEESAW_SIM_SYSTEM_HH
+#define SEESAW_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/baseline_caches.hh"
+#include "cache/next_level.hh"
+#include "coherence/probe_engine.hh"
+#include "core/seesaw_cache.hh"
+#include "cpu/cpu_model.hh"
+#include "mem/memhog.hh"
+#include "mem/os_memory_manager.hh"
+#include "model/energy_model.hh"
+#include "model/latency_table.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "workload/code_stream.hh"
+#include "workload/reference_stream.hh"
+#include "workload/trace.hh"
+#include "workload/workload_spec.hh"
+
+namespace seesaw {
+
+/** Which L1 design the system instantiates. */
+enum class L1Kind : std::uint8_t
+{
+    ViptBaseline,       //!< traditional VIPT (the paper's baseline)
+    Pipt,               //!< PIPT with free associativity (Fig 14)
+    Seesaw,             //!< the paper's design
+    ViptWayPredicted,   //!< baseline + MRU way predictor (Fig 15 "WP")
+    SeesawWayPredicted, //!< combined WP+SEESAW (Fig 15)
+    Sipt,               //!< speculatively indexed (related work, §VII)
+};
+
+/** Core kind (Table II). */
+enum class CoreKind : std::uint8_t
+{
+    InOrder,    //!< ~Intel Atom
+    OutOfOrder, //!< ~Intel Sandybridge
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    CoreKind coreKind = CoreKind::OutOfOrder;
+    L1Kind l1Kind = L1Kind::Seesaw;
+
+    std::uint64_t l1SizeBytes = 32 * 1024;
+    unsigned l1Assoc = 8;
+    unsigned partitionWays = 4;
+    double freqGhz = 1.33;
+    InsertionPolicy policy = InsertionPolicy::FourWay;
+    unsigned tftEntries = 16;
+    unsigned tftAssoc = 1; //!< 1 = the paper's direct-mapped TFT
+
+    /** Use an ARM/SPARC-style fully-associative unified L1 TLB instead
+     *  of the Intel-style split L1 TLBs (the default follows the core
+     *  preset). */
+    bool unifiedL1Tlb = false;
+    unsigned unifiedL1TlbEntries = 64;
+
+    /** PIPT alternative: serial TLB latency in cycles. */
+    unsigned piptTlbCycles = 2;
+
+    /** SIPT alternative: reduced associativity (sets grow instead). */
+    unsigned siptAssoc = 2;
+
+    OsParams os;
+    MemhogParams memhog;
+    double memhogFraction = 0.0;
+
+    OuterHierarchyParams outer;
+    CoherenceKind fabric = CoherenceKind::Directory;
+
+    std::uint64_t instructions = 2'000'000;
+
+    /** Instructions executed before measurement starts: warms caches,
+     *  TLBs and the TFT, and amortises cold (first-touch) misses that
+     *  the paper's 10-billion-instruction traces never see. */
+    std::uint64_t warmupInstructions = 150'000;
+
+    std::uint64_t seed = 1;
+
+    /** §IV-B3: scheduler assumes the fast hit time only while the 2MB
+     *  L1 TLB holds at least a quarter of its capacity. */
+    bool schedulerCounterPolicy = true;
+
+    /** Context-switch interval (TFT flush; no ASID tags, §IV-C3).
+     *  0 disables. */
+    std::uint64_t contextSwitchInterval = 1'000'000;
+
+    /** khugepaged pass interval in instructions (0 disables). */
+    std::uint64_t promotionInterval = 500'000;
+
+    /** Splinter-event interval in instructions (0 disables). */
+    std::uint64_t splinterInterval = 4'000'000;
+
+    /** TLB-shootdown / sweep cost for promotion & splinter events. */
+    unsigned shootdownCycles = 175;
+
+    /**
+     * Also model a 32KB 8-way L1 instruction cache (Table II) fed by a
+     * synthetic fetch stream, applying SEESAW to it when l1Kind is a
+     * SEESAW kind — the §V extension the paper flags as valuable for
+     * cloud workloads with large instruction footprints.
+     */
+    bool modelInstructionCache = false;
+
+    /** L1I design selection when modelInstructionCache is set. */
+    enum class ICacheKind : std::uint8_t
+    {
+        FollowL1, //!< SEESAW iff l1Kind is a SEESAW kind (default)
+        Vipt,     //!< force a baseline VIPT L1I
+        Seesaw,   //!< force a SEESAW L1I
+    };
+    ICacheKind icacheKind = ICacheKind::FollowL1;
+
+    /** THP eligibility of the text segment (2MB text mappings). */
+    double codeThpEligibleFraction = 0.85;
+
+    /**
+     * Back the workload's heap with explicit 1GB superpages
+     * (hugetlbfs-style) instead of THP 2MB pages — the §IV
+     * generalisation. Falls back to THP for any tail the 1GB
+     * allocator cannot satisfy.
+     */
+    bool useOneGbHeap = false;
+
+    /**
+     * Replay an externally captured binary trace (workload/trace.hh)
+     * instead of the synthetic reference stream. Addresses are mapped
+     * on demand (2MB chunks, THP-eligible per the workload spec); the
+     * trace loops if shorter than the instruction budget.
+     */
+    std::string tracePath;
+};
+
+/** Everything a bench needs from one simulation. */
+struct RunResult
+{
+    std::string workload;
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    double ipc = 0.0;
+    double runtimeNs = 0.0;
+
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    double l1Mpki = 0.0;
+    std::uint64_t fastHits = 0; //!< completed at the fast latency
+
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t dramAccesses = 0;
+
+    std::uint64_t tftLookups = 0;
+    std::uint64_t tftHits = 0;
+    std::uint64_t superpageRefs = 0;
+    std::uint64_t superpageRefsTftMiss = 0;
+    std::uint64_t superpageRefsTftMissL1Hit = 0;
+    std::uint64_t superpageRefsTftMissL1Miss = 0;
+
+    double superpageCoverage = 0.0;    //!< footprint fraction (Fig 3)
+    double superpageRefFraction = 0.0; //!< reference fraction (§V)
+
+    double energyTotalNj = 0.0;
+    double l1CpuDynamicNj = 0.0;
+    double l1CoherenceDynamicNj = 0.0;
+    double l1LeakageNj = 0.0;
+    double outerNj = 0.0;
+    double translationNj = 0.0;
+
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+
+    std::uint64_t squashes = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t probeHits = 0;
+    double wpAccuracy = 0.0;
+
+    std::uint64_t promotions = 0;
+    std::uint64_t splinters = 0;
+    std::uint64_t pageFaults = 0;
+};
+
+/**
+ * One simulated system instance. Construct, then run().
+ */
+class System
+{
+  public:
+    System(const SystemConfig &config, const WorkloadSpec &workload);
+    ~System();
+
+    /** Execute the configured instruction budget. */
+    RunResult run();
+
+    /** @name Component access (tests / advanced drivers). */
+    /// @{
+    OsMemoryManager &os() { return *os_; }
+    TlbHierarchy &tlb() { return *tlb_; }
+    L1Cache &l1() { return *l1_; }
+    SeesawCache *seesawL1(); //!< nullptr unless an SEESAW kind
+    CpuModel &cpu() { return *cpu_; }
+    EnergyModel &energy() { return *energy_; }
+    const SystemConfig &config() const { return config_; }
+    Asid asid() const { return asid_; }
+    /// @}
+
+  private:
+    SystemConfig config_;
+    WorkloadSpec workload_;
+
+    LatencyTable latency_;
+    std::unique_ptr<EnergyModel> energy_;
+    std::unique_ptr<OsMemoryManager> os_;
+    std::unique_ptr<Memhog> memhog_;
+    std::unique_ptr<TlbHierarchy> tlb_;
+    std::unique_ptr<L1Cache> l1_;
+    std::unique_ptr<OuterHierarchy> outer_;
+    std::unique_ptr<CpuModel> cpu_;
+    std::unique_ptr<ProbeEngine> probes_;
+    std::unique_ptr<ReferenceStream> stream_;
+    std::unique_ptr<TraceReader> trace_; //!< replaces stream_ if set
+
+    /** Next reference from the trace or the synthetic stream. */
+    MemRef nextRef();
+
+    // Optional L1I application (§V).
+    std::unique_ptr<L1Cache> l1i_;
+    std::unique_ptr<CodeStream> code_;
+    Addr textBase_ = 0;
+    double fetchCarry_ = 0.0;
+
+    Asid asid_ = 0;
+    Addr heapBase_ = 0;
+    std::uint64_t pageFaults_ = 0;
+
+    /** Handle one memory reference end to end. */
+    void doMemoryAccess(const MemRef &ref);
+
+    /** Account instruction fetches for @p instructions committed. */
+    void doInstructionFetches(std::uint64_t instructions);
+
+    /** Execute @p budget instructions through the main loop. */
+    void runLoop(std::uint64_t budget);
+
+    /** Zero every measured counter (after warmup). */
+    void resetMeasurement();
+
+    std::uint64_t retiredBase_ = 0; //!< retirement offset for osTick
+
+    /** OS housekeeping hooks (promotion, splinter, context switch). */
+    void osTick(std::uint64_t retired);
+
+    void applyPromotion(const PromotionEvent &event);
+    void applySplinter(const SplinterEvent &event);
+
+    bool isSeesawKind() const
+    {
+        return config_.l1Kind == L1Kind::Seesaw ||
+               config_.l1Kind == L1Kind::SeesawWayPredicted;
+    }
+
+    std::uint64_t nextContextSwitch_ = 0;
+    std::uint64_t nextPromotion_ = 0;
+    std::uint64_t nextSplinter_ = 0;
+    Rng eventRng_;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_SIM_SYSTEM_HH

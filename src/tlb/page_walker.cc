@@ -1,0 +1,27 @@
+#include "tlb/page_walker.hh"
+
+namespace seesaw {
+
+PageWalker::PageWalker(const PageTable &table, unsigned cycles_per_level)
+    : table_(table), cyclesPerLevel_(cycles_per_level), stats_("walker")
+{
+}
+
+std::optional<WalkResult>
+PageWalker::walk(Asid asid, Addr va)
+{
+    ++stats_.scalar("walks");
+    auto t = table_.translate(asid, va);
+    if (!t) {
+        ++stats_.scalar("faults");
+        return std::nullopt;
+    }
+    WalkResult res;
+    res.translation = *t;
+    res.levels = PageTable::walkLevels(t->size);
+    res.cycles = res.levels * cyclesPerLevel_;
+    stats_.scalar("walk_cycles") += res.cycles;
+    return res;
+}
+
+} // namespace seesaw

@@ -1,0 +1,133 @@
+#include "tlb/tlb.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+Tlb::Tlb(std::string name, unsigned entries, unsigned assoc,
+         PageSize size)
+    : name_(std::move(name)), entries_(entries), assoc_(assoc),
+      size_(size), slots_(entries), stats_(name_)
+{
+    SEESAW_ASSERT(entries_ > 0 && assoc_ > 0 && entries_ % assoc_ == 0,
+                  "bad TLB geometry");
+    numSets_ = entries_ / assoc_;
+    SEESAW_ASSERT(numSets_ == 1 || isPowerOfTwo(numSets_),
+                  "TLB set count must be a power of two");
+}
+
+TlbEntry *
+Tlb::find(Asid asid, Addr vpn)
+{
+    const unsigned set = setOf(vpn);
+    TlbEntry *base = &slots_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        TlbEntry &e = base[way];
+        if (e.valid && e.asid == asid && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+Tlb::find(Asid asid, Addr vpn) const
+{
+    return const_cast<Tlb *>(this)->find(asid, vpn);
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(Asid asid, Addr va)
+{
+    ++stats_.scalar("lookups");
+    TlbEntry *e = find(asid, vpnOf(va));
+    if (!e) {
+        ++stats_.scalar("misses");
+        return std::nullopt;
+    }
+    ++stats_.scalar("hits");
+    e->lastUse = ++useClock_;
+    return *e;
+}
+
+std::optional<TlbEntry>
+Tlb::peek(Asid asid, Addr va) const
+{
+    const TlbEntry *e = find(asid, vpnOf(va));
+    if (!e)
+        return std::nullopt;
+    return *e;
+}
+
+void
+Tlb::insert(Asid asid, Addr va, Addr pa_base)
+{
+    const Addr vpn = vpnOf(va);
+    SEESAW_ASSERT(pa_base % pageBytes(size_) == 0,
+                  "unaligned TLB fill");
+
+    if (TlbEntry *existing = find(asid, vpn)) {
+        existing->paBase = pa_base;
+        existing->lastUse = ++useClock_;
+        return;
+    }
+
+    const unsigned set = setOf(vpn);
+    TlbEntry *base = &slots_[static_cast<std::size_t>(set) * assoc_];
+    unsigned victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (!base[way].valid) {
+            victim = way;
+            break;
+        }
+        if (base[way].lastUse < oldest) {
+            oldest = base[way].lastUse;
+            victim = way;
+        }
+    }
+
+    if (base[victim].valid)
+        ++stats_.scalar("evictions");
+    base[victim] = TlbEntry{true, asid, vpn, pa_base, size_,
+                            ++useClock_};
+    ++stats_.scalar("fills");
+}
+
+bool
+Tlb::invalidatePage(Asid asid, Addr va)
+{
+    TlbEntry *e = find(asid, vpnOf(va));
+    if (!e)
+        return false;
+    e->valid = false;
+    ++stats_.scalar("invalidations");
+    return true;
+}
+
+void
+Tlb::flushAsid(Asid asid)
+{
+    for (auto &e : slots_) {
+        if (e.valid && e.asid == asid)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : slots_)
+        e.valid = false;
+}
+
+unsigned
+Tlb::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &e : slots_)
+        count += e.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace seesaw

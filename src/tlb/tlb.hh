@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A set-associative (or fully-associative) TLB for one or more page
+ * size classes, with ASID tags and LRU replacement.
+ */
+
+#ifndef SEESAW_TLB_TLB_HH
+#define SEESAW_TLB_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace seesaw {
+
+/** One TLB entry. */
+struct TlbEntry
+{
+    bool valid = false;
+    Asid asid = 0;
+    Addr vpn = 0;     //!< va >> pageOffsetBits(size)
+    Addr paBase = 0;  //!< physical base of the page
+    PageSize size = PageSize::Base4KB;
+    std::uint64_t lastUse = 0;
+};
+
+/**
+ * A TLB caching translations of exactly one page size class.
+ *
+ * Intel-style split L1 TLBs (Table II) instantiate one of these per
+ * size; a unified structure (ARM/SPARC-style, or Intel's L2 STLB that
+ * holds 4KB and 2MB entries) composes several via UnifiedTlb.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param name Statistic prefix.
+     * @param entries Total entry count.
+     * @param assoc Ways (entries == sets*assoc); pass entries for a
+     *        fully-associative structure.
+     * @param size The page size class cached here.
+     */
+    Tlb(std::string name, unsigned entries, unsigned assoc,
+        PageSize size);
+
+    /** Probe for the translation of @p va; LRU-touches on hit. */
+    std::optional<TlbEntry> lookup(Asid asid, Addr va);
+
+    /** Non-mutating probe. */
+    std::optional<TlbEntry> peek(Asid asid, Addr va) const;
+
+    /** Install a translation (LRU victim within the set). */
+    void insert(Asid asid, Addr va, Addr pa_base);
+
+    /** Invalidate the entry covering @p va (invlpg). @return hit? */
+    bool invalidatePage(Asid asid, Addr va);
+
+    /** Drop every entry of @p asid. */
+    void flushAsid(Asid asid);
+
+    /** Drop everything. */
+    void flushAll();
+
+    /** Number of currently valid entries (scheduler counter, §IV-B3). */
+    unsigned validCount() const;
+
+    PageSize pageSize() const { return size_; }
+    unsigned entries() const { return entries_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned numSets() const { return numSets_; }
+
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    std::string name_;
+    unsigned entries_;
+    unsigned assoc_;
+    unsigned numSets_;
+    PageSize size_;
+    std::vector<TlbEntry> slots_;
+    std::uint64_t useClock_ = 0;
+    StatGroup stats_;
+
+    Addr vpnOf(Addr va) const { return va >> pageOffsetBits(size_); }
+    unsigned setOf(Addr vpn) const
+    {
+        return static_cast<unsigned>(vpn % numSets_);
+    }
+    TlbEntry *find(Asid asid, Addr vpn);
+    const TlbEntry *find(Asid asid, Addr vpn) const;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_TLB_TLB_HH

@@ -1,0 +1,236 @@
+#include "tlb/tlb_hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+TlbHierarchyParams
+TlbHierarchyParams::sandybridge()
+{
+    TlbHierarchyParams p;
+    p.l1Entries4k = 128;
+    p.l1Assoc4k = 4;
+    p.l1Entries2m = 16;
+    p.l1Assoc2m = 4;
+    p.l1Entries1g = 4;
+    p.l1Assoc1g = 4;
+    p.l2Entries = 512;
+    p.l2Assoc = 4;
+    p.l2Holds2m = true;
+    return p;
+}
+
+TlbHierarchyParams
+TlbHierarchyParams::atom()
+{
+    TlbHierarchyParams p;
+    p.l1Entries4k = 64;
+    p.l1Assoc4k = 4;
+    p.l1Entries2m = 32;
+    p.l1Assoc2m = 4;
+    p.l1Entries1g = 4;
+    p.l1Assoc1g = 4;
+    p.l2Entries = 512;
+    p.l2Assoc = 4;
+    p.l2Holds2m = true;
+    return p;
+}
+
+TlbHierarchyParams
+TlbHierarchyParams::unified(unsigned entries)
+{
+    TlbHierarchyParams p;
+    p.unifiedL1 = true;
+    p.unifiedL1Entries = entries;
+    return p;
+}
+
+TlbHierarchy::TlbHierarchy(const TlbHierarchyParams &params,
+                           const PageTable &page_table)
+    : params_(params),
+      l14k_("l1tlb_4k", params.l1Entries4k, params.l1Assoc4k,
+            PageSize::Base4KB),
+      l12m_("l1tlb_2m", params.l1Entries2m, params.l1Assoc2m,
+            PageSize::Super2MB),
+      l11g_("l1tlb_1g", params.l1Entries1g, params.l1Assoc1g,
+            PageSize::Super1GB),
+      l24k_("l2tlb_4k", params.l2Entries, params.l2Assoc,
+            PageSize::Base4KB),
+      l22m_("l2tlb_2m",
+            std::max(params.l2Assoc, params.l2Entries / 4),
+            params.l2Assoc, PageSize::Super2MB),
+      walker_(page_table, params.walkCyclesPerLevel),
+      stats_("tlb")
+{
+    if (params_.unifiedL1) {
+        unified_ = std::make_unique<UnifiedTlb>(
+            "l1tlb_unified", params_.unifiedL1Entries);
+    }
+}
+
+void
+TlbHierarchy::fillL1(Asid asid, const Translation &t, Addr va)
+{
+    if (unified_) {
+        unified_->insert(asid, t.vaBase, t.paBase, t.size);
+        if (isSuperpage(t.size) && on2mFill_)
+            on2mFill_(asid, alignDown(va, 2 * 1024 * 1024));
+        return;
+    }
+    switch (t.size) {
+      case PageSize::Base4KB:
+        l14k_.insert(asid, t.vaBase, t.paBase);
+        break;
+      case PageSize::Super2MB:
+        l12m_.insert(asid, t.vaBase, t.paBase);
+        if (on2mFill_)
+            on2mFill_(asid, t.vaBase);
+        break;
+      case PageSize::Super1GB:
+        l11g_.insert(asid, t.vaBase, t.paBase);
+        // The TFT tracks 2MB regions; any 2MB-aligned region inside a
+        // 1GB page is superpage-backed (>=21 page-offset bits), so the
+        // design "generalizes readily to 1GB superpages" (§IV) by
+        // marking the region around the access.
+        if (on2mFill_)
+            on2mFill_(asid, alignDown(va, 2 * 1024 * 1024));
+        break;
+    }
+}
+
+void
+TlbHierarchy::fillL2(Asid asid, const Translation &t)
+{
+    switch (t.size) {
+      case PageSize::Base4KB:
+        l24k_.insert(asid, t.vaBase, t.paBase);
+        break;
+      case PageSize::Super2MB:
+        if (params_.l2Holds2m)
+            l22m_.insert(asid, t.vaBase, t.paBase);
+        break;
+      case PageSize::Super1GB:
+        break; // 1GB entries are not cached in the L2 TLB
+    }
+}
+
+TlbLookupResult
+TlbHierarchy::lookup(Asid asid, Addr va)
+{
+    TlbLookupResult res;
+    ++stats_.scalar("lookups");
+
+    if (unified_) {
+        if (auto e = unified_->lookup(asid, va)) {
+            res.l1Hit = true;
+            res.translation =
+                Translation{e->paBase,
+                            alignDown(va, pageBytes(e->size)), e->size};
+            ++stats_.scalar("l1_hits");
+            if (params_.refreshOn2mHit && isSuperpage(e->size) &&
+                on2mFill_) {
+                on2mFill_(asid, alignDown(va, 2 * 1024 * 1024));
+            }
+            return res;
+        }
+    } else
+    // All split L1 TLBs are probed in parallel, hidden under the L1
+    // cache's set access.
+    if (auto e = l14k_.lookup(asid, va)) {
+        res.l1Hit = true;
+        res.translation = Translation{e->paBase,
+                                      alignDown(va, pageBytes(e->size)),
+                                      e->size};
+        ++stats_.scalar("l1_hits");
+        return res;
+    }
+    if (auto e = l12m_.lookup(asid, va)) {
+        res.l1Hit = true;
+        res.translation = Translation{e->paBase,
+                                      alignDown(va, pageBytes(e->size)),
+                                      e->size};
+        ++stats_.scalar("l1_hits");
+        if (params_.refreshOn2mHit && on2mFill_)
+            on2mFill_(asid, res.translation.vaBase);
+        return res;
+    }
+    if (auto e = l11g_.lookup(asid, va)) {
+        res.l1Hit = true;
+        res.translation = Translation{e->paBase,
+                                      alignDown(va, pageBytes(e->size)),
+                                      e->size};
+        ++stats_.scalar("l1_hits");
+        if (params_.refreshOn2mHit && on2mFill_)
+            on2mFill_(asid, alignDown(va, 2 * 1024 * 1024));
+        return res;
+    }
+
+    // L2 TLB.
+    res.penaltyCycles += params_.l2LatencyCycles;
+    ++stats_.scalar("l2_lookups");
+    if (auto e = l24k_.lookup(asid, va)) {
+        res.l2Hit = true;
+        res.translation = Translation{e->paBase,
+                                      alignDown(va, pageBytes(e->size)),
+                                      e->size};
+        ++stats_.scalar("l2_hits");
+        fillL1(asid, res.translation, va);
+        return res;
+    }
+    if (params_.l2Holds2m) {
+        if (auto e = l22m_.lookup(asid, va)) {
+            res.l2Hit = true;
+            res.translation =
+                Translation{e->paBase,
+                            alignDown(va, pageBytes(e->size)), e->size};
+            ++stats_.scalar("l2_hits");
+            fillL1(asid, res.translation, va);
+            return res;
+        }
+    }
+
+    // Page walk.
+    auto walk = walker_.walk(asid, va);
+    if (!walk) {
+        res.fault = true;
+        ++stats_.scalar("faults");
+        return res;
+    }
+    res.walked = true;
+    ++stats_.scalar("walks");
+    res.penaltyCycles += walk->cycles;
+    res.translation = walk->translation;
+    fillL2(asid, res.translation);
+    fillL1(asid, res.translation, va);
+    return res;
+}
+
+void
+TlbHierarchy::invalidatePage(Asid asid, Addr va)
+{
+    if (unified_)
+        unified_->invalidatePage(asid, va);
+    l14k_.invalidatePage(asid, va);
+    l12m_.invalidatePage(asid, va);
+    l11g_.invalidatePage(asid, va);
+    l24k_.invalidatePage(asid, va);
+    l22m_.invalidatePage(asid, va);
+    ++stats_.scalar("invlpg");
+}
+
+void
+TlbHierarchy::flushAll()
+{
+    if (unified_)
+        unified_->flushAll();
+    l14k_.flushAll();
+    l12m_.flushAll();
+    l11g_.flushAll();
+    l24k_.flushAll();
+    l22m_.flushAll();
+}
+
+} // namespace seesaw

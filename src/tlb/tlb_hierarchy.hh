@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The two-level TLB hierarchy of Table II: split per-page-size L1 TLBs
+ * (Intel style) backed by a unified L2 TLB and a hardware page walker.
+ *
+ * The hierarchy exposes the hook SEESAW builds on: a callback fired on
+ * every 2MB L1 TLB fill, which the TFT uses to mark superpage regions
+ * (Fig 5), and the superpage-TLB occupancy counter the out-of-order
+ * scheduler policy reads (Section IV-B3).
+ */
+
+#ifndef SEESAW_TLB_TLB_HIERARCHY_HH
+#define SEESAW_TLB_TLB_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+
+#include "common/stats.hh"
+#include "tlb/page_walker.hh"
+#include "tlb/tlb.hh"
+#include "tlb/unified_tlb.hh"
+
+namespace seesaw {
+
+/** Geometry/latency parameters of the TLB hierarchy. */
+struct TlbHierarchyParams
+{
+    unsigned l1Entries4k = 128;
+    unsigned l1Assoc4k = 4;
+    unsigned l1Entries2m = 16;
+    unsigned l1Assoc2m = 4;
+    unsigned l1Entries1g = 4;
+    unsigned l1Assoc1g = 4;
+
+    unsigned l2Entries = 512;
+    unsigned l2Assoc = 4;
+    bool l2Holds2m = true; //!< modern STLBs also cache 2MB entries
+
+    unsigned l1LatencyCycles = 1; //!< hidden under the VIPT L1 access
+    unsigned l2LatencyCycles = 7;
+    unsigned walkCyclesPerLevel = 12;
+
+    /**
+     * Refresh the 2MB-fill hook on 2MB L1 TLB *hits* as well as fills.
+     * The paper's Fig 5 marks the TFT only on L1 TLB fills; with that
+     * policy alone, a TFT entry displaced by a direct-mapped conflict
+     * is never restored while its TLB entry stays resident, and hot
+     * regions degrade to permanent TFT misses. The TLB hit signal
+     * already carries the page size, so refreshing on hits is a
+     * one-gate change; it is what Fig 13's >90% TFT coverage requires.
+     */
+    bool refreshOn2mHit = true;
+
+    /**
+     * Use one fully-associative L1 TLB shared across page sizes
+     * (ARM/SPARC style) instead of Intel-style split L1 TLBs. The
+     * paper's design works with either (Fig 4).
+     */
+    bool unifiedL1 = false;
+    unsigned unifiedL1Entries = 64;
+
+    /** ~Intel Sandybridge (Table II): split 128/16-entry L1s. */
+    static TlbHierarchyParams sandybridge();
+
+    /** ARM/SPARC-style fully-associative unified L1 TLB. */
+    static TlbHierarchyParams unified(unsigned entries = 64);
+
+    /** ~Intel Atom (Table II): 64/32-entry L1s, 512-entry L2. */
+    static TlbHierarchyParams atom();
+};
+
+/** Outcome of a full hierarchy lookup. */
+struct TlbLookupResult
+{
+    bool fault = false;  //!< no mapping exists (demand-page and retry)
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool walked = false;
+    Translation translation; //!< valid when !fault
+    /** Cycles beyond the L1-TLB probe that VIPT hides under the cache
+     *  access: L2 latency and/or the page walk. */
+    unsigned penaltyCycles = 0;
+};
+
+/**
+ * Split L1 TLBs + unified L2 TLB + page walker.
+ */
+class TlbHierarchy
+{
+  public:
+    TlbHierarchy(const TlbHierarchyParams &params,
+                 const PageTable &page_table);
+
+    /** Translate @p va, filling TLB levels on the way. */
+    TlbLookupResult lookup(Asid asid, Addr va);
+
+    /** Register the TFT-marking hook: fired with a 2MB-aligned VA
+     *  whenever a superpage translation (2MB, or the 2MB region of an
+     *  accessed 1GB page) is filled into — or, with refreshOn2mHit,
+     *  hits in — an L1 TLB. */
+    void
+    setOn2MBFill(std::function<void(Asid, Addr)> hook)
+    {
+        on2mFill_ = std::move(hook);
+    }
+
+    /** invlpg: drop the translation for @p va everywhere. */
+    void invalidatePage(Asid asid, Addr va);
+
+    /** Full flush (e.g., non-ASID context switch models). */
+    void flushAll();
+
+    /** Valid superpage entries at the L1 level (scheduler counter). */
+    unsigned
+    superpageL1ValidCount() const
+    {
+        return unified_ ? unified_->superpageValidCount()
+                        : l12m_.validCount();
+    }
+
+    /** Superpage capacity at the L1 level. */
+    unsigned
+    superpageL1Capacity() const
+    {
+        return unified_ ? unified_->entries() : l12m_.entries();
+    }
+
+    /**
+     * The §IV-B3 scheduler counter policy: are superpages plentiful
+     * enough for the scheduler to assume the fast hit time? Split
+     * TLBs use the paper's rule (>= a quarter of the dedicated
+     * superpage TLB's entries valid); a unified TLB has no dedicated
+     * structure, so the equivalent signal is superpage entries
+     * holding at least a third of the valid pool.
+     */
+    bool
+    superpagesAmple() const
+    {
+        if (unified_) {
+            return unified_->superpageValidCount() * 3 >=
+                   unified_->validCount();
+        }
+        // Either dedicated superpage TLB being at least a quarter
+        // full signals plenty (a single resident 1GB entry already
+        // covers a gigabyte of fast-path heap).
+        return l12m_.validCount() * 4 >= l12m_.entries() ||
+               l11g_.validCount() * 4 >= l11g_.entries();
+    }
+
+    const TlbHierarchyParams &params() const { return params_; }
+
+    const UnifiedTlb *unifiedL1Tlb() const { return unified_.get(); }
+    const Tlb &l1Tlb4k() const { return l14k_; }
+    const Tlb &l1Tlb2m() const { return l12m_; }
+    const Tlb &l1Tlb1g() const { return l11g_; }
+    const Tlb &l2Tlb4k() const { return l24k_; }
+    const Tlb &l2Tlb2m() const { return l22m_; }
+    const PageWalker &walker() const { return walker_; }
+
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    TlbHierarchyParams params_;
+    Tlb l14k_;
+    Tlb l12m_;
+    Tlb l11g_;
+    // The unified L2 is modelled as parallel per-size views sharing one
+    // latency; capacity is split in proportion to typical occupancy.
+    Tlb l24k_;
+    Tlb l22m_;
+    std::unique_ptr<UnifiedTlb> unified_; //!< replaces the split L1s
+    PageWalker walker_;
+    std::function<void(Asid, Addr)> on2mFill_;
+    StatGroup stats_;
+
+    /** Fill the right L1 TLB (and maybe the TFT hook); @p va is the
+     *  accessing address (needed to locate the 2MB region inside a
+     *  1GB page). */
+    void fillL1(Asid asid, const Translation &t, Addr va);
+
+    /** Fill the L2 TLB when it holds this size. */
+    void fillL2(Asid asid, const Translation &t);
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_TLB_TLB_HIERARCHY_HH

@@ -1,0 +1,136 @@
+#include "tlb/unified_tlb.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+UnifiedTlb::UnifiedTlb(std::string name, unsigned entries)
+    : name_(std::move(name)), entries_(entries), slots_(entries),
+      stats_(name_)
+{
+    SEESAW_ASSERT(entries_ > 0, "unified TLB needs entries");
+}
+
+bool
+UnifiedTlb::covers(const TlbEntry &e, Asid asid, Addr va)
+{
+    if (!e.valid || e.asid != asid)
+        return false;
+    return (va >> pageOffsetBits(e.size)) == e.vpn;
+}
+
+TlbEntry *
+UnifiedTlb::find(Asid asid, Addr va)
+{
+    for (auto &e : slots_) {
+        if (covers(e, asid, va))
+            return &e;
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+UnifiedTlb::find(Asid asid, Addr va) const
+{
+    return const_cast<UnifiedTlb *>(this)->find(asid, va);
+}
+
+std::optional<TlbEntry>
+UnifiedTlb::lookup(Asid asid, Addr va)
+{
+    ++stats_.scalar("lookups");
+    if (TlbEntry *e = find(asid, va)) {
+        e->lastUse = ++useClock_;
+        ++stats_.scalar("hits");
+        return *e;
+    }
+    ++stats_.scalar("misses");
+    return std::nullopt;
+}
+
+std::optional<TlbEntry>
+UnifiedTlb::peek(Asid asid, Addr va) const
+{
+    if (const TlbEntry *e = find(asid, va))
+        return *e;
+    return std::nullopt;
+}
+
+void
+UnifiedTlb::insert(Asid asid, Addr va_base, Addr pa_base, PageSize size)
+{
+    SEESAW_ASSERT(va_base % pageBytes(size) == 0, "unaligned va_base");
+    SEESAW_ASSERT(pa_base % pageBytes(size) == 0, "unaligned pa_base");
+
+    if (TlbEntry *existing = find(asid, va_base)) {
+        // Refresh; a size change (promotion/splinter races are handled
+        // by invlpg, but be safe) rewrites the entry.
+        existing->vpn = va_base >> pageOffsetBits(size);
+        existing->paBase = pa_base;
+        existing->size = size;
+        existing->lastUse = ++useClock_;
+        return;
+    }
+
+    TlbEntry *victim = &slots_[0];
+    for (auto &e : slots_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (victim->valid)
+        ++stats_.scalar("evictions");
+    *victim = TlbEntry{true, asid, va_base >> pageOffsetBits(size),
+                       pa_base, size, ++useClock_};
+    ++stats_.scalar("fills");
+}
+
+bool
+UnifiedTlb::invalidatePage(Asid asid, Addr va)
+{
+    if (TlbEntry *e = find(asid, va)) {
+        e->valid = false;
+        ++stats_.scalar("invalidations");
+        return true;
+    }
+    return false;
+}
+
+void
+UnifiedTlb::flushAsid(Asid asid)
+{
+    for (auto &e : slots_) {
+        if (e.valid && e.asid == asid)
+            e.valid = false;
+    }
+}
+
+void
+UnifiedTlb::flushAll()
+{
+    for (auto &e : slots_)
+        e.valid = false;
+}
+
+unsigned
+UnifiedTlb::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &e : slots_)
+        count += e.valid ? 1 : 0;
+    return count;
+}
+
+unsigned
+UnifiedTlb::superpageValidCount() const
+{
+    unsigned count = 0;
+    for (const auto &e : slots_)
+        count += (e.valid && isSuperpage(e.size)) ? 1 : 0;
+    return count;
+}
+
+} // namespace seesaw

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A fully-associative L1 TLB holding translations of every page size
+ * concurrently — the ARM/SPARC-style organisation the paper notes
+ * SEESAW also supports ("amenable to both split TLB and unified TLB
+ * configurations", Fig 4).
+ *
+ * Unlike the split per-size TLBs (tlb/tlb.hh), one entry pool is
+ * shared: a superpage-heavy phase can fill the whole structure with
+ * 2MB entries, and vice versa.
+ */
+
+#ifndef SEESAW_TLB_UNIFIED_TLB_HH
+#define SEESAW_TLB_UNIFIED_TLB_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "tlb/tlb.hh"
+
+namespace seesaw {
+
+/**
+ * Fully-associative, multi-page-size TLB with LRU replacement.
+ */
+class UnifiedTlb
+{
+  public:
+    UnifiedTlb(std::string name, unsigned entries);
+
+    /** Probe for a translation of @p va at any page size. */
+    std::optional<TlbEntry> lookup(Asid asid, Addr va);
+
+    /** Non-mutating probe. */
+    std::optional<TlbEntry> peek(Asid asid, Addr va) const;
+
+    /** Install a translation of @p size (LRU victim across ALL
+     *  sizes — the shared-capacity property). */
+    void insert(Asid asid, Addr va_base, Addr pa_base, PageSize size);
+
+    /** invlpg: drop any entry covering @p va. @return hit? */
+    bool invalidatePage(Asid asid, Addr va);
+
+    void flushAsid(Asid asid);
+    void flushAll();
+
+    unsigned entries() const { return entries_; }
+    unsigned validCount() const;
+
+    /** Valid entries caching superpage (2MB/1GB) translations — the
+     *  §IV-B3 scheduler counter for unified configurations. */
+    unsigned superpageValidCount() const;
+
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    std::string name_;
+    unsigned entries_;
+    std::vector<TlbEntry> slots_;
+    std::uint64_t useClock_ = 0;
+    StatGroup stats_;
+
+    /** @return The slot covering @p va, or nullptr. */
+    TlbEntry *find(Asid asid, Addr va);
+    const TlbEntry *find(Asid asid, Addr va) const;
+
+    /** @return True when @p e covers @p va. */
+    static bool covers(const TlbEntry &e, Asid asid, Addr va);
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_TLB_UNIFIED_TLB_HH

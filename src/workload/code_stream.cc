@@ -1,0 +1,45 @@
+#include "workload/code_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+CodeStream::CodeStream(const CodeStreamParams &params, Addr text_base,
+                       std::uint64_t seed)
+    : params_(params), textBase_(text_base), rng_(seed)
+{
+    SEESAW_ASSERT(text_base % 4096 == 0,
+                  "text base must be page aligned");
+    numLines_ = std::max<std::uint64_t>(1, params_.codeBytes / 64);
+    const auto fn_lines = static_cast<std::uint64_t>(
+        std::max(1.0, params_.meanFunctionLines));
+    numFunctions_ = std::max<std::uint64_t>(1, numLines_ / fn_lines);
+    branch();
+}
+
+void
+CodeStream::branch()
+{
+    // Hot functions dominate: zipf over function ranks. Hot text is
+    // clustered at the front of the segment, as PGO-driven linkers
+    // (hot/cold splitting) lay it out.
+    const std::uint64_t function =
+        rng_.nextZipf(numFunctions_, params_.zipfAlpha);
+    cursor_ = (function * numLines_) / numFunctions_;
+    runLeft_ = 1 + rng_.nextGeometric(params_.meanRunLines);
+}
+
+Addr
+CodeStream::nextFetchLine()
+{
+    if (runLeft_ == 0)
+        branch();
+    --runLeft_;
+    const Addr va = textBase_ + (cursor_ % numLines_) * 64;
+    ++cursor_;
+    return va;
+}
+
+} // namespace seesaw

@@ -1,0 +1,90 @@
+#include "workload/trace.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'E', 'S', 'A', 'W', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+struct RawRecord
+{
+    std::uint32_t gap;
+    std::uint8_t isWrite;
+    std::uint8_t pad[3];
+    std::uint64_t va;
+};
+static_assert(sizeof(RawRecord) == 16, "trace record must be 16 bytes");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        SEESAW_FATAL("cannot open trace for writing: ", path);
+    std::fwrite(kMagic, 1, sizeof(kMagic), file_);
+    std::uint32_t header[2] = {kVersion, 0};
+    std::fwrite(header, sizeof(header[0]), 2, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::append(const MemRef &ref)
+{
+    RawRecord raw{};
+    raw.gap = ref.gap;
+    raw.isWrite = ref.type == AccessType::Write ? 1 : 0;
+    raw.va = ref.va;
+    const auto written = std::fwrite(&raw, sizeof(raw), 1, file_);
+    SEESAW_ASSERT(written == 1, "trace write failed");
+    ++records_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        SEESAW_FATAL("cannot open trace for reading: ", path);
+    char magic[8];
+    std::uint32_t header[2];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        SEESAW_FATAL("bad trace magic in ", path);
+    }
+    if (std::fread(header, sizeof(header[0]), 2, file_) != 2 ||
+        header[0] != kVersion) {
+        SEESAW_FATAL("unsupported trace version in ", path);
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::optional<MemRef>
+TraceReader::next()
+{
+    RawRecord raw;
+    if (std::fread(&raw, sizeof(raw), 1, file_) != 1)
+        return std::nullopt;
+    MemRef ref;
+    ref.gap = raw.gap;
+    ref.type = raw.isWrite ? AccessType::Write : AccessType::Read;
+    ref.va = raw.va;
+    return ref;
+}
+
+} // namespace seesaw

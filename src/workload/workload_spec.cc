@@ -1,0 +1,304 @@
+#include "workload/workload_spec.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+
+constexpr std::uint64_t KB = 1ULL << 10;
+constexpr std::uint64_t MB = 1ULL << 20;
+
+/**
+ * Calibration notes. The mixtures are tuned so that, through a 32KB
+ * 8-way L1 at 0.25-0.45 references per instruction:
+ *  - SPEC-class workloads run at 95-99% L1 hit rates (their active
+ *    working sets "fit comfortably in the L1", §VI-B), MPKI ~5-20;
+ *  - cloud/server workloads run at 85-93%, MPKI ~25-60;
+ *  - the locality pathologies (gups, mcf, g500) sit at MPKI 70-140;
+ *  - pointer chases cluster inside 2MB regions (chaseRegionStayRefs),
+ *    matching the >90% TFT coverage the paper measures (Fig 13) —
+ *    except gups, whose randomness is the point.
+ */
+std::vector<WorkloadSpec>
+buildPaperWorkloads()
+{
+    std::vector<WorkloadSpec> w;
+
+    // SPEC CPU2006, single-threaded.
+    w.push_back({.name = "astar",
+                 .footprintBytes = 16 * MB,
+                 .memRefFraction = 0.38,
+                 .writeFraction = 0.25,
+                 .streamingFraction = 0.01,
+                 .pointerChaseFraction = 0.02,
+                 .chaseRegionStayRefs = 128.0,
+                 .chasePoolRegions = 4,
+                 .zipfAlpha = 1.60,
+                 .hotSetBytes = 512 * KB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.88,
+                 .systemProbesPerKiloInstr = 55.0});
+    w.push_back({.name = "cactus",
+                 .footprintBytes = 24 * MB,
+                 .memRefFraction = 0.42,
+                 .writeFraction = 0.30,
+                 .streamingFraction = 0.03,
+                 .pointerChaseFraction = 0.015,
+                 .chaseRegionStayRefs = 192.0,
+                 .chasePoolRegions = 4,
+                 .zipfAlpha = 1.50,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.94,
+                 .systemProbesPerKiloInstr = 20.0});
+    // PARSEC canneal: multi-threaded pointer chasing over a netlist.
+    w.push_back({.name = "cann",
+                 .footprintBytes = 96 * MB,
+                 .memRefFraction = 0.34,
+                 .writeFraction = 0.15,
+                 .streamingFraction = 0.005,
+                 .pointerChaseFraction = 0.05,
+                 .chaseRegionStayRefs = 96.0,
+                 .chasePoolRegions = 8,
+                 .zipfAlpha = 1.40,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 4,
+                 .sharedFraction = 0.35,
+                 .thpEligibleFraction = 0.92,
+                 .systemProbesPerKiloInstr = 25.0,
+                 .codeFootprintBytes = 4 * MB});
+    w.push_back({.name = "gems",
+                 .footprintBytes = 24 * MB,
+                 .memRefFraction = 0.45,
+                 .writeFraction = 0.30,
+                 .streamingFraction = 0.03,
+                 .pointerChaseFraction = 0.015,
+                 .chaseRegionStayRefs = 192.0,
+                 .chasePoolRegions = 4,
+                 .zipfAlpha = 1.50,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.94,
+                 .systemProbesPerKiloInstr = 20.0});
+    // graph500: BFS over a scale-free graph; poor locality.
+    w.push_back({.name = "g500",
+                 .footprintBytes = 128 * MB,
+                 .memRefFraction = 0.30,
+                 .writeFraction = 0.10,
+                 .streamingFraction = 0.005,
+                 .pointerChaseFraction = 0.08,
+                 .chaseRegionStayRefs = 40.0,
+                 .chasePoolRegions = 12,
+                 .zipfAlpha = 1.30,
+                 .hotSetBytes = 2 * MB,
+                 .threads = 4,
+                 .sharedFraction = 0.30,
+                 .thpEligibleFraction = 0.95,
+                 .systemProbesPerKiloInstr = 30.0,
+                 .codeFootprintBytes = 4 * MB});
+    // gups: random updates; the locality worst case.
+    w.push_back({.name = "gups",
+                 .footprintBytes = 128 * MB,
+                 .memRefFraction = 0.25,
+                 .writeFraction = 0.50,
+                 .streamingFraction = 0.0,
+                 .pointerChaseFraction = 0.3,
+                 .conflictFraction = 0.03,
+                 .chaseRegionStayRefs = 8.0,
+                 .chasePoolRegions = 0,
+                 .zipfAlpha = 1.40,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.95,
+                 .systemProbesPerKiloInstr = 15.0});
+    w.push_back({.name = "mcf",
+                 .footprintBytes = 64 * MB,
+                 .memRefFraction = 0.40,
+                 .writeFraction = 0.20,
+                 .streamingFraction = 0.005,
+                 .pointerChaseFraction = 0.07,
+                 .chaseRegionStayRefs = 64.0,
+                 .chasePoolRegions = 10,
+                 .zipfAlpha = 1.25,
+                 .hotSetBytes = 2 * MB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.90,
+                 .systemProbesPerKiloInstr = 55.0});
+    // Biobench mummer / tigr: genome matching, scan + index lookups.
+    w.push_back({.name = "mumm",
+                 .footprintBytes = 20 * MB,
+                 .memRefFraction = 0.36,
+                 .writeFraction = 0.10,
+                 .streamingFraction = 0.02,
+                 .pointerChaseFraction = 0.025,
+                 .chaseRegionStayRefs = 128.0,
+                 .chasePoolRegions = 6,
+                 .zipfAlpha = 1.45,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.90,
+                 .systemProbesPerKiloInstr = 20.0});
+    w.push_back({.name = "omnet",
+                 .footprintBytes = 12 * MB,
+                 .memRefFraction = 0.40,
+                 .writeFraction = 0.25,
+                 .streamingFraction = 0.01,
+                 .pointerChaseFraction = 0.015,
+                 .chaseRegionStayRefs = 128.0,
+                 .chasePoolRegions = 4,
+                 .zipfAlpha = 1.65,
+                 .hotSetBytes = 512 * KB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.85,
+                 .systemProbesPerKiloInstr = 25.0});
+    w.push_back({.name = "tigr",
+                 .footprintBytes = 16 * MB,
+                 .memRefFraction = 0.35,
+                 .writeFraction = 0.10,
+                 .streamingFraction = 0.03,
+                 .pointerChaseFraction = 0.02,
+                 .chaseRegionStayRefs = 128.0,
+                 .chasePoolRegions = 6,
+                 .zipfAlpha = 1.45,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.90,
+                 .systemProbesPerKiloInstr = 20.0});
+    // Cloudsuite tunkrank: influence ranking, heavily shared graph.
+    w.push_back({.name = "tunk",
+                 .footprintBytes = 96 * MB,
+                 .memRefFraction = 0.30,
+                 .writeFraction = 0.15,
+                 .streamingFraction = 0.005,
+                 .pointerChaseFraction = 0.045,
+                 .chaseRegionStayRefs = 96.0,
+                 .chasePoolRegions = 8,
+                 .zipfAlpha = 1.40,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 8,
+                 .sharedFraction = 0.40,
+                 .thpEligibleFraction = 0.95,
+                 .systemProbesPerKiloInstr = 30.0,
+                 .codeFootprintBytes = 16 * MB});
+    w.push_back({.name = "xalanc",
+                 .footprintBytes = 16 * MB,
+                 .memRefFraction = 0.40,
+                 .writeFraction = 0.20,
+                 .streamingFraction = 0.015,
+                 .pointerChaseFraction = 0.015,
+                 .chaseRegionStayRefs = 128.0,
+                 .chasePoolRegions = 4,
+                 .zipfAlpha = 1.65,
+                 .hotSetBytes = 512 * KB,
+                 .threads = 1,
+                 .sharedFraction = 0.0,
+                 .thpEligibleFraction = 0.85,
+                 .systemProbesPerKiloInstr = 25.0});
+    // Cloud/server workloads: big heaps, strong superpage affinity.
+    w.push_back({.name = "nutch",
+                 .footprintBytes = 160 * MB,
+                 .memRefFraction = 0.30,
+                 .writeFraction = 0.25,
+                 .streamingFraction = 0.01,
+                 .pointerChaseFraction = 0.025,
+                 .chaseRegionStayRefs = 192.0,
+                 .chasePoolRegions = 8,
+                 .zipfAlpha = 1.50,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 4,
+                 .sharedFraction = 0.20,
+                 .thpEligibleFraction = 0.92,
+                 .systemProbesPerKiloInstr = 35.0,
+                 .codeFootprintBytes = 32 * MB});
+    w.push_back({.name = "olio",
+                 .footprintBytes = 96 * MB,
+                 .memRefFraction = 0.30,
+                 .writeFraction = 0.30,
+                 .streamingFraction = 0.005,
+                 .pointerChaseFraction = 0.06,
+                 .chaseRegionStayRefs = 64.0,
+                 .chasePoolRegions = 8,
+                 .zipfAlpha = 1.35,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 4,
+                 .sharedFraction = 0.25,
+                 .thpEligibleFraction = 0.95,
+                 .systemProbesPerKiloInstr = 35.0,
+                 .codeFootprintBytes = 24 * MB});
+    w.push_back({.name = "redis",
+                 .footprintBytes = 128 * MB,
+                 .memRefFraction = 0.36,
+                 .writeFraction = 0.30,
+                 .streamingFraction = 0.005,
+                 .pointerChaseFraction = 0.04,
+                 .chaseRegionStayRefs = 128.0,
+                 .chasePoolRegions = 8,
+                 .zipfAlpha = 1.45,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 2,
+                 .sharedFraction = 0.20,
+                 .thpEligibleFraction = 0.95,
+                 .systemProbesPerKiloInstr = 35.0,
+                 .codeFootprintBytes = 8 * MB});
+    w.push_back({.name = "mongo",
+                 .footprintBytes = 160 * MB,
+                 .memRefFraction = 0.35,
+                 .writeFraction = 0.30,
+                 .streamingFraction = 0.01,
+                 .pointerChaseFraction = 0.045,
+                 .chaseRegionStayRefs = 96.0,
+                 .chasePoolRegions = 8,
+                 .zipfAlpha = 1.40,
+                 .hotSetBytes = 1 * MB,
+                 .threads = 4,
+                 .sharedFraction = 0.25,
+                 .thpEligibleFraction = 0.95,
+                 .systemProbesPerKiloInstr = 35.0,
+                 .codeFootprintBytes = 24 * MB});
+    return w;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+paperWorkloads()
+{
+    static const std::vector<WorkloadSpec> workloads =
+        buildPaperWorkloads();
+    return workloads;
+}
+
+const std::vector<WorkloadSpec> &
+cloudWorkloads()
+{
+    static const std::vector<WorkloadSpec> workloads = [] {
+        std::vector<WorkloadSpec> w;
+        for (const char *name : {"olio", "redis", "nutch", "tunk",
+                                 "g500", "mongo", "cann", "mcf"}) {
+            w.push_back(findWorkload(name));
+        }
+        return w;
+    }();
+    return workloads;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : paperWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    SEESAW_FATAL("unknown workload: ", name);
+}
+
+} // namespace seesaw

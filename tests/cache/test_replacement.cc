@@ -1,0 +1,60 @@
+/** @file Tests for LRU victim selection. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "cache/replacement.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(Replacement, InvalidWayWinsImmediately)
+{
+    std::array<CacheLine, 4> lines{};
+    lines[0] = {true, 1, CoherenceState::Shared, 10, PageSize::Base4KB};
+    lines[1] = {true, 2, CoherenceState::Shared, 20, PageSize::Base4KB};
+    // lines[2] invalid
+    lines[3] = {true, 4, CoherenceState::Shared, 5, PageSize::Base4KB};
+    EXPECT_EQ(selectLruVictim(lines.data(), 0, 4), 2u);
+}
+
+TEST(Replacement, OldestValidLineChosen)
+{
+    std::array<CacheLine, 4> lines{};
+    for (unsigned i = 0; i < 4; ++i)
+        lines[i] = {true, i, CoherenceState::Shared, 100 - i,
+                    PageSize::Base4KB};
+    EXPECT_EQ(selectLruVictim(lines.data(), 0, 4), 3u);
+}
+
+TEST(Replacement, RangeIsRespected)
+{
+    std::array<CacheLine, 8> lines{};
+    for (unsigned i = 0; i < 8; ++i)
+        lines[i] = {true, i, CoherenceState::Shared, i,
+                    PageSize::Base4KB};
+    // Way 0 has the globally oldest timestamp, but the range excludes
+    // it — partition-scoped victims must stay in [4, 8).
+    EXPECT_EQ(selectLruVictim(lines.data(), 4, 8), 4u);
+}
+
+TEST(Replacement, SingleWayRange)
+{
+    std::array<CacheLine, 2> lines{};
+    lines[0] = {true, 1, CoherenceState::Shared, 1, PageSize::Base4KB};
+    lines[1] = {true, 2, CoherenceState::Shared, 2, PageSize::Base4KB};
+    EXPECT_EQ(selectLruVictim(lines.data(), 1, 2), 1u);
+}
+
+TEST(Replacement, DirtyStateHelpers)
+{
+    EXPECT_TRUE(isDirtyState(CoherenceState::Modified));
+    EXPECT_TRUE(isDirtyState(CoherenceState::Owned));
+    EXPECT_FALSE(isDirtyState(CoherenceState::Exclusive));
+    EXPECT_FALSE(isDirtyState(CoherenceState::Shared));
+    EXPECT_FALSE(isDirtyState(CoherenceState::Invalid));
+}
+
+} // namespace
+} // namespace seesaw

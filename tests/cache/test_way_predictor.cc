@@ -1,0 +1,89 @@
+/** @file Tests for the MRU way predictor. */
+
+#include <gtest/gtest.h>
+
+#include "cache/way_predictor.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(WayPredictor, InitialPredictionIsWayZero)
+{
+    MruWayPredictor wp(64, 8, 2);
+    EXPECT_EQ(wp.predict(0), 0u);
+    EXPECT_EQ(wp.predict(63), 0u);
+}
+
+TEST(WayPredictor, PredictsLastUsedWay)
+{
+    MruWayPredictor wp(64, 8, 2);
+    wp.update(5, 3);
+    EXPECT_EQ(wp.predict(5), 3u);
+    wp.update(5, 7);
+    EXPECT_EQ(wp.predict(5), 7u);
+    // Other sets unaffected.
+    EXPECT_EQ(wp.predict(6), 0u);
+}
+
+TEST(WayPredictor, PartitionPredictionTracksPerPartitionMru)
+{
+    MruWayPredictor wp(64, 8, 2);
+    wp.update(2, 1); // partition 0, local way 1
+    wp.update(2, 6); // partition 1, local way 2
+    // Global MRU is way 6, but partition 0's MRU is still way 1.
+    EXPECT_EQ(wp.predict(2), 6u);
+    EXPECT_EQ(wp.predictInPartition(2, 0), 1u);
+    EXPECT_EQ(wp.predictInPartition(2, 1), 6u);
+}
+
+TEST(WayPredictor, PartitionPredictionReturnsAbsoluteWay)
+{
+    MruWayPredictor wp(64, 16, 4);
+    wp.update(0, 13); // partition 3, local way 1
+    EXPECT_EQ(wp.predictInPartition(0, 3), 13u);
+    EXPECT_EQ(wp.predictInPartition(0, 0), 0u);
+}
+
+TEST(WayPredictor, AccuracyTracking)
+{
+    MruWayPredictor wp(64, 8, 1);
+    EXPECT_EQ(wp.accuracy(), 0.0);
+    wp.recordOutcome(true);
+    wp.recordOutcome(true);
+    wp.recordOutcome(false);
+    wp.recordOutcome(true);
+    EXPECT_EQ(wp.predictions(), 4u);
+    EXPECT_EQ(wp.correct(), 3u);
+    EXPECT_DOUBLE_EQ(wp.accuracy(), 0.75);
+}
+
+TEST(WayPredictor, MruStreakIsAlwaysCorrect)
+{
+    // Hitting the same way repeatedly must always predict correctly
+    // after the first access — the MRU property.
+    MruWayPredictor wp(64, 8, 2);
+    wp.update(10, 5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(wp.predict(10), 5u);
+        wp.update(10, 5);
+    }
+}
+
+TEST(WayPredictor, AlternatingWaysAlwaysMispredict)
+{
+    // Ping-ponging between two ways defeats MRU prediction — the
+    // pointer-chase pathology the paper describes for way prediction.
+    MruWayPredictor wp(64, 8, 1);
+    unsigned correct = 0;
+    unsigned way = 0;
+    wp.update(0, way);
+    for (int i = 0; i < 100; ++i) {
+        way = way == 0 ? 1 : 0;
+        correct += wp.predict(0) == way ? 1 : 0;
+        wp.update(0, way);
+    }
+    EXPECT_EQ(correct, 0u);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,122 @@
+/** @file Tests for the exact MOESI directory. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/exact_directory.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(ExactDirectory, ColdLineNeedsNoProbes)
+{
+    ExactDirectory dir(4);
+    const auto read = dir.onReadMiss(0, 0x1000);
+    EXPECT_TRUE(read.targets.empty());
+    const auto write = dir.onWrite(0, 0x1000);
+    EXPECT_TRUE(write.targets.empty());
+    EXPECT_TRUE(write.invalidating);
+}
+
+TEST(ExactDirectory, FillAndHolds)
+{
+    ExactDirectory dir(4);
+    dir.recordFill(2, 0x1040, /*dirty=*/false);
+    EXPECT_TRUE(dir.holds(2, 0x1040));
+    EXPECT_TRUE(dir.holds(2, 0x1078)); // same line
+    EXPECT_FALSE(dir.holds(1, 0x1040));
+    EXPECT_FALSE(dir.holds(2, 0x1080)); // next line
+    EXPECT_EQ(dir.sharerCount(0x1040), 1u);
+    EXPECT_EQ(dir.owner(0x1040), -1);
+}
+
+TEST(ExactDirectory, DirtyOwnerSuppliesOnRemoteRead)
+{
+    ExactDirectory dir(4);
+    dir.recordFill(1, 0x2000, /*dirty=*/true);
+    EXPECT_EQ(dir.owner(0x2000), 1);
+
+    const auto probes = dir.onReadMiss(3, 0x2000);
+    ASSERT_EQ(probes.targets.size(), 1u);
+    EXPECT_EQ(probes.targets[0], 1u);
+    EXPECT_TRUE(probes.ownerSupplies);
+    EXPECT_FALSE(probes.invalidating);
+}
+
+TEST(ExactDirectory, CleanSharersNeedNoReadProbes)
+{
+    ExactDirectory dir(4);
+    dir.recordFill(1, 0x2000, false);
+    dir.recordFill(2, 0x2000, false);
+    const auto probes = dir.onReadMiss(3, 0x2000);
+    EXPECT_TRUE(probes.targets.empty());
+}
+
+TEST(ExactDirectory, WriteInvalidatesEveryOtherSharer)
+{
+    ExactDirectory dir(8);
+    for (CoreId c : {1u, 3u, 5u})
+        dir.recordFill(c, 0x3000, false);
+
+    const auto probes = dir.onWrite(5, 0x3000);
+    EXPECT_TRUE(probes.invalidating);
+    ASSERT_EQ(probes.targets.size(), 2u);
+    EXPECT_EQ(probes.targets[0], 1u);
+    EXPECT_EQ(probes.targets[1], 3u);
+
+    // The directory reflects the invalidations immediately.
+    EXPECT_FALSE(dir.holds(1, 0x3000));
+    EXPECT_FALSE(dir.holds(3, 0x3000));
+    EXPECT_TRUE(dir.holds(5, 0x3000));
+
+    dir.recordFill(5, 0x3000, true);
+    EXPECT_EQ(dir.owner(0x3000), 5);
+}
+
+TEST(ExactDirectory, WriteByDirtyOwnerNeedsNoProbes)
+{
+    ExactDirectory dir(4);
+    dir.recordFill(2, 0x4000, true);
+    const auto probes = dir.onWrite(2, 0x4000);
+    EXPECT_TRUE(probes.targets.empty());
+    EXPECT_TRUE(dir.holds(2, 0x4000));
+    EXPECT_EQ(dir.owner(0x4000), 2);
+}
+
+TEST(ExactDirectory, EvictionUntracksAndErasesEmptyEntries)
+{
+    ExactDirectory dir(4);
+    dir.recordFill(0, 0x5000, true);
+    dir.recordFill(1, 0x5000, false);
+    EXPECT_EQ(dir.sharerCount(0x5000), 2u);
+
+    dir.recordEviction(0, 0x5000);
+    EXPECT_EQ(dir.sharerCount(0x5000), 1u);
+    EXPECT_EQ(dir.owner(0x5000), -1); // owner left
+
+    dir.recordEviction(1, 0x5000);
+    EXPECT_EQ(dir.sharerCount(0x5000), 0u);
+    EXPECT_EQ(dir.trackedLines(), 0u);
+}
+
+TEST(ExactDirectory, ReadAfterWriteSequence)
+{
+    // The canonical migratory pattern: W0 -> R1 -> W2.
+    ExactDirectory dir(4);
+    EXPECT_TRUE(dir.onWrite(0, 0x6000).targets.empty());
+    dir.recordFill(0, 0x6000, true);
+
+    const auto r1 = dir.onReadMiss(1, 0x6000);
+    ASSERT_EQ(r1.targets.size(), 1u);
+    EXPECT_TRUE(r1.ownerSupplies);
+    dir.recordFill(1, 0x6000, false);
+    EXPECT_EQ(dir.sharerCount(0x6000), 2u);
+
+    const auto w2 = dir.onWrite(2, 0x6000);
+    EXPECT_EQ(w2.targets.size(), 2u);
+    dir.recordFill(2, 0x6000, true);
+    EXPECT_EQ(dir.sharerCount(0x6000), 1u);
+    EXPECT_EQ(dir.owner(0x6000), 2);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,116 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(Bitops, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0x00u);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+}
+
+TEST(Bitops, BitsSingleBitRange)
+{
+    EXPECT_EQ(bits(0b100, 2, 2), 1u);
+    EXPECT_EQ(bits(0b100, 1, 1), 0u);
+}
+
+TEST(Bitops, BitsFullWidth)
+{
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    EXPECT_EQ(bits(v, 63, 0), v);
+}
+
+TEST(Bitops, BitExtractsSinglePosition)
+{
+    EXPECT_EQ(bit(0x8000000000000000ULL, 63), 1u);
+    EXPECT_EQ(bit(0x8000000000000000ULL, 62), 0u);
+    EXPECT_EQ(bit(1, 0), 1u);
+}
+
+TEST(Bitops, MaskCoversRange)
+{
+    EXPECT_EQ(mask(3, 0), 0xfull);
+    EXPECT_EQ(mask(7, 4), 0xf0ull);
+    EXPECT_EQ(mask(63, 0), ~0ull);
+    EXPECT_EQ(mask(63, 63), 0x8000000000000000ULL);
+}
+
+TEST(Bitops, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(Bitops, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4096), 12u);
+    EXPECT_EQ(log2Floor(1ULL << 63), 63u);
+}
+
+TEST(Bitops, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+}
+
+TEST(Bitops, AlignUpDown)
+{
+    EXPECT_EQ(alignUp(0, 4096), 0u);
+    EXPECT_EQ(alignUp(1, 4096), 4096u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignDown(4095, 4096), 0u);
+    EXPECT_EQ(alignDown(1ULL << 40, 1ULL << 21), 1ULL << 40);
+}
+
+/** Property sweep: the paper's address-slicing identities for the
+ *  32KB/8-way SEESAW geometry (Fig 4): set index = bits 11:6,
+ *  partition bit = bit 12, both inside the 2MB page offset. */
+class AddressSliceTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AddressSliceTest, SuperpageOffsetBitsAgreeAcrossTranslation)
+{
+    const std::uint64_t va = GetParam();
+    // Simulate a 2MB-aligned translation: PA differs only above bit 20.
+    const std::uint64_t pa = (0xabcdeULL << 21) | bits(va, 20, 0);
+    EXPECT_EQ(bits(va, 11, 6), bits(pa, 11, 6));   // set index
+    EXPECT_EQ(bit(va, 12), bit(pa, 12));           // partition index
+    EXPECT_EQ(bits(va, 20, 12), bits(pa, 20, 12)); // all partition bits
+}
+
+TEST_P(AddressSliceTest, BasePageOffsetBitsAgreeOnlyBelowBit12)
+{
+    const std::uint64_t va = GetParam();
+    // 4KB translation: PA differs above bit 11; bit 12 may flip.
+    const std::uint64_t pa = (~va & ~mask(11, 0)) | bits(va, 11, 0);
+    EXPECT_EQ(bits(va, 11, 6), bits(pa, 11, 6));
+    EXPECT_NE(bit(va, 12), bit(pa, 12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Addresses, AddressSliceTest,
+    ::testing::Values(0x0ULL, 0x1000ULL, 0xdead0000ULL, 0x7fffffffffffULL,
+                      0x123456789abcULL, 0x200000ULL, 0x1fffffULL,
+                      0xfffffffff000ULL));
+
+} // namespace
+} // namespace seesaw

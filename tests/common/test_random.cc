@@ -1,0 +1,130 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedOfOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 8 * 0.9);
+        EXPECT_LT(c, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextZipf(100, 0.9), 100u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(29);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.nextZipf(1000, 1.0)];
+    // Rank 0 must dominate rank 100 heavily under alpha=1.
+    EXPECT_GT(counts[0], counts[100] * 10);
+}
+
+TEST(Rng, ZipfHandlesDomainSwitch)
+{
+    Rng rng(31);
+    EXPECT_LT(rng.nextZipf(10, 0.8), 10u);
+    EXPECT_LT(rng.nextZipf(100, 1.2), 100u);
+    EXPECT_LT(rng.nextZipf(10, 0.8), 10u);
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    Rng rng(37);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(5.0));
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, GeometricZeroMeanIsZero)
+{
+    Rng rng(41);
+    EXPECT_EQ(rng.nextGeometric(0.0), 0u);
+    EXPECT_EQ(rng.nextGeometric(-1.0), 0u);
+}
+
+} // namespace
+} // namespace seesaw

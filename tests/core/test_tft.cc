@@ -1,0 +1,204 @@
+/** @file Tests for the Translation Filter Table. */
+
+#include <gtest/gtest.h>
+
+#include "core/tft.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr Addr kRegion = 2ULL << 20; // 2MB
+
+TEST(Tft, ColdTableMisses)
+{
+    Tft tft(16);
+    EXPECT_FALSE(tft.lookup(0x12345678));
+    EXPECT_EQ(tft.validCount(), 0u);
+}
+
+TEST(Tft, MarkedRegionHitsForEveryAddressInside)
+{
+    Tft tft(16);
+    tft.markRegion(5 * kRegion);
+    EXPECT_TRUE(tft.lookup(5 * kRegion));
+    EXPECT_TRUE(tft.lookup(5 * kRegion + 0x1fffff));
+    EXPECT_FALSE(tft.lookup(6 * kRegion));
+    EXPECT_FALSE(tft.lookup(4 * kRegion));
+}
+
+TEST(Tft, MarkIsIdempotent)
+{
+    Tft tft(16);
+    tft.markRegion(kRegion);
+    tft.markRegion(kRegion + 0x1234);
+    EXPECT_EQ(tft.validCount(), 1u);
+}
+
+TEST(Tft, DirectMappedConflictDisplaces)
+{
+    Tft tft(16);
+    // Regions 0 and 16 collide under the MOD-16 hash.
+    tft.markRegion(0);
+    EXPECT_TRUE(tft.lookup(0));
+    tft.markRegion(16 * kRegion);
+    EXPECT_FALSE(tft.lookup(0));
+    EXPECT_TRUE(tft.lookup(16 * kRegion));
+    EXPECT_EQ(tft.stats().get("conflict_evictions"), 1.0);
+}
+
+TEST(Tft, NonConflictingRegionsCoexist)
+{
+    Tft tft(16);
+    for (Addr r = 0; r < 16; ++r)
+        tft.markRegion(r * kRegion);
+    EXPECT_EQ(tft.validCount(), 16u);
+    for (Addr r = 0; r < 16; ++r)
+        EXPECT_TRUE(tft.lookup(r * kRegion));
+}
+
+TEST(Tft, InvalidateRegionOnSplinter)
+{
+    Tft tft(16);
+    tft.markRegion(3 * kRegion);
+    EXPECT_TRUE(tft.invalidateRegion(3 * kRegion + 0x999));
+    EXPECT_FALSE(tft.lookup(3 * kRegion));
+    // Invalidating an absent region reports false.
+    EXPECT_FALSE(tft.invalidateRegion(3 * kRegion));
+}
+
+TEST(Tft, InvalidateDoesNotTouchOtherEntries)
+{
+    Tft tft(16);
+    tft.markRegion(1 * kRegion);
+    tft.markRegion(2 * kRegion);
+    tft.invalidateRegion(1 * kRegion);
+    EXPECT_TRUE(tft.lookup(2 * kRegion));
+}
+
+TEST(Tft, FlushOnContextSwitch)
+{
+    Tft tft(16);
+    for (Addr r = 0; r < 8; ++r)
+        tft.markRegion(r * kRegion);
+    tft.flush();
+    EXPECT_EQ(tft.validCount(), 0u);
+    EXPECT_FALSE(tft.lookup(0));
+    EXPECT_EQ(tft.stats().get("flushes"), 1.0);
+}
+
+TEST(Tft, PeekDoesNotCount)
+{
+    Tft tft(16);
+    tft.markRegion(kRegion);
+    const double lookups = tft.stats().get("lookups");
+    EXPECT_TRUE(tft.peek(kRegion));
+    EXPECT_FALSE(tft.peek(0));
+    EXPECT_EQ(tft.stats().get("lookups"), lookups);
+}
+
+TEST(Tft, PaperStorageBudget)
+{
+    // §IV-A2: a 16-entry TFT totals ~86 bytes per core.
+    Tft tft(16);
+    EXPECT_NEAR(tft.storageBytes(), 86.0, 3.0);
+}
+
+TEST(Tft, StatsCountHitsAndMisses)
+{
+    Tft tft(16);
+    tft.lookup(0);
+    tft.markRegion(0);
+    tft.lookup(0);
+    tft.lookup(kRegion);
+    EXPECT_EQ(tft.stats().get("lookups"), 3.0);
+    EXPECT_EQ(tft.stats().get("hits"), 1.0);
+    EXPECT_EQ(tft.stats().get("misses"), 2.0);
+}
+
+/** Size sweep used by Fig 13 (12/16/20-entry TFTs). */
+class TftSizeTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TftSizeTest, CapacityBoundedByEntries)
+{
+    Tft tft(GetParam());
+    for (Addr r = 0; r < 100; ++r)
+        tft.markRegion(r * kRegion);
+    EXPECT_LE(tft.validCount(), GetParam());
+}
+
+TEST_P(TftSizeTest, HashStaysInRange)
+{
+    Tft tft(GetParam());
+    // Mark wildly spread regions; lookup must never crash and the
+    // matching region must hit right after its own mark.
+    for (Addr r = 1; r < 1000000000; r *= 7) {
+        tft.markRegion(r * kRegion);
+        EXPECT_TRUE(tft.lookup(r * kRegion));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TftSizeTest,
+                         ::testing::Values(12u, 16u, 20u, 1u, 64u));
+
+// ------------------------------------------------------------------
+// Set-associative TFTs (the paper notes these are possible, §IV-A2).
+
+TEST(TftAssoc, ConflictingRegionsCoexistWithTwoWays)
+{
+    // Regions 0 and 8 collide in a 16-entry direct-mapped table but
+    // coexist in a 16-entry 2-way table (8 sets).
+    Tft dm(16, 1), assoc(16, 2);
+    dm.markRegion(0);
+    dm.markRegion(16 * kRegion);
+    EXPECT_FALSE(dm.lookup(0));
+
+    assoc.markRegion(0);
+    assoc.markRegion(8 * kRegion);
+    EXPECT_TRUE(assoc.lookup(0));
+    EXPECT_TRUE(assoc.lookup(8 * kRegion));
+}
+
+TEST(TftAssoc, LruReplacementWithinSet)
+{
+    Tft tft(16, 2); // 8 sets x 2 ways
+    tft.markRegion(0);
+    tft.markRegion(8 * kRegion);
+    // Touch region 0 so region 8 becomes LRU.
+    EXPECT_TRUE(tft.lookup(0));
+    tft.markRegion(16 * kRegion);
+    EXPECT_TRUE(tft.lookup(0));
+    EXPECT_FALSE(tft.lookup(8 * kRegion));
+    EXPECT_TRUE(tft.lookup(16 * kRegion));
+}
+
+TEST(TftAssoc, FullyAssociativeHoldsAnyMix)
+{
+    Tft tft(16, 16);
+    for (Addr r = 0; r < 16; ++r)
+        tft.markRegion(r * 16 * kRegion); // all would collide at DM
+    EXPECT_EQ(tft.validCount(), 16u);
+    for (Addr r = 0; r < 16; ++r)
+        EXPECT_TRUE(tft.lookup(r * 16 * kRegion));
+}
+
+TEST(TftAssoc, StorageAccountsForLruBits)
+{
+    Tft dm(16, 1), w4(16, 4);
+    EXPECT_GT(w4.storageBytes(), dm.storageBytes());
+}
+
+TEST(TftAssoc, InvalidateAndFlushWork)
+{
+    Tft tft(16, 4);
+    tft.markRegion(3 * kRegion);
+    EXPECT_TRUE(tft.invalidateRegion(3 * kRegion));
+    EXPECT_FALSE(tft.lookup(3 * kRegion));
+    tft.markRegion(5 * kRegion);
+    tft.flush();
+    EXPECT_EQ(tft.validCount(), 0u);
+}
+
+} // namespace
+} // namespace seesaw

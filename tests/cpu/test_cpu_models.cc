@@ -1,0 +1,217 @@
+/** @file Tests for the in-order and out-of-order core timing models. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(CpuParams, PresetsMatchTableII)
+{
+    const auto sb = CpuParams::sandybridge();
+    EXPECT_EQ(sb.robEntries, 168u);
+    EXPECT_EQ(sb.schedEntries, 54u);
+    EXPECT_EQ(sb.issueWidth, 4u);
+
+    const auto atom = CpuParams::atom();
+    EXPECT_EQ(atom.issueWidth, 2u);
+    EXPECT_EQ(atom.squashPenaltyCycles, 0u);
+}
+
+TEST(InOrderCore, NonMemoryThroughputIsIssueWidth)
+{
+    InOrderCore core;
+    core.retireNonMemory(100);
+    EXPECT_EQ(core.cycles(), 50u);
+    EXPECT_EQ(core.instructions(), 100u);
+}
+
+TEST(InOrderCore, MemoryLatencyMostlyExposed)
+{
+    // A 2-cycle hit costs 1 + k*sqrt(1) cycles: more than the single
+    // pipelined cycle, less than the raw latency.
+    InOrderCore core;
+    MemTiming t;
+    t.hit = true;
+    t.lookupCycles = 2;
+    t.assumedCycles = 2;
+    for (int i = 0; i < 100; ++i)
+        core.retireMemory(t);
+    const auto atom = CpuParams::atom();
+    const double e = CpuParams::exposedHitCycles(
+        2, atom.inorderL1ExposureFactor,
+        atom.inorderL1ExposureSaturation);
+    EXPECT_NEAR(static_cast<double>(core.cycles()),
+                100.0 * (1.0 + e), 1.0);
+}
+
+TEST(InOrderCore, FasterHitDirectlyReducesCycles)
+{
+    InOrderCore a, b;
+    MemTiming slow{true, 2, 0, 2};
+    MemTiming fast{true, 1, 0, 1};
+    for (int i = 0; i < 100; ++i) {
+        a.retireMemory(slow);
+        b.retireMemory(fast);
+    }
+    const auto atom = CpuParams::atom();
+    const double e = CpuParams::exposedHitCycles(
+        2, atom.inorderL1ExposureFactor,
+        atom.inorderL1ExposureSaturation);
+    EXPECT_NEAR(static_cast<double>(a.cycles() - b.cycles()),
+                100.0 * e, 1.5);
+    // The in-order core exposes more of the latency than the OoO core.
+    EXPECT_GT(atom.inorderL1ExposureFactor,
+              CpuParams::sandybridge().l1ExposureFactor);
+}
+
+TEST(CpuParams, ExposureSaturatesInLatency)
+{
+    // Exposure grows monotonically but saturates: bigger windows hide
+    // long latencies disproportionately well.
+    const double k = 0.13, sat = 10.0;
+    const double e2 = CpuParams::exposedHitCycles(2, k, sat);
+    const double e5 = CpuParams::exposedHitCycles(5, k, sat);
+    const double e14 = CpuParams::exposedHitCycles(14, k, sat);
+    const double e42 = CpuParams::exposedHitCycles(42, k, sat);
+    EXPECT_GT(e5, e2);
+    EXPECT_GT(e14, e5);
+    EXPECT_GT(e42, e14);
+    EXPECT_LT(e14 / e5, 14.0 / 5.0);
+    EXPECT_LT(e42, k * sat); // hard ceiling
+    EXPECT_EQ(CpuParams::exposedHitCycles(1, k, sat), 0.0);
+}
+
+TEST(InOrderCore, MissPenaltyMostlyExposed)
+{
+    InOrderCore core;
+    MemTiming t;
+    t.hit = false;
+    t.lookupCycles = 2;
+    t.missPenalty = 100;
+    t.assumedCycles = 2;
+    core.retireMemory(t);
+    EXPECT_GE(core.cycles(), 2u + 85u);
+    EXPECT_EQ(core.squashes(), 0u); // no speculative scheduling
+}
+
+TEST(InOrderCore, NeverSquashes)
+{
+    InOrderCore core;
+    MemTiming t;
+    t.hit = true;
+    t.lookupCycles = 10;
+    t.assumedCycles = 1; // even when "assumed" is exceeded
+    core.retireMemory(t);
+    EXPECT_EQ(core.squashes(), 0u);
+}
+
+TEST(OoOCore, NonMemoryThroughputIsIssueWidth)
+{
+    OoOCore core;
+    core.retireNonMemory(400);
+    EXPECT_EQ(core.cycles(), 100u);
+}
+
+TEST(OoOCore, HidesPartOfHitLatency)
+{
+    OoOCore ooo;
+    InOrderCore ino;
+    MemTiming t{true, 5, 0, 5};
+    for (int i = 0; i < 100; ++i) {
+        ooo.retireMemory(t);
+        ino.retireMemory(t);
+    }
+    EXPECT_LT(ooo.cycles(), ino.cycles());
+}
+
+TEST(OoOCore, SquashChargedOnLateDiscovery)
+{
+    OoOCore core;
+    MemTiming t{true, 2, 0, /*assumed=*/1, /*late=*/true};
+    core.retireMemory(t);
+    EXPECT_EQ(core.squashes(), 1u);
+    EXPECT_GE(core.cycles(),
+              CpuParams::sandybridge().squashPenaltyCycles);
+}
+
+TEST(OoOCore, EarlyDiscoveryCostsOnlyABubble)
+{
+    // A TFT miss is signalled within the first cycle: the scheduler
+    // cancels the fast wakeup for one cycle instead of replaying.
+    OoOCore core;
+    MemTiming t{true, 2, 0, /*assumed=*/1, /*late=*/false};
+    core.retireMemory(t);
+    EXPECT_EQ(core.squashes(), 0u);
+    EXPECT_LT(core.cycles(),
+              CpuParams::sandybridge().squashPenaltyCycles);
+    EXPECT_GE(core.cycles(), 1u);
+}
+
+TEST(OoOCore, NoSquashWhenAssumedCorrectly)
+{
+    OoOCore core;
+    MemTiming t{true, 2, 0, 2};
+    core.retireMemory(t);
+    EXPECT_EQ(core.squashes(), 0u);
+}
+
+TEST(OoOCore, MissIsASquashUnderHitAssumption)
+{
+    OoOCore core;
+    MemTiming t{false, 2, 50, 2, /*late=*/true};
+    core.retireMemory(t);
+    EXPECT_EQ(core.squashes(), 1u);
+}
+
+TEST(OoOCore, MissPenaltyPartiallyOverlapped)
+{
+    OoOCore ooo;
+    InOrderCore ino;
+    MemTiming t{false, 2, 100, 2};
+    ooo.retireMemory(t);
+    ino.retireMemory(t);
+    EXPECT_LT(ooo.cycles(), ino.cycles());
+}
+
+TEST(OoOCore, SeesawFastVsSlowAssumptionTradeoff)
+{
+    // If the scheduler assumes fast but the access is slow, the squash
+    // penalty makes it WORSE than having assumed slow — the rationale
+    // for the §IV-B3 counter policy.
+    OoOCore assume_fast, assume_slow;
+    MemTiming slow_access_fast_assumed{true, 2, 0, 1};
+    MemTiming slow_access_slow_assumed{true, 2, 0, 2};
+    for (int i = 0; i < 100; ++i) {
+        assume_fast.retireMemory(slow_access_fast_assumed);
+        assume_slow.retireMemory(slow_access_slow_assumed);
+    }
+    EXPECT_GT(assume_fast.cycles(), assume_slow.cycles());
+}
+
+TEST(OoOCore, IpcComputation)
+{
+    OoOCore core;
+    core.retireNonMemory(400);
+    EXPECT_NEAR(core.ipc(), 4.0, 1e-9);
+}
+
+TEST(CpuModel, AddStallCycles)
+{
+    OoOCore core;
+    core.addStallCycles(175);
+    EXPECT_EQ(core.cycles(), 175u);
+}
+
+TEST(CpuModel, FractionalCyclesAccumulateExactly)
+{
+    // 4-wide issue: 2 instructions = 0.5 cycles; 8 calls = 4 cycles.
+    OoOCore core;
+    for (int i = 0; i < 8; ++i)
+        core.retireNonMemory(2);
+    EXPECT_EQ(core.cycles(), 4u);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,243 @@
+/** @file End-to-end property tests of the paper's headline claims, run
+ *  at reduced scale. The bench binaries reproduce the full figures;
+ *  these tests pin the *directions* the paper asserts so regressions
+ *  are caught by ctest. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr std::uint64_t kMB = 1ULL << 20;
+
+WorkloadSpec
+shrink(const std::string &name)
+{
+    WorkloadSpec w = findWorkload(name);
+    w.footprintBytes = std::min<std::uint64_t>(w.footprintBytes,
+                                               24 * kMB);
+    w.hotSetBytes = std::min(w.hotSetBytes, 1 * kMB);
+    return w;
+}
+
+SystemConfig
+quickConfig()
+{
+    SystemConfig c;
+    c.instructions = 150'000;
+    c.os.memBytes = 512 * kMB;
+    c.seed = 7;
+    return c;
+}
+
+TEST(PaperProperties, SeesawNeverDegradesPerformance)
+{
+    // §VI-F: "SEESAW never degrades performance. At worst, it
+    // maintains baseline performance in the absence of superpages."
+    for (const char *name : {"redis", "mcf", "g500", "omnet"}) {
+        const auto cmp =
+            compareBaselineVsSeesaw(shrink(name), quickConfig());
+        EXPECT_GE(cmp.runtimeImprovementPct, -0.25) << name;
+    }
+}
+
+TEST(PaperProperties, SeesawAlwaysSavesEnergy)
+{
+    for (const char *name : {"redis", "tunk", "astar"}) {
+        const auto cmp =
+            compareBaselineVsSeesaw(shrink(name), quickConfig());
+        EXPECT_GT(cmp.energySavedPct, 0.0) << name;
+    }
+}
+
+TEST(PaperProperties, InOrderBenefitsExceedOutOfOrder)
+{
+    // Fig 9 vs Fig 8: in-order cores cannot hide L1 latency, so
+    // SEESAW helps them more.
+    SystemConfig ooo = quickConfig();
+    SystemConfig ino = quickConfig();
+    ino.coreKind = CoreKind::InOrder;
+    const WorkloadSpec w = shrink("redis");
+    const double ooo_gain =
+        compareBaselineVsSeesaw(w, ooo).runtimeImprovementPct;
+    const double ino_gain =
+        compareBaselineVsSeesaw(w, ino).runtimeImprovementPct;
+    EXPECT_GT(ino_gain, ooo_gain);
+}
+
+TEST(PaperProperties, LargerCachesBenefitMore)
+{
+    // Fig 7: the larger the (VIPT-constrained) cache, the bigger the
+    // gap between the slow full-set hit and SEESAW's partition hit.
+    SystemConfig cfg = quickConfig();
+    const WorkloadSpec w = shrink("redis");
+
+    cfg.l1SizeBytes = 32 * 1024;
+    cfg.l1Assoc = 8;
+    const double gain32 =
+        compareBaselineVsSeesaw(w, cfg).runtimeImprovementPct;
+
+    cfg.l1SizeBytes = 128 * 1024;
+    cfg.l1Assoc = 32;
+    const double gain128 =
+        compareBaselineVsSeesaw(w, cfg).runtimeImprovementPct;
+    EXPECT_GT(gain128, gain32);
+}
+
+TEST(PaperProperties, FragmentationShrinksButKeepsBenefit)
+{
+    // Fig 12: heavy memhog load reduces but does not eliminate the
+    // performance and energy benefits.
+    SystemConfig cfg = quickConfig();
+    const WorkloadSpec w = shrink("redis");
+    const auto clean = compareBaselineVsSeesaw(w, cfg);
+
+    cfg.memhogFraction = 0.6;
+    const auto frag = compareBaselineVsSeesaw(w, cfg);
+
+    EXPECT_LT(frag.seesaw.superpageCoverage,
+              clean.seesaw.superpageCoverage);
+    EXPECT_GT(frag.energySavedPct, 0.0);
+    EXPECT_LE(frag.energySavedPct, clean.energySavedPct + 0.5);
+}
+
+TEST(PaperProperties, CoherenceSavingsLargerForMultithreaded)
+{
+    // Fig 11: multi-threaded workloads derive a larger share of their
+    // energy savings from coherence lookups.
+    SystemConfig cfg = quickConfig();
+    const auto st = compareBaselineVsSeesaw(shrink("mcf"), cfg);
+    const auto mt = compareBaselineVsSeesaw(shrink("tunk"), cfg);
+
+    auto coherence_share = [](const DesignComparison &cmp) {
+        const double coh = cmp.baseline.l1CoherenceDynamicNj -
+                           cmp.seesaw.l1CoherenceDynamicNj;
+        const double cpu = cmp.baseline.l1CpuDynamicNj -
+                           cmp.seesaw.l1CpuDynamicNj;
+        return coh / (coh + cpu);
+    };
+    EXPECT_GT(coherence_share(st), 0.0);
+    EXPECT_GT(coherence_share(mt), coherence_share(st));
+}
+
+TEST(PaperProperties, WayPredictionAloneCanHurtPerformance)
+{
+    // Fig 15: on poor-locality workloads WP's mispredict replays cost
+    // runtime; SEESAW never does.
+    SystemConfig cfg = quickConfig();
+    const WorkloadSpec w = shrink("g500"); // pointer chasing
+
+    cfg.l1Kind = L1Kind::ViptBaseline;
+    const RunResult base = simulate(w, cfg);
+    cfg.l1Kind = L1Kind::ViptWayPredicted;
+    const RunResult wp = simulate(w, cfg);
+    cfg.l1Kind = L1Kind::Seesaw;
+    const RunResult see = simulate(w, cfg);
+
+    EXPECT_GT(wp.cycles, base.cycles);      // WP degrades runtime
+    EXPECT_LE(see.cycles, base.cycles);     // SEESAW does not
+}
+
+TEST(PaperProperties, CombinedWpSeesawSavesTheMostEnergy)
+{
+    SystemConfig cfg = quickConfig();
+    const WorkloadSpec w = shrink("nutch"); // good locality
+
+    cfg.l1Kind = L1Kind::ViptBaseline;
+    const RunResult base = simulate(w, cfg);
+    cfg.l1Kind = L1Kind::Seesaw;
+    const RunResult see = simulate(w, cfg);
+    cfg.l1Kind = L1Kind::SeesawWayPredicted;
+    const RunResult combined = simulate(w, cfg);
+
+    const double see_saved = energySavedPercent(base, see);
+    const double combined_saved = energySavedPercent(base, combined);
+    EXPECT_GT(combined_saved, see_saved);
+}
+
+TEST(PaperProperties, SchedulerCounterPolicyHelpsWhenSuperpagesScarce)
+{
+    // §IV-B3: without the occupancy-counter policy, scarce superpages
+    // cause chronic fast-assumption squashes.
+    SystemConfig cfg = quickConfig();
+    cfg.memhogFraction = 0.9; // superpages nearly unobtainable
+    WorkloadSpec w = shrink("redis");
+    w.thpEligibleFraction = 0.6;
+
+    cfg.schedulerCounterPolicy = true;
+    const RunResult with_policy = simulate(w, cfg);
+    cfg.schedulerCounterPolicy = false;
+    const RunResult without_policy = simulate(w, cfg);
+    EXPECT_LE(with_policy.squashes, without_policy.squashes);
+    EXPECT_LE(with_policy.cycles, without_policy.cycles);
+}
+
+TEST(PaperProperties, TftMissRateUnderTenPercentAt16Entries)
+{
+    // Fig 13's conclusion.
+    SystemConfig cfg = quickConfig();
+    cfg.tftEntries = 16;
+    for (const char *name : {"redis", "olio"}) {
+        const RunResult r = simulate(shrink(name), cfg);
+        ASSERT_GT(r.superpageRefs, 0u) << name;
+        const double miss_rate =
+            static_cast<double>(r.superpageRefsTftMiss) /
+            static_cast<double>(r.superpageRefs);
+        EXPECT_LT(miss_rate, 0.10) << name;
+    }
+}
+
+TEST(PaperProperties, TftMissesAreMostlyL1Misses)
+{
+    // Fig 13: the bulk of TFT misses coincide with L1 misses, so the
+    // extra partition read hides under the L2 access anyway.
+    SystemConfig cfg = quickConfig();
+    const RunResult r = simulate(shrink("redis"), cfg);
+    if (r.superpageRefsTftMiss > 20) {
+        EXPECT_GT(r.superpageRefsTftMissL1Miss,
+                  r.superpageRefsTftMissL1Hit);
+    }
+}
+
+TEST(PaperProperties, SeesawBeatsPiptAlternatives)
+{
+    // Fig 14: PIPT with reduced associativity can cut latency but
+    // pays serial TLB lookups; SEESAW wins on runtime.
+    SystemConfig cfg = quickConfig();
+    cfg.l1SizeBytes = 128 * 1024;
+    cfg.l1Assoc = 32;
+    const WorkloadSpec w = shrink("redis");
+
+    cfg.l1Kind = L1Kind::Seesaw;
+    const RunResult see = simulate(w, cfg);
+
+    SystemConfig pipt_cfg = cfg;
+    pipt_cfg.l1Kind = L1Kind::Pipt;
+    for (unsigned assoc : {4u, 8u}) {
+        pipt_cfg.l1Assoc = assoc;
+        const RunResult pipt = simulate(w, pipt_cfg);
+        EXPECT_LT(see.cycles, pipt.cycles) << assoc << "-way PIPT";
+    }
+}
+
+TEST(PaperProperties, InsertionPolicyCostsAtMostOnePercentHitRate)
+{
+    // §IV-B1: 4way insertion costs ~1% hit rate vs 4way-8way.
+    SystemConfig cfg = quickConfig();
+    const WorkloadSpec w = shrink("mcf");
+    cfg.policy = InsertionPolicy::FourWay;
+    const RunResult four = simulate(w, cfg);
+    cfg.policy = InsertionPolicy::FourWayEightWay;
+    const RunResult four_eight = simulate(w, cfg);
+
+    const double hr4 = static_cast<double>(four.l1Hits) /
+                       four.l1Accesses;
+    const double hr48 = static_cast<double>(four_eight.l1Hits) /
+                        four_eight.l1Accesses;
+    EXPECT_NEAR(hr4, hr48, 0.015);
+}
+
+} // namespace
+} // namespace seesaw

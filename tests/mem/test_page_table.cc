@@ -1,0 +1,144 @@
+/** @file Tests for the multi-page-size page table. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr Addr kMB2 = 2ULL << 20;
+
+TEST(PageTable, MapAndTranslateBasePage)
+{
+    PageTable pt;
+    EXPECT_TRUE(pt.map(1, 0x1000, 0x9000, PageSize::Base4KB));
+    auto t = pt.translate(1, 0x1abc);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->paBase, 0x9000u);
+    EXPECT_EQ(t->vaBase, 0x1000u);
+    EXPECT_EQ(t->size, PageSize::Base4KB);
+    EXPECT_EQ(t->translate(0x1abc), 0x9abcu);
+}
+
+TEST(PageTable, MapAndTranslateSuperpage)
+{
+    PageTable pt;
+    EXPECT_TRUE(pt.map(1, kMB2, 4 * kMB2, PageSize::Super2MB));
+    auto t = pt.translate(1, kMB2 + 0x12345);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->size, PageSize::Super2MB);
+    EXPECT_EQ(t->translate(kMB2 + 0x12345), 4 * kMB2 + 0x12345);
+}
+
+TEST(PageTable, UnmappedReturnsNullopt)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.translate(1, 0x1000).has_value());
+    pt.map(1, 0x1000, 0x9000, PageSize::Base4KB);
+    EXPECT_FALSE(pt.translate(2, 0x1000).has_value());
+    EXPECT_FALSE(pt.translate(1, 0x2000).has_value());
+}
+
+TEST(PageTable, OverlapRejected)
+{
+    PageTable pt;
+    EXPECT_TRUE(pt.map(1, kMB2, 4 * kMB2, PageSize::Super2MB));
+    // A 4KB page inside the superpage must be rejected.
+    EXPECT_FALSE(pt.map(1, kMB2 + 0x3000, 0x9000, PageSize::Base4KB));
+    // A second superpage on the same region is rejected.
+    EXPECT_FALSE(pt.map(1, kMB2, 8 * kMB2, PageSize::Super2MB));
+}
+
+TEST(PageTable, SuperpageOverBasePagesRejected)
+{
+    PageTable pt;
+    EXPECT_TRUE(pt.map(1, kMB2 + 0x5000, 0x9000, PageSize::Base4KB));
+    EXPECT_FALSE(pt.map(1, kMB2, 4 * kMB2, PageSize::Super2MB));
+}
+
+TEST(PageTable, DifferentAsidsDoNotConflict)
+{
+    PageTable pt;
+    EXPECT_TRUE(pt.map(1, 0x1000, 0x9000, PageSize::Base4KB));
+    EXPECT_TRUE(pt.map(2, 0x1000, 0xa000, PageSize::Base4KB));
+    EXPECT_EQ(pt.translate(1, 0x1000)->paBase, 0x9000u);
+    EXPECT_EQ(pt.translate(2, 0x1000)->paBase, 0xa000u);
+}
+
+TEST(PageTable, SynonymsAllowed)
+{
+    // Two virtual pages mapping the same physical page (synonyms) are
+    // legal and VIPT/SEESAW must cope with them.
+    PageTable pt;
+    EXPECT_TRUE(pt.map(1, 0x1000, 0x9000, PageSize::Base4KB));
+    EXPECT_TRUE(pt.map(1, 0x7000, 0x9000, PageSize::Base4KB));
+    EXPECT_EQ(pt.translate(1, 0x1000)->paBase,
+              pt.translate(1, 0x7000)->paBase);
+}
+
+TEST(PageTable, UnmapRemovesMapping)
+{
+    PageTable pt;
+    pt.map(1, 0x1000, 0x9000, PageSize::Base4KB);
+    auto removed = pt.unmap(1, 0x1000, PageSize::Base4KB);
+    ASSERT_TRUE(removed);
+    EXPECT_EQ(removed->paBase, 0x9000u);
+    EXPECT_FALSE(pt.translate(1, 0x1000).has_value());
+    EXPECT_FALSE(pt.unmap(1, 0x1000, PageSize::Base4KB).has_value());
+}
+
+TEST(PageTable, Iterate2MBRegion)
+{
+    PageTable pt;
+    for (unsigned i = 0; i < 10; ++i)
+        pt.map(1, kMB2 + i * 4096ULL, 0x100000 + i * 4096ULL,
+               PageSize::Base4KB);
+    EXPECT_EQ(pt.baseMappingsIn2MBRegion(1, kMB2), 10u);
+    EXPECT_EQ(pt.baseMappingsIn2MBRegion(1, kMB2 + 0x5000), 10u);
+    EXPECT_EQ(pt.baseMappingsIn2MBRegion(1, 2 * kMB2), 0u);
+
+    unsigned visited = 0;
+    pt.forEachBaseMappingIn2MBRegion(1, kMB2, [&](Addr va, Addr pa) {
+        EXPECT_EQ(pa - 0x100000, va - kMB2);
+        ++visited;
+    });
+    EXPECT_EQ(visited, 10u);
+}
+
+TEST(PageTable, MappedBytesAccounting)
+{
+    PageTable pt;
+    pt.map(1, 0x1000, 0x9000, PageSize::Base4KB);
+    pt.map(1, kMB2, 4 * kMB2, PageSize::Super2MB);
+    EXPECT_EQ(pt.mappedBytes(1), 4096 + kMB2);
+    EXPECT_EQ(pt.mappedBytes(1, PageSize::Base4KB), 4096u);
+    EXPECT_EQ(pt.mappedBytes(1, PageSize::Super2MB), kMB2);
+    EXPECT_EQ(pt.mappedBytes(2), 0u);
+}
+
+TEST(PageTable, ClearAsid)
+{
+    PageTable pt;
+    pt.map(1, 0x1000, 0x9000, PageSize::Base4KB);
+    pt.map(2, 0x1000, 0xa000, PageSize::Base4KB);
+    pt.clearAsid(1);
+    EXPECT_FALSE(pt.translate(1, 0x1000).has_value());
+    EXPECT_TRUE(pt.translate(2, 0x1000).has_value());
+}
+
+TEST(PageTable, OneGbPageSupport)
+{
+    PageTable pt;
+    const Addr gb = 1ULL << 30;
+    EXPECT_TRUE(pt.map(1, gb, 2 * gb, PageSize::Super1GB));
+    auto t = pt.translate(1, gb + 0xabcdef);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->size, PageSize::Super1GB);
+    EXPECT_EQ(t->translate(gb + 0xabcdef), 2 * gb + 0xabcdef);
+    // Overlap detection catches 2MB inside the 1GB page.
+    EXPECT_FALSE(pt.map(1, gb + 4 * kMB2, 0, PageSize::Super2MB));
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,135 @@
+/** @file Tests for the whole-hierarchy energy accounting. */
+
+#include <gtest/gtest.h>
+
+#include "model/energy_model.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr std::uint64_t kKB = 1024;
+
+class EnergyModelTest : public ::testing::Test
+{
+  protected:
+    SramModel sram_{TechNode::Intel22};
+    EnergyModel energy_{sram_};
+};
+
+TEST_F(EnergyModelTest, StartsAtZero)
+{
+    EXPECT_EQ(energy_.totalNj(), 0.0);
+}
+
+TEST_F(EnergyModelTest, L1LookupSplitsCpuAndCoherenceBuckets)
+{
+    energy_.addL1Lookup(32 * kKB, 8, 8, /*coherent=*/false);
+    EXPECT_GT(energy_.l1CpuDynamicNj(), 0.0);
+    EXPECT_EQ(energy_.l1CoherenceDynamicNj(), 0.0);
+
+    energy_.addL1Lookup(32 * kKB, 8, 4, /*coherent=*/true);
+    EXPECT_GT(energy_.l1CoherenceDynamicNj(), 0.0);
+}
+
+TEST_F(EnergyModelTest, PartitionLookupCostsLessThanFullSet)
+{
+    EnergyModel full(sram_), part(sram_);
+    full.addL1Lookup(32 * kKB, 8, 8, false);
+    part.addL1Lookup(32 * kKB, 8, 4, false);
+    EXPECT_LT(part.l1CpuDynamicNj(), full.l1CpuDynamicNj());
+    // The paper's measured gap: ~39% cheaper.
+    EXPECT_NEAR(1.0 - part.l1CpuDynamicNj() / full.l1CpuDynamicNj(),
+                0.3943, 0.02);
+}
+
+TEST_F(EnergyModelTest, OuterLevelsOrderedByCost)
+{
+    const auto &p = energy_.params();
+    EXPECT_LT(p.l2AccessNj, p.llcAccessNj);
+    EXPECT_LT(p.llcAccessNj, p.dramAccessNj);
+}
+
+TEST_F(EnergyModelTest, OuterAccumulatesAllLevels)
+{
+    energy_.addL2Access();
+    energy_.addLlcAccess();
+    energy_.addDramAccess();
+    const auto &p = energy_.params();
+    EXPECT_DOUBLE_EQ(energy_.outerHierarchyNj(),
+                     p.l2AccessNj + p.llcAccessNj + p.dramAccessNj);
+}
+
+TEST_F(EnergyModelTest, TranslationBucket)
+{
+    energy_.addL1TlbLookup();
+    energy_.addL2TlbLookup();
+    energy_.addTftLookup();
+    energy_.addWayPredictorLookup();
+    energy_.addPageWalk();
+    const auto &p = energy_.params();
+    EXPECT_DOUBLE_EQ(energy_.translationNj(),
+                     p.l1TlbLookupNj + p.l2TlbLookupNj + p.tftLookupNj +
+                         p.wayPredictorLookupNj + p.pageWalkNj);
+}
+
+TEST_F(EnergyModelTest, TftLookupIsTiny)
+{
+    // An 86-byte structure must cost far less than an L1 TLB probe.
+    EXPECT_LT(energy_.params().tftLookupNj,
+              energy_.params().l1TlbLookupNj / 2);
+}
+
+TEST_F(EnergyModelTest, InstallEnergyScalesWithTrackedWays)
+{
+    EnergyModel four(sram_), eight(sram_);
+    four.addLineInstall(4);
+    eight.addLineInstall(8);
+    EXPECT_DOUBLE_EQ(eight.l1CpuDynamicNj(),
+                     2.0 * four.l1CpuDynamicNj());
+}
+
+TEST_F(EnergyModelTest, LeakageGrowsWithTimeAndSize)
+{
+    EnergyModel a(sram_), b(sram_), c(sram_);
+    a.addL1Leakage(32 * kKB, 1000, 1.33);
+    b.addL1Leakage(32 * kKB, 2000, 1.33);
+    c.addL1Leakage(64 * kKB, 1000, 1.33);
+    EXPECT_NEAR(b.l1LeakageNj(), 2.0 * a.l1LeakageNj(), 1e-12);
+    EXPECT_GT(c.l1LeakageNj(), a.l1LeakageNj());
+}
+
+TEST_F(EnergyModelTest, LeakageShrinksWithFrequencyAtFixedCycles)
+{
+    // Same cycle count at a higher clock = less wall time = less leak.
+    EnergyModel slow(sram_), fast(sram_);
+    slow.addL1Leakage(32 * kKB, 1000, 1.33);
+    fast.addL1Leakage(32 * kKB, 1000, 4.0);
+    EXPECT_GT(slow.l1LeakageNj(), fast.l1LeakageNj());
+}
+
+TEST_F(EnergyModelTest, TotalIsSumOfBuckets)
+{
+    energy_.addL1Lookup(32 * kKB, 8, 8, false);
+    energy_.addL1Lookup(32 * kKB, 8, 4, true);
+    energy_.addL2Access();
+    energy_.addL1TlbLookup();
+    energy_.addL1Leakage(32 * kKB, 100, 1.33);
+    EXPECT_NEAR(energy_.totalNj(),
+                energy_.l1CpuDynamicNj() +
+                    energy_.l1CoherenceDynamicNj() +
+                    energy_.l1LeakageNj() +
+                    energy_.outerHierarchyNj() +
+                    energy_.translationNj(),
+                1e-12);
+}
+
+TEST_F(EnergyModelTest, ResetClearsEverything)
+{
+    energy_.addL1Lookup(32 * kKB, 8, 8, false);
+    energy_.addDramAccess();
+    energy_.reset();
+    EXPECT_EQ(energy_.totalNj(), 0.0);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,177 @@
+/** @file Tests for the analytical SRAM latency/energy model (Fig 2b/2c
+ *  trends from Section III-B). */
+
+#include <gtest/gtest.h>
+
+#include "model/sram_model.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr std::uint64_t kKB = 1024;
+
+TEST(SramModel, LatencyGrowsWithAssociativity)
+{
+    SramModel m;
+    for (std::uint64_t size : {16 * kKB, 32 * kKB, 64 * kKB, 128 * kKB}) {
+        double prev = 0.0;
+        for (unsigned assoc : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            const double lat = m.accessLatencyNs(size, assoc);
+            EXPECT_GT(lat, prev) << size << "B " << assoc << "-way";
+            prev = lat;
+        }
+    }
+}
+
+TEST(SramModel, LatencyStepWithinPaperRange)
+{
+    // The paper reports 10-25% latency growth per associativity step.
+    SramModel m;
+    for (std::uint64_t size : {16 * kKB, 32 * kKB, 64 * kKB, 128 * kKB}) {
+        for (unsigned assoc : {2u, 4u, 8u, 16u, 32u}) {
+            const double ratio = m.accessLatencyNs(size, assoc) /
+                                 m.accessLatencyNs(size, assoc / 2);
+            EXPECT_GE(ratio, 1.10);
+            EXPECT_LE(ratio, 1.25);
+        }
+    }
+}
+
+TEST(SramModel, LatencyGrowsWithCapacity)
+{
+    SramModel m;
+    EXPECT_LT(m.accessLatencyNs(16 * kKB, 8),
+              m.accessLatencyNs(32 * kKB, 8));
+    EXPECT_LT(m.accessLatencyNs(32 * kKB, 8),
+              m.accessLatencyNs(128 * kKB, 8));
+}
+
+TEST(SramModel, EnergyGrowsWithAssociativity)
+{
+    SramModel m;
+    for (std::uint64_t size : {16 * kKB, 32 * kKB, 64 * kKB, 128 * kKB}) {
+        double prev = 0.0;
+        for (unsigned assoc : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            const double e = m.accessEnergyNj(size, assoc);
+            EXPECT_GT(e, prev);
+            prev = e;
+        }
+    }
+}
+
+TEST(SramModel, EnergyStepLargerThanLatencyStep)
+{
+    // Section III-B: energy grows 40-50% per step, much steeper than
+    // latency.
+    SramModel m;
+    const double energy_ratio = m.accessEnergyNj(32 * kKB, 8) /
+                                m.accessEnergyNj(32 * kKB, 4);
+    const double latency_ratio = m.accessLatencyNs(32 * kKB, 8) /
+                                 m.accessLatencyNs(32 * kKB, 4);
+    EXPECT_GT(energy_ratio, latency_ratio);
+    EXPECT_GE(energy_ratio, 1.40);
+    EXPECT_LE(energy_ratio, 1.50);
+}
+
+TEST(SramModel, PartitionLookupMatchesPaperRtlNumbers)
+{
+    // §IV-A4: a 4-way partition access in the 32KB SEESAW cache costs
+    // 0.41% more than a plain 16KB 4-way access, and ~39% less than
+    // the baseline 8-way access.
+    SramModel m;
+    const double partition = m.lookupEnergyNj(32 * kKB, 8, 4);
+    const double small_cache = m.accessEnergyNj(16 * kKB, 4);
+    const double baseline = m.accessEnergyNj(32 * kKB, 8);
+    EXPECT_NEAR(partition / small_cache, 1.0041, 1e-6);
+    EXPECT_NEAR(1.0 - partition / baseline, 0.3943, 0.02);
+}
+
+TEST(SramModel, FullWidthLookupEqualsAccessEnergy)
+{
+    SramModel m;
+    EXPECT_DOUBLE_EQ(m.lookupEnergyNj(32 * kKB, 8, 8),
+                     m.accessEnergyNj(32 * kKB, 8));
+}
+
+TEST(SramModel, SlowPathEnergyMatchesBaselineExactly)
+{
+    // TFT-miss accesses end up reading all assoc ways once (the
+    // speculated partition, then the remaining partitions): the total
+    // equals the baseline full-set energy (Table I: "None" savings).
+    // The remaining-partition read is cheaper than the first because
+    // decoder/wordline energy is already spent.
+    SramModel m;
+    EXPECT_DOUBLE_EQ(m.lookupEnergyNj(32 * kKB, 8, 8),
+                     m.accessEnergyNj(32 * kKB, 8));
+    const double first_partition = m.lookupEnergyNj(32 * kKB, 8, 4);
+    const double remaining = m.accessEnergyNj(32 * kKB, 8) -
+                             first_partition;
+    EXPECT_GT(remaining, 0.0);
+    EXPECT_LT(remaining, first_partition);
+}
+
+TEST(SramModel, LeakageScalesWithCapacity)
+{
+    SramModel m;
+    EXPECT_NEAR(m.leakagePowerMw(64 * kKB) / m.leakagePowerMw(32 * kKB),
+                2.0, 1e-9);
+}
+
+TEST(SramModel, CyclesScaleWithFrequency)
+{
+    SramModel m;
+    const unsigned slow = m.accessLatencyCycles(32 * kKB, 8, 1.33);
+    const unsigned fast = m.accessLatencyCycles(32 * kKB, 8, 4.0);
+    EXPECT_GE(fast, slow);
+    EXPECT_GE(slow, 1u);
+}
+
+TEST(SramModel, TechScalingReducesLatency)
+{
+    // Paper: 3% faster at 22nm vs 28-32nm and 17% at 14nm; relative
+    // associativity trends unchanged.
+    SramModel m28(TechNode::Tsmc28), m22(TechNode::Intel22),
+        m14(TechNode::Intel14);
+    EXPECT_GT(m28.accessLatencyNs(32 * kKB, 8),
+              m22.accessLatencyNs(32 * kKB, 8));
+    EXPECT_GT(m22.accessLatencyNs(32 * kKB, 8),
+              m14.accessLatencyNs(32 * kKB, 8));
+
+    const double r22 = m22.accessLatencyNs(32 * kKB, 16) /
+                       m22.accessLatencyNs(32 * kKB, 8);
+    const double r14 = m14.accessLatencyNs(32 * kKB, 16) /
+                       m14.accessLatencyNs(32 * kKB, 8);
+    EXPECT_NEAR(r22, r14, 1e-9);
+}
+
+/** Property sweep over every geometry used anywhere in the benches. */
+class SramGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(SramGeometry, AllQuantitiesPositiveAndFinite)
+{
+    SramModel m;
+    const auto [size, assoc] = GetParam();
+    EXPECT_GT(m.accessLatencyNs(size, assoc), 0.0);
+    EXPECT_GT(m.accessEnergyNj(size, assoc), 0.0);
+    EXPECT_GT(m.leakagePowerMw(size), 0.0);
+    for (unsigned ways = 1; ways <= assoc; ways *= 2) {
+        EXPECT_GT(m.lookupEnergyNj(size, assoc, ways), 0.0);
+        EXPECT_LE(m.lookupEnergyNj(size, assoc, ways),
+                  m.accessEnergyNj(size, assoc) * 1.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SramGeometry,
+    ::testing::Values(std::make_pair(16 * kKB, 2u),
+                      std::make_pair(16 * kKB, 8u),
+                      std::make_pair(32 * kKB, 8u),
+                      std::make_pair(64 * kKB, 16u),
+                      std::make_pair(128 * kKB, 32u),
+                      std::make_pair(256 * kKB, 8u)));
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,189 @@
+/** @file System-level tests of the extension features: associative
+ *  TFTs, the unified L1 TLB, trace-driven replay, and the L1I
+ *  application. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "workload/trace.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr std::uint64_t kMB = 1ULL << 20;
+
+WorkloadSpec
+smallWorkload()
+{
+    WorkloadSpec w = findWorkload("redis");
+    w.footprintBytes = 16 * kMB;
+    w.hotSetBytes = 1 * kMB;
+    w.codeFootprintBytes = 4 * kMB;
+    return w;
+}
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.instructions = 150'000;
+    c.os.memBytes = 512 * kMB;
+    c.seed = 42;
+    return c;
+}
+
+TEST(Extensions, AssociativeTftRunsAndHelpsOrTies)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.tftAssoc = 1;
+    const RunResult direct = simulate(smallWorkload(), cfg);
+    cfg.tftAssoc = 4;
+    const RunResult assoc = simulate(smallWorkload(), cfg);
+
+    ASSERT_GT(assoc.superpageRefs, 0u);
+    const double direct_miss =
+        static_cast<double>(direct.superpageRefsTftMiss) /
+        direct.superpageRefs;
+    const double assoc_miss =
+        static_cast<double>(assoc.superpageRefsTftMiss) /
+        assoc.superpageRefs;
+    // Associativity removes conflict evictions: never worse.
+    EXPECT_LE(assoc_miss, direct_miss + 1e-9);
+}
+
+TEST(Extensions, UnifiedTlbSystemRuns)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.unifiedL1Tlb = true;
+    cfg.unifiedL1TlbEntries = 64;
+    const auto cmp = compareBaselineVsSeesaw(smallWorkload(), cfg);
+    EXPECT_GT(cmp.seesaw.tftHits, 0u);
+    EXPECT_GT(cmp.runtimeImprovementPct, -0.5);
+    EXPECT_GT(cmp.energySavedPct, 0.0);
+}
+
+TEST(Extensions, UnifiedVsSplitTlbBothServeSeesaw)
+{
+    SystemConfig cfg = smallConfig();
+    const RunResult split = simulate(smallWorkload(), cfg);
+    cfg.unifiedL1Tlb = true;
+    const RunResult unified = simulate(smallWorkload(), cfg);
+    // Both organisations keep the TFT effective.
+    auto miss_rate = [](const RunResult &r) {
+        return r.superpageRefs
+                   ? static_cast<double>(r.superpageRefsTftMiss) /
+                         r.superpageRefs
+                   : 0.0;
+    };
+    EXPECT_LT(miss_rate(split), 0.10);
+    EXPECT_LT(miss_rate(unified), 0.10);
+}
+
+TEST(Extensions, InstructionCacheModelRuns)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.modelInstructionCache = true;
+    const RunResult r = simulate(smallWorkload(), cfg);
+    EXPECT_GT(r.l1iAccesses, 0u);
+    // ~one fetch per 4 instructions.
+    EXPECT_NEAR(static_cast<double>(r.l1iAccesses),
+                r.instructions / 4.0, r.instructions * 0.05);
+    // Hot text fits reasonably: I-side hit rate well above cold.
+    EXPECT_GT(1.0 - static_cast<double>(r.l1iMisses) / r.l1iAccesses,
+              0.7);
+}
+
+TEST(Extensions, InstructionCacheSeesawAddsEnergySavings)
+{
+    // §V: the I-side application adds savings on top of the D-side,
+    // especially for large instruction footprints.
+    WorkloadSpec w = smallWorkload();
+    w.codeFootprintBytes = 16 * kMB;
+    SystemConfig cfg = smallConfig();
+    cfg.modelInstructionCache = true;
+
+    cfg.l1Kind = L1Kind::ViptBaseline;
+    const RunResult base = simulate(w, cfg);
+    cfg.l1Kind = L1Kind::Seesaw;
+    const RunResult see = simulate(w, cfg);
+    EXPECT_GT(energySavedPercent(base, see), 0.0);
+    EXPECT_GE(runtimeImprovementPercent(base, see), -0.5);
+}
+
+TEST(Extensions, TraceDrivenReplayMatchesWorkloadStatistics)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/system_replay.trace";
+    WorkloadSpec w = smallWorkload();
+
+    // Capture a trace of the synthetic stream, then replay it.
+    {
+        ReferenceStream stream(w, Addr{1} << 40, 42 ^ 0x57ea0ULL);
+        TraceWriter writer(path);
+        for (int i = 0; i < 120'000; ++i)
+            writer.append(stream.next());
+    }
+
+    SystemConfig cfg = smallConfig();
+    cfg.instructions = 100'000;
+    const RunResult synthetic = simulate(w, cfg);
+
+    cfg.tracePath = path;
+    const RunResult replayed = simulate(w, cfg);
+
+    EXPECT_GT(replayed.l1Accesses, 0u);
+    EXPECT_EQ(replayed.pageFaults, 0u); // footprint premapped
+    // Same address statistics: hit rates track closely.
+    const double hr_syn = static_cast<double>(synthetic.l1Hits) /
+                          synthetic.l1Accesses;
+    const double hr_rep = static_cast<double>(replayed.l1Hits) /
+                          replayed.l1Accesses;
+    EXPECT_NEAR(hr_syn, hr_rep, 0.05);
+    std::remove(path.c_str());
+}
+
+TEST(Extensions, TraceLoopsWhenShorterThanBudget)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/short.trace";
+    WorkloadSpec w = smallWorkload();
+    {
+        ReferenceStream stream(w, Addr{1} << 40, 7);
+        TraceWriter writer(path);
+        for (int i = 0; i < 1000; ++i)
+            writer.append(stream.next());
+    }
+    SystemConfig cfg = smallConfig();
+    cfg.instructions = 50'000;
+    cfg.tracePath = path;
+    const RunResult r = simulate(w, cfg);
+    EXPECT_GE(r.instructions, 50'000u);
+    std::remove(path.c_str());
+}
+
+TEST(Extensions, TraceOutsideFootprintIsDemandPaged)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/wild.trace";
+    {
+        TraceWriter writer(path);
+        // Addresses far outside the premapped heap.
+        for (int i = 0; i < 64; ++i)
+            writer.append(MemRef{10,
+                                 (Addr{3} << 40) + i * 0x200000ULL,
+                                 AccessType::Read});
+    }
+    SystemConfig cfg = smallConfig();
+    cfg.instructions = 2'000;
+    cfg.warmupInstructions = 0;
+    cfg.tracePath = path;
+    System system(cfg, smallWorkload());
+    const RunResult r = system.run();
+    EXPECT_GT(r.pageFaults, 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace seesaw

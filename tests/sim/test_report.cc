@@ -1,0 +1,50 @@
+/** @file Tests for the bench table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(TableReporter, RendersHeaderAndRows)
+{
+    TableReporter t({"workload", "improvement"});
+    t.addRow({"redis", "8.2%"});
+    t.addRow({"mcf", "4.1%"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("workload"), std::string::npos);
+    EXPECT_NE(out.find("redis"), std::string::npos);
+    EXPECT_NE(out.find("8.2%"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableReporter, ColumnsArePadded)
+{
+    TableReporter t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    const std::string out = t.render();
+    // Header line must be as wide as the widest row.
+    const auto header_end = out.find('\n');
+    const auto row_start = out.rfind('\n', out.size() - 2);
+    EXPECT_EQ(out.substr(0, header_end).size(),
+              out.substr(row_start + 1, out.size() - row_start - 2)
+                  .size());
+}
+
+TEST(TableReporter, FmtAndPct)
+{
+    EXPECT_EQ(TableReporter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TableReporter::fmt(3.0, 0), "3");
+    EXPECT_EQ(TableReporter::pct(12.345, 1), "12.3%");
+}
+
+TEST(TableReporter, EmptyTableRendersHeaderOnly)
+{
+    TableReporter t({"col"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+} // namespace
+} // namespace seesaw

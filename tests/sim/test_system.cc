@@ -1,0 +1,232 @@
+/** @file Integration tests for the full-system harness. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr std::uint64_t kMB = 1ULL << 20;
+
+WorkloadSpec
+smallWorkload()
+{
+    WorkloadSpec w = findWorkload("redis");
+    w.footprintBytes = 16 * kMB;
+    w.hotSetBytes = 1 * kMB;
+    return w;
+}
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.instructions = 200'000;
+    c.os.memBytes = 512 * kMB;
+    c.seed = 42;
+    return c;
+}
+
+TEST(System, RunProducesSaneResults)
+{
+    System system(smallConfig(), smallWorkload());
+    const RunResult r = system.run();
+
+    EXPECT_GE(r.instructions, smallConfig().instructions);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_GT(r.l1Accesses, 0u);
+    EXPECT_EQ(r.l1Accesses, r.l1Hits + r.l1Misses);
+    EXPECT_GT(r.energyTotalNj, 0.0);
+    EXPECT_GE(r.superpageCoverage, 0.0);
+    EXPECT_LE(r.superpageCoverage, 1.0);
+    EXPECT_EQ(r.pageFaults, 0u); // footprint is premapped
+}
+
+TEST(System, EnergyBucketsSumToTotal)
+{
+    System system(smallConfig(), smallWorkload());
+    const RunResult r = system.run();
+    EXPECT_NEAR(r.energyTotalNj,
+                r.l1CpuDynamicNj + r.l1CoherenceDynamicNj +
+                    r.l1LeakageNj + r.outerNj + r.translationNj,
+                r.energyTotalNj * 1e-9);
+}
+
+TEST(System, SeesawUsesTheTft)
+{
+    System system(smallConfig(), smallWorkload());
+    const RunResult r = system.run();
+    EXPECT_GT(r.tftLookups, 0u);
+    EXPECT_GT(r.tftHits, 0u);
+    // Clean memory: most references are to superpages, and the TFT
+    // catches the overwhelming majority of them (Fig 13).
+    EXPECT_GT(r.superpageRefFraction, 0.5);
+    ASSERT_GT(r.superpageRefs, 0u);
+    const double tft_miss_rate =
+        static_cast<double>(r.superpageRefsTftMiss) /
+        static_cast<double>(r.superpageRefs);
+    EXPECT_LT(tft_miss_rate, 0.10);
+}
+
+TEST(System, BaselineHasNoTftActivity)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.l1Kind = L1Kind::ViptBaseline;
+    System system(cfg, smallWorkload());
+    const RunResult r = system.run();
+    EXPECT_EQ(r.tftLookups, 0u);
+    EXPECT_EQ(r.fastHits, 0u);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    const RunResult a = simulate(smallWorkload(), smallConfig());
+    const RunResult b = simulate(smallWorkload(), smallConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_DOUBLE_EQ(a.energyTotalNj, b.energyTotalNj);
+}
+
+TEST(System, SeedChangesChangeOutcomesSlightly)
+{
+    SystemConfig cfg = smallConfig();
+    const RunResult a = simulate(smallWorkload(), cfg);
+    cfg.seed = 43;
+    const RunResult b = simulate(smallWorkload(), cfg);
+    EXPECT_NE(a.cycles, b.cycles);
+    // ... but not wildly: same workload statistics.
+    EXPECT_NEAR(static_cast<double>(a.cycles),
+                static_cast<double>(b.cycles),
+                0.1 * static_cast<double>(a.cycles));
+}
+
+TEST(System, SeesawBeatsBaselineOnSuperpageFriendlyLoad)
+{
+    const auto cmp =
+        compareBaselineVsSeesaw(smallWorkload(), smallConfig());
+    EXPECT_GT(cmp.runtimeImprovementPct, 0.0);
+    EXPECT_GT(cmp.energySavedPct, 0.0);
+    // Same cache geometry: hit rates must be very close (4way insert
+    // costs at most ~1% hit rate, §IV-B1).
+    const double base_hr = static_cast<double>(cmp.baseline.l1Hits) /
+                           cmp.baseline.l1Accesses;
+    const double see_hr = static_cast<double>(cmp.seesaw.l1Hits) /
+                          cmp.seesaw.l1Accesses;
+    EXPECT_NEAR(base_hr, see_hr, 0.02);
+}
+
+TEST(System, MemhogReducesCoverageAndBenefit)
+{
+    SystemConfig cfg = smallConfig();
+    const auto clean = compareBaselineVsSeesaw(smallWorkload(), cfg);
+    cfg.memhogFraction = 0.85;
+    const auto frag = compareBaselineVsSeesaw(smallWorkload(), cfg);
+    EXPECT_LT(frag.seesaw.superpageCoverage,
+              clean.seesaw.superpageCoverage);
+    EXPECT_LE(frag.runtimeImprovementPct,
+              clean.runtimeImprovementPct + 0.5);
+}
+
+TEST(System, PromotionAndSplinterEventsFire)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.promotionInterval = 20'000;
+    cfg.splinterInterval = 30'000;
+    WorkloadSpec w = smallWorkload();
+    w.thpEligibleFraction = 0.6; // leave base-page regions to promote
+    System system(cfg, w);
+    const RunResult r = system.run();
+    EXPECT_GT(r.splinters, 0u);
+    // Splintered regions get repromoted by khugepaged.
+    EXPECT_GT(r.promotions, 0u);
+}
+
+TEST(System, InOrderCoreRunsAndIsSlower)
+{
+    SystemConfig ooo = smallConfig();
+    SystemConfig ino = smallConfig();
+    ino.coreKind = CoreKind::InOrder;
+    const RunResult r_ooo = simulate(smallWorkload(), ooo);
+    const RunResult r_ino = simulate(smallWorkload(), ino);
+    EXPECT_GT(r_ino.cycles, r_ooo.cycles);
+}
+
+TEST(System, PiptAlternativeRuns)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.l1Kind = L1Kind::Pipt;
+    cfg.l1Assoc = 4;
+    const RunResult r = simulate(smallWorkload(), cfg);
+    EXPECT_GT(r.l1Accesses, 0u);
+    EXPECT_EQ(r.tftLookups, 0u);
+}
+
+TEST(System, WayPredictedVariantsReportAccuracy)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.l1Kind = L1Kind::ViptWayPredicted;
+    const RunResult wp = simulate(smallWorkload(), cfg);
+    EXPECT_GT(wp.wpAccuracy, 0.0);
+    EXPECT_LE(wp.wpAccuracy, 1.0);
+
+    cfg.l1Kind = L1Kind::SeesawWayPredicted;
+    const RunResult wps = simulate(smallWorkload(), cfg);
+    EXPECT_GT(wps.wpAccuracy, 0.0);
+}
+
+TEST(System, CoherenceProbesAccountedSeparately)
+{
+    System system(smallConfig(), smallWorkload());
+    const RunResult r = system.run();
+    EXPECT_GT(r.probes, 0u);
+    EXPECT_GT(r.l1CoherenceDynamicNj, 0.0);
+}
+
+TEST(System, SnoopyFabricGeneratesMoreProbeEnergy)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.fabric = CoherenceKind::Directory;
+    const RunResult dir = simulate(smallWorkload(), cfg);
+    cfg.fabric = CoherenceKind::Snoopy;
+    const RunResult snoop = simulate(smallWorkload(), cfg);
+    EXPECT_GT(snoop.probes, dir.probes);
+    EXPECT_GT(snoop.l1CoherenceDynamicNj, dir.l1CoherenceDynamicNj);
+}
+
+TEST(System, LargerCachesMissLess)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.l1SizeBytes = 32 * 1024;
+    cfg.l1Assoc = 8;
+    const RunResult small = simulate(smallWorkload(), cfg);
+    cfg.l1SizeBytes = 128 * 1024;
+    cfg.l1Assoc = 32;
+    const RunResult large = simulate(smallWorkload(), cfg);
+    EXPECT_LT(large.l1Mpki, small.l1Mpki);
+}
+
+TEST(Experiment, SummaryHelper)
+{
+    const Summary s = summarize({1.0, 2.0, 6.0});
+    EXPECT_DOUBLE_EQ(s.avg, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(Experiment, ImprovementHelpers)
+{
+    RunResult base, fast;
+    base.cycles = 1000;
+    fast.cycles = 900;
+    base.energyTotalNj = 50.0;
+    fast.energyTotalNj = 40.0;
+    EXPECT_DOUBLE_EQ(runtimeImprovementPercent(base, fast), 10.0);
+    EXPECT_DOUBLE_EQ(energySavedPercent(base, fast), 20.0);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,61 @@
+/** @file Tests for the page-walker cost model. */
+
+#include <gtest/gtest.h>
+
+#include "tlb/page_walker.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(PageWalker, WalkLevelsPerPageSize)
+{
+    EXPECT_EQ(PageTable::walkLevels(PageSize::Base4KB), 4u);
+    EXPECT_EQ(PageTable::walkLevels(PageSize::Super2MB), 3u);
+    EXPECT_EQ(PageTable::walkLevels(PageSize::Super1GB), 2u);
+}
+
+TEST(PageWalker, WalkReturnsTranslationAndCost)
+{
+    PageTable table;
+    table.map(1, 0x1000, 0x5000, PageSize::Base4KB);
+    PageWalker walker(table, 12);
+    auto res = walker.walk(1, 0x1234);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->translation.paBase, 0x5000u);
+    EXPECT_EQ(res->levels, 4u);
+    EXPECT_EQ(res->cycles, 48u);
+}
+
+TEST(PageWalker, SuperpageWalkIsShorter)
+{
+    PageTable table;
+    table.map(1, 0x200000, 0x400000, PageSize::Super2MB);
+    table.map(1, 0x1000, 0x5000, PageSize::Base4KB);
+    PageWalker walker(table, 12);
+    const auto super = walker.walk(1, 0x200400);
+    const auto base = walker.walk(1, 0x1000);
+    ASSERT_TRUE(super && base);
+    EXPECT_LT(super->cycles, base->cycles);
+}
+
+TEST(PageWalker, UnmappedAddressFaults)
+{
+    PageTable table;
+    PageWalker walker(table);
+    EXPECT_FALSE(walker.walk(1, 0xdead000).has_value());
+    EXPECT_EQ(walker.stats().get("faults"), 1.0);
+}
+
+TEST(PageWalker, StatsAccumulate)
+{
+    PageTable table;
+    table.map(1, 0x1000, 0x5000, PageSize::Base4KB);
+    PageWalker walker(table, 10);
+    walker.walk(1, 0x1000);
+    walker.walk(1, 0x1000);
+    EXPECT_EQ(walker.stats().get("walks"), 2.0);
+    EXPECT_EQ(walker.stats().get("walk_cycles"), 80.0);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,120 @@
+/** @file Tests for the generic per-page-size TLB. */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(Tlb, MissThenHitAfterInsert)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    EXPECT_FALSE(tlb.lookup(1, 0x1234).has_value());
+    tlb.insert(1, 0x1000, 0x9000);
+    auto e = tlb.lookup(1, 0x1234);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->paBase, 0x9000u);
+    EXPECT_EQ(e->size, PageSize::Base4KB);
+}
+
+TEST(Tlb, EntriesAreAsidTagged)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.insert(1, 0x1000, 0x9000);
+    EXPECT_TRUE(tlb.lookup(1, 0x1000).has_value());
+    EXPECT_FALSE(tlb.lookup(2, 0x1000).has_value());
+}
+
+TEST(Tlb, SuperpageGranularity)
+{
+    Tlb tlb("t", 16, 4, PageSize::Super2MB);
+    tlb.insert(1, 0x200000, 0x40000000);
+    // Any address in the 2MB page hits.
+    EXPECT_TRUE(tlb.lookup(1, 0x200000).has_value());
+    EXPECT_TRUE(tlb.lookup(1, 0x3fffff).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 0x400000).has_value());
+}
+
+TEST(Tlb, InsertUpdatesExistingEntry)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.insert(1, 0x1000, 0x9000);
+    tlb.insert(1, 0x1000, 0xa000);
+    EXPECT_EQ(tlb.validCount(), 1u);
+    EXPECT_EQ(tlb.lookup(1, 0x1000)->paBase, 0xa000u);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    // Fully associative 4-entry TLB (1 set).
+    Tlb tlb("t", 4, 4, PageSize::Base4KB);
+    for (Addr p = 0; p < 4; ++p)
+        tlb.insert(1, p << 12, p << 12);
+    // Touch page 0 so page 1 is LRU.
+    EXPECT_TRUE(tlb.lookup(1, 0x0).has_value());
+    tlb.insert(1, 4ULL << 12, 4ULL << 12);
+    EXPECT_TRUE(tlb.lookup(1, 0x0).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 1ULL << 12).has_value());
+}
+
+TEST(Tlb, SetIndexingSeparatesConflicts)
+{
+    // 16 entries, 4-way: 4 sets. Pages 0 and 4 share set 0.
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    for (Addr p = 0; p < 16; ++p)
+        tlb.insert(1, p << 12, p << 12);
+    EXPECT_EQ(tlb.validCount(), 16u);
+}
+
+TEST(Tlb, InvalidatePage)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.insert(1, 0x1000, 0x9000);
+    EXPECT_TRUE(tlb.invalidatePage(1, 0x1fff));
+    EXPECT_FALSE(tlb.lookup(1, 0x1000).has_value());
+    EXPECT_FALSE(tlb.invalidatePage(1, 0x1000));
+}
+
+TEST(Tlb, FlushAsidKeepsOtherAsids)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.insert(1, 0x1000, 0x9000);
+    tlb.insert(2, 0x2000, 0xa000);
+    tlb.flushAsid(1);
+    EXPECT_FALSE(tlb.lookup(1, 0x1000).has_value());
+    EXPECT_TRUE(tlb.lookup(2, 0x2000).has_value());
+}
+
+TEST(Tlb, FlushAllEmptiesEverything)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.insert(1, 0x1000, 0x9000);
+    tlb.insert(2, 0x2000, 0xa000);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.validCount(), 0u);
+}
+
+TEST(Tlb, PeekDoesNotCountOrTouch)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.insert(1, 0x1000, 0x9000);
+    const double lookups_before = tlb.stats().get("lookups");
+    EXPECT_TRUE(tlb.peek(1, 0x1000).has_value());
+    EXPECT_EQ(tlb.stats().get("lookups"), lookups_before);
+}
+
+TEST(Tlb, StatsTrackHitsAndMisses)
+{
+    Tlb tlb("t", 16, 4, PageSize::Base4KB);
+    tlb.lookup(1, 0x1000);
+    tlb.insert(1, 0x1000, 0x9000);
+    tlb.lookup(1, 0x1000);
+    EXPECT_EQ(tlb.stats().get("lookups"), 2.0);
+    EXPECT_EQ(tlb.stats().get("misses"), 1.0);
+    EXPECT_EQ(tlb.stats().get("hits"), 1.0);
+    EXPECT_EQ(tlb.stats().get("fills"), 1.0);
+}
+
+} // namespace
+} // namespace seesaw

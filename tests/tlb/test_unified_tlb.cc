@@ -1,0 +1,129 @@
+/** @file Tests for the fully-associative unified L1 TLB. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "tlb/unified_tlb.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr Addr kMB2 = 2ULL << 20;
+
+TEST(UnifiedTlb, MixedPageSizesCoexist)
+{
+    UnifiedTlb tlb("u", 8);
+    tlb.insert(1, 0x1000, 0x9000, PageSize::Base4KB);
+    tlb.insert(1, kMB2, 4 * kMB2, PageSize::Super2MB);
+    tlb.insert(1, 1ULL << 30, 2ULL << 30, PageSize::Super1GB);
+
+    EXPECT_TRUE(tlb.lookup(1, 0x1234).has_value());
+    EXPECT_TRUE(tlb.lookup(1, kMB2 + 0x12345).has_value());
+    EXPECT_TRUE(tlb.lookup(1, (1ULL << 30) + 0xabcdef).has_value());
+    EXPECT_EQ(tlb.validCount(), 3u);
+    EXPECT_EQ(tlb.superpageValidCount(), 2u);
+}
+
+TEST(UnifiedTlb, CoverageRespectsPageSize)
+{
+    UnifiedTlb tlb("u", 8);
+    tlb.insert(1, kMB2, 4 * kMB2, PageSize::Super2MB);
+    EXPECT_TRUE(tlb.lookup(1, kMB2).has_value());
+    EXPECT_TRUE(tlb.lookup(1, 2 * kMB2 - 1).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 2 * kMB2).has_value());
+    EXPECT_FALSE(tlb.lookup(1, kMB2 - 1).has_value());
+}
+
+TEST(UnifiedTlb, SharedCapacityAcrossSizes)
+{
+    // A superpage-heavy phase may consume the entire structure —
+    // the property split TLBs cannot express.
+    UnifiedTlb tlb("u", 4);
+    for (Addr r = 0; r < 4; ++r)
+        tlb.insert(1, r * kMB2, r * kMB2, PageSize::Super2MB);
+    EXPECT_EQ(tlb.superpageValidCount(), 4u);
+
+    // A 4KB insert now evicts the LRU superpage entry.
+    tlb.insert(1, 0x7000'0000, 0x9000, PageSize::Base4KB);
+    EXPECT_EQ(tlb.validCount(), 4u);
+    EXPECT_EQ(tlb.superpageValidCount(), 3u);
+    EXPECT_FALSE(tlb.lookup(1, 0).has_value()); // LRU victim
+}
+
+TEST(UnifiedTlb, LruAcrossTheWholePool)
+{
+    UnifiedTlb tlb("u", 3);
+    tlb.insert(1, 0x1000, 0x1000, PageSize::Base4KB);
+    tlb.insert(1, 0x2000, 0x2000, PageSize::Base4KB);
+    tlb.insert(1, 0x3000, 0x3000, PageSize::Base4KB);
+    // Touch the first so the second becomes LRU.
+    EXPECT_TRUE(tlb.lookup(1, 0x1000).has_value());
+    tlb.insert(1, 0x4000, 0x4000, PageSize::Base4KB);
+    EXPECT_TRUE(tlb.lookup(1, 0x1000).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 0x2000).has_value());
+}
+
+TEST(UnifiedTlb, AsidIsolationAndInvalidation)
+{
+    UnifiedTlb tlb("u", 8);
+    tlb.insert(1, 0x1000, 0x9000, PageSize::Base4KB);
+    tlb.insert(2, 0x1000, 0xa000, PageSize::Base4KB);
+    EXPECT_EQ(tlb.lookup(1, 0x1000)->paBase, 0x9000u);
+    EXPECT_EQ(tlb.lookup(2, 0x1000)->paBase, 0xa000u);
+
+    EXPECT_TRUE(tlb.invalidatePage(1, 0x1000));
+    EXPECT_FALSE(tlb.lookup(1, 0x1000).has_value());
+    EXPECT_TRUE(tlb.lookup(2, 0x1000).has_value());
+
+    tlb.flushAsid(2);
+    EXPECT_EQ(tlb.validCount(), 0u);
+}
+
+TEST(UnifiedTlbHierarchy, LookupFillsUnifiedAndFiresHook)
+{
+    PageTable table;
+    table.map(1, kMB2, 4 * kMB2, PageSize::Super2MB);
+    table.map(1, 0x1000, 0x5000, PageSize::Base4KB);
+
+    TlbHierarchy tlb(TlbHierarchyParams::unified(16), table);
+    std::vector<Addr> marked;
+    tlb.setOn2MBFill([&](Asid, Addr va) { marked.push_back(va); });
+
+    const auto super = tlb.lookup(1, kMB2 + 0x5000);
+    EXPECT_FALSE(super.fault);
+    EXPECT_TRUE(super.walked);
+    ASSERT_EQ(marked.size(), 1u);
+    EXPECT_EQ(marked[0], kMB2);
+
+    // L1 hit path, with the refresh policy active.
+    const auto hit = tlb.lookup(1, kMB2 + 0x6000);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(marked.size(), 2u);
+
+    // Base pages never fire the hook.
+    tlb.lookup(1, 0x1000);
+    tlb.lookup(1, 0x1000);
+    EXPECT_EQ(marked.size(), 2u);
+
+    EXPECT_EQ(tlb.superpageL1ValidCount(), 1u);
+    EXPECT_EQ(tlb.superpageL1Capacity(), 16u);
+}
+
+TEST(UnifiedTlbHierarchy, InvalidateAndFlushCoverUnified)
+{
+    PageTable table;
+    table.map(1, kMB2, 4 * kMB2, PageSize::Super2MB);
+    TlbHierarchy tlb(TlbHierarchyParams::unified(16), table);
+    tlb.lookup(1, kMB2);
+    EXPECT_EQ(tlb.superpageL1ValidCount(), 1u);
+    tlb.invalidatePage(1, kMB2);
+    EXPECT_EQ(tlb.superpageL1ValidCount(), 0u);
+
+    tlb.lookup(1, kMB2);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.superpageL1ValidCount(), 0u);
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,87 @@
+/** @file Tests for the instruction-fetch stream (§V L1I extension). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/code_stream.hh"
+
+namespace seesaw {
+namespace {
+
+CodeStreamParams
+params(std::uint64_t code_bytes = 4ULL << 20)
+{
+    CodeStreamParams p;
+    p.codeBytes = code_bytes;
+    return p;
+}
+
+TEST(CodeStream, AddressesStayInTextSegment)
+{
+    const Addr base = 2ULL << 40;
+    CodeStream stream(params(), base, 7);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr va = stream.nextFetchLine();
+        EXPECT_GE(va, base);
+        EXPECT_LT(va, base + (4ULL << 20));
+        EXPECT_EQ(va % 64, 0u); // line aligned
+    }
+}
+
+TEST(CodeStream, DeterministicForEqualSeeds)
+{
+    CodeStream a(params(), 0, 3), b(params(), 0, 3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(a.nextFetchLine(), b.nextFetchLine());
+}
+
+TEST(CodeStream, FetchRunsAreSequential)
+{
+    CodeStream stream(params(), 0, 11);
+    Addr prev = stream.nextFetchLine();
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const Addr cur = stream.nextFetchLine();
+        sequential += (cur == prev + 64) ? 1 : 0;
+        prev = cur;
+    }
+    // Mean run length 12 implies ~90% of fetches continue the run.
+    EXPECT_GT(sequential / static_cast<double>(n), 0.8);
+}
+
+TEST(CodeStream, HotTextIsClusteredAtTheFront)
+{
+    // Hot/cold-split layout: most fetches land in the front of the
+    // text segment.
+    CodeStream stream(params(16ULL << 20), 0, 13);
+    std::uint64_t front = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (stream.nextFetchLine() < (2ULL << 20))
+            ++front;
+    }
+    EXPECT_GT(front / static_cast<double>(n), 0.6);
+}
+
+TEST(CodeStream, LargeFootprintTouchesManyPages)
+{
+    CodeStream stream(params(32ULL << 20), 0, 17);
+    std::set<Addr> pages;
+    for (int i = 0; i < 200000; ++i)
+        pages.insert(stream.nextFetchLine() >> 12);
+    // A scale-out-sized text segment exercises hundreds of pages.
+    EXPECT_GT(pages.size(), 200u);
+}
+
+TEST(CodeStream, TinyFootprintStillWorks)
+{
+    CodeStream stream(params(4096), 0, 19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(stream.nextFetchLine(), 4096u);
+}
+
+} // namespace
+} // namespace seesaw

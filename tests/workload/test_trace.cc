@@ -1,0 +1,78 @@
+/** @file Tests for the binary trace writer/reader. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace seesaw {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Trace, RoundTripPreservesRecords)
+{
+    const std::string path = tempPath("roundtrip.trace");
+    std::vector<MemRef> refs = {
+        {0, 0x1000, AccessType::Read},
+        {17, 0xdeadbeef40, AccessType::Write},
+        {4096, 0xffffffffffff, AccessType::Read},
+    };
+    {
+        TraceWriter writer(path);
+        for (const auto &r : refs)
+            writer.append(r);
+        EXPECT_EQ(writer.records(), refs.size());
+    }
+    TraceReader reader(path);
+    for (const auto &expected : refs) {
+        auto got = reader.next();
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->gap, expected.gap);
+        EXPECT_EQ(got->va, expected.va);
+        EXPECT_EQ(got->type, expected.type);
+    }
+    EXPECT_FALSE(reader.next().has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTraceReadsNothing)
+{
+    const std::string path = tempPath("empty.trace");
+    { TraceWriter writer(path); }
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.next().has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, GeneratedStreamRoundTrip)
+{
+    const std::string path = tempPath("stream.trace");
+    const auto &spec = findWorkload("astar");
+    {
+        ReferenceStream stream(spec, 0x1000, 5);
+        TraceWriter writer(path);
+        for (int i = 0; i < 1000; ++i)
+            writer.append(stream.next());
+    }
+    ReferenceStream stream(spec, 0x1000, 5);
+    TraceReader reader(path);
+    for (int i = 0; i < 1000; ++i) {
+        auto rec = reader.next();
+        ASSERT_TRUE(rec.has_value());
+        const MemRef expected = stream.next();
+        EXPECT_EQ(rec->va, expected.va);
+        EXPECT_EQ(rec->gap, expected.gap);
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace seesaw

@@ -1,0 +1,160 @@
+/** @file Tests for the workload specs and the reference generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/reference_stream.hh"
+#include "workload/workload_spec.hh"
+
+namespace seesaw {
+namespace {
+
+TEST(WorkloadSpec, SixteenPaperWorkloads)
+{
+    const auto &w = paperWorkloads();
+    EXPECT_EQ(w.size(), 16u);
+    EXPECT_EQ(w.front().name, "astar");
+    EXPECT_EQ(w.back().name, "mongo");
+}
+
+TEST(WorkloadSpec, CloudSubsetMatchesFig12)
+{
+    const auto &w = cloudWorkloads();
+    ASSERT_EQ(w.size(), 8u);
+    EXPECT_EQ(w[0].name, "olio");
+    EXPECT_EQ(w[7].name, "mcf");
+}
+
+TEST(WorkloadSpec, FindByName)
+{
+    EXPECT_EQ(findWorkload("redis").name, "redis");
+    EXPECT_GT(findWorkload("redis").footprintBytes, 0u);
+}
+
+TEST(WorkloadSpec, AllSpecsAreSane)
+{
+    for (const auto &w : paperWorkloads()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_GE(w.footprintBytes, 1ULL << 20) << w.name;
+        EXPECT_LE(w.footprintBytes, 1ULL << 31) << w.name;
+        EXPECT_GT(w.memRefFraction, 0.0) << w.name;
+        EXPECT_LE(w.memRefFraction, 1.0) << w.name;
+        EXPECT_GE(w.writeFraction, 0.0) << w.name;
+        EXPECT_LE(w.writeFraction, 1.0) << w.name;
+        EXPECT_LE(w.streamingFraction + w.pointerChaseFraction +
+                      w.conflictFraction,
+                  1.0)
+            << w.name;
+        EXPECT_GE(w.threads, 1u) << w.name;
+        EXPECT_LE(w.hotSetBytes, w.footprintBytes) << w.name;
+        EXPECT_GT(w.thpEligibleFraction, 0.5) << w.name;
+    }
+}
+
+TEST(WorkloadSpec, MultithreadedWorkloadsShareData)
+{
+    for (const auto &w : paperWorkloads()) {
+        if (w.multithreaded())
+            EXPECT_GT(w.sharedFraction, 0.0) << w.name;
+        else
+            EXPECT_EQ(w.sharedFraction, 0.0) << w.name;
+    }
+}
+
+TEST(ReferenceStream, AddressesStayInFootprint)
+{
+    const auto &spec = findWorkload("mcf");
+    const Addr base = 1ULL << 40;
+    ReferenceStream stream(spec, base, 7);
+    for (int i = 0; i < 100000; ++i) {
+        const MemRef ref = stream.next();
+        EXPECT_GE(ref.va, base);
+        EXPECT_LT(ref.va, base + spec.footprintBytes);
+    }
+}
+
+TEST(ReferenceStream, DeterministicForEqualSeeds)
+{
+    const auto &spec = findWorkload("redis");
+    ReferenceStream a(spec, 0x1000, 3), b(spec, 0x1000, 3);
+    for (int i = 0; i < 10000; ++i) {
+        const MemRef ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.va, rb.va);
+        EXPECT_EQ(ra.gap, rb.gap);
+        EXPECT_EQ(ra.type, rb.type);
+    }
+}
+
+TEST(ReferenceStream, WriteFractionApproximatelyMet)
+{
+    const auto &spec = findWorkload("gups"); // writeFraction 0.5
+    ReferenceStream stream(spec, 0x1000, 11);
+    int writes = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        writes += stream.next().type == AccessType::Write ? 1 : 0;
+    EXPECT_NEAR(writes / static_cast<double>(n), spec.writeFraction,
+                0.02);
+}
+
+TEST(ReferenceStream, MeanGapMatchesMemRefFraction)
+{
+    const auto &spec = findWorkload("astar");
+    ReferenceStream stream(spec, 0x1000, 13);
+    double total_gap = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        total_gap += stream.next().gap;
+    const double mem_ref_fraction = n / (total_gap + n);
+    EXPECT_NEAR(mem_ref_fraction, spec.memRefFraction, 0.03);
+}
+
+TEST(ReferenceStream, HotSetIsHot)
+{
+    // Most non-streaming, non-chase references must land in the hot
+    // set; the footprint tail is cold.
+    const auto &spec = findWorkload("omnet");
+    ReferenceStream stream(spec, 0, 17);
+    std::uint64_t hot = 0, n = 100000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const MemRef ref = stream.next();
+        if (ref.va < spec.hotSetBytes)
+            ++hot;
+    }
+    const double expected_floor = 1.0 - spec.streamingFraction -
+                                  spec.pointerChaseFraction -
+                                  spec.conflictFraction - 0.05;
+    EXPECT_GT(hot / static_cast<double>(n), expected_floor);
+}
+
+TEST(ReferenceStream, StreamingComponentSweepsSequentially)
+{
+    WorkloadSpec spec = findWorkload("cactus");
+    spec.streamingFraction = 1.0;
+    spec.pointerChaseFraction = 0.0;
+    spec.conflictFraction = 0.0;
+    spec.repeatFraction = 0.0;
+    ReferenceStream stream(spec, 0, 19);
+    Addr prev = stream.next().va;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr cur = stream.next().va;
+        // Line addresses advance by exactly one line each time.
+        EXPECT_EQ((cur >> 6) - (prev >> 6), 1u);
+        prev = cur;
+    }
+}
+
+TEST(ReferenceStream, TouchesManyDistinctPages)
+{
+    const auto &spec = findWorkload("g500");
+    ReferenceStream stream(spec, 0, 23);
+    std::set<Addr> pages;
+    for (int i = 0; i < 50000; ++i)
+        pages.insert(stream.next().va >> 12);
+    // A pointer-chasing graph workload touches many distinct pages.
+    EXPECT_GT(pages.size(), 500u);
+}
+
+} // namespace
+} // namespace seesaw
