@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_1gb_pages"
+  "../bench/ablation_1gb_pages.pdb"
+  "CMakeFiles/ablation_1gb_pages.dir/ablation_1gb_pages.cc.o"
+  "CMakeFiles/ablation_1gb_pages.dir/ablation_1gb_pages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_1gb_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

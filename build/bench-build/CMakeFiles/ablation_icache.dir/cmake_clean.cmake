@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_icache"
+  "../bench/ablation_icache.pdb"
+  "CMakeFiles/ablation_icache.dir/ablation_icache.cc.o"
+  "CMakeFiles/ablation_icache.dir/ablation_icache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

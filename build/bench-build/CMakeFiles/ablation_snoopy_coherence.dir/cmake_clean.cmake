@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_snoopy_coherence"
+  "../bench/ablation_snoopy_coherence.pdb"
+  "CMakeFiles/ablation_snoopy_coherence.dir/ablation_snoopy_coherence.cc.o"
+  "CMakeFiles/ablation_snoopy_coherence.dir/ablation_snoopy_coherence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snoopy_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tft_flush"
+  "../bench/ablation_tft_flush.pdb"
+  "CMakeFiles/ablation_tft_flush.dir/ablation_tft_flush.cc.o"
+  "CMakeFiles/ablation_tft_flush.dir/ablation_tft_flush.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tft_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

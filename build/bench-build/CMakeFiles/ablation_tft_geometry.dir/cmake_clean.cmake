@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tft_geometry"
+  "../bench/ablation_tft_geometry.pdb"
+  "CMakeFiles/ablation_tft_geometry.dir/ablation_tft_geometry.cc.o"
+  "CMakeFiles/ablation_tft_geometry.dir/ablation_tft_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tft_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02a_mpki"
+  "../bench/fig02a_mpki.pdb"
+  "CMakeFiles/fig02a_mpki.dir/fig02a_mpki.cc.o"
+  "CMakeFiles/fig02a_mpki.dir/fig02a_mpki.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02b_latency"
+  "../bench/fig02b_latency.pdb"
+  "CMakeFiles/fig02b_latency.dir/fig02b_latency.cc.o"
+  "CMakeFiles/fig02b_latency.dir/fig02b_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

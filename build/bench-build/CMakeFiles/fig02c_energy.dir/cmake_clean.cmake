@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02c_energy"
+  "../bench/fig02c_energy.pdb"
+  "CMakeFiles/fig02c_energy.dir/fig02c_energy.cc.o"
+  "CMakeFiles/fig02c_energy.dir/fig02c_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02c_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_superpage_coverage"
+  "../bench/fig03_superpage_coverage.pdb"
+  "CMakeFiles/fig03_superpage_coverage.dir/fig03_superpage_coverage.cc.o"
+  "CMakeFiles/fig03_superpage_coverage.dir/fig03_superpage_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_superpage_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_runtime_ooo"
+  "../bench/fig07_runtime_ooo.pdb"
+  "CMakeFiles/fig07_runtime_ooo.dir/fig07_runtime_ooo.cc.o"
+  "CMakeFiles/fig07_runtime_ooo.dir/fig07_runtime_ooo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_runtime_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_runtime_ooo_freq"
+  "../bench/fig08_runtime_ooo_freq.pdb"
+  "CMakeFiles/fig08_runtime_ooo_freq.dir/fig08_runtime_ooo_freq.cc.o"
+  "CMakeFiles/fig08_runtime_ooo_freq.dir/fig08_runtime_ooo_freq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_runtime_ooo_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

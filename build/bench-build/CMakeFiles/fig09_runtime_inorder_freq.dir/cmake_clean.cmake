@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_runtime_inorder_freq"
+  "../bench/fig09_runtime_inorder_freq.pdb"
+  "CMakeFiles/fig09_runtime_inorder_freq.dir/fig09_runtime_inorder_freq.cc.o"
+  "CMakeFiles/fig09_runtime_inorder_freq.dir/fig09_runtime_inorder_freq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_runtime_inorder_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

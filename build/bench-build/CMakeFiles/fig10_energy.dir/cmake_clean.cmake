@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_energy"
+  "../bench/fig10_energy.pdb"
+  "CMakeFiles/fig10_energy.dir/fig10_energy.cc.o"
+  "CMakeFiles/fig10_energy.dir/fig10_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_energy_split"
+  "../bench/fig11_energy_split.pdb"
+  "CMakeFiles/fig11_energy_split.dir/fig11_energy_split.cc.o"
+  "CMakeFiles/fig11_energy_split.dir/fig11_energy_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_energy_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

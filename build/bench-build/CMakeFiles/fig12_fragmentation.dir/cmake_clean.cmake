@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_fragmentation"
+  "../bench/fig12_fragmentation.pdb"
+  "CMakeFiles/fig12_fragmentation.dir/fig12_fragmentation.cc.o"
+  "CMakeFiles/fig12_fragmentation.dir/fig12_fragmentation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_tft_analysis.cc" "bench-build/CMakeFiles/fig13_tft_analysis.dir/fig13_tft_analysis.cc.o" "gcc" "bench-build/CMakeFiles/fig13_tft_analysis.dir/fig13_tft_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

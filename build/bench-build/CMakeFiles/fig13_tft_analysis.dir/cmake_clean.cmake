@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_tft_analysis"
+  "../bench/fig13_tft_analysis.pdb"
+  "CMakeFiles/fig13_tft_analysis.dir/fig13_tft_analysis.cc.o"
+  "CMakeFiles/fig13_tft_analysis.dir/fig13_tft_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tft_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

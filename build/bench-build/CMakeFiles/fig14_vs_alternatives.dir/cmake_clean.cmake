@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_vs_alternatives"
+  "../bench/fig14_vs_alternatives.pdb"
+  "CMakeFiles/fig14_vs_alternatives.dir/fig14_vs_alternatives.cc.o"
+  "CMakeFiles/fig14_vs_alternatives.dir/fig14_vs_alternatives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vs_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_way_prediction"
+  "../bench/fig15_way_prediction.pdb"
+  "CMakeFiles/fig15_way_prediction.dir/fig15_way_prediction.cc.o"
+  "CMakeFiles/fig15_way_prediction.dir/fig15_way_prediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_way_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multicore_coherence"
+  "../bench/multicore_coherence.pdb"
+  "CMakeFiles/multicore_coherence.dir/multicore_coherence.cc.o"
+  "CMakeFiles/multicore_coherence.dir/multicore_coherence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

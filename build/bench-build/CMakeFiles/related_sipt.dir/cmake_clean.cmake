@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_sipt"
+  "../bench/related_sipt.pdb"
+  "CMakeFiles/related_sipt.dir/related_sipt.cc.o"
+  "CMakeFiles/related_sipt.dir/related_sipt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_sipt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

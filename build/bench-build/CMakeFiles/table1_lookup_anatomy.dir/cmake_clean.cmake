@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_lookup_anatomy"
+  "../bench/table1_lookup_anatomy.pdb"
+  "CMakeFiles/table1_lookup_anatomy.dir/table1_lookup_anatomy.cc.o"
+  "CMakeFiles/table1_lookup_anatomy.dir/table1_lookup_anatomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lookup_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

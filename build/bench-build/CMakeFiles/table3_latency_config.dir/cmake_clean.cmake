@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_latency_config"
+  "../bench/table3_latency_config.pdb"
+  "CMakeFiles/table3_latency_config.dir/table3_latency_config.cc.o"
+  "CMakeFiles/table3_latency_config.dir/table3_latency_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_latency_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

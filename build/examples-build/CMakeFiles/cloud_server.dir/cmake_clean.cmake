@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cloud_server"
+  "../examples/cloud_server.pdb"
+  "CMakeFiles/cloud_server.dir/cloud_server.cpp.o"
+  "CMakeFiles/cloud_server.dir/cloud_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/seesaw_cli"
+  "../examples/seesaw_cli.pdb"
+  "CMakeFiles/seesaw_cli.dir/seesaw_cli.cpp.o"
+  "CMakeFiles/seesaw_cli.dir/seesaw_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/baseline_caches.cc" "src/CMakeFiles/seesaw_cache.dir/cache/baseline_caches.cc.o" "gcc" "src/CMakeFiles/seesaw_cache.dir/cache/baseline_caches.cc.o.d"
+  "/root/repo/src/cache/next_level.cc" "src/CMakeFiles/seesaw_cache.dir/cache/next_level.cc.o" "gcc" "src/CMakeFiles/seesaw_cache.dir/cache/next_level.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/seesaw_cache.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/seesaw_cache.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/CMakeFiles/seesaw_cache.dir/cache/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/seesaw_cache.dir/cache/set_assoc_cache.cc.o.d"
+  "/root/repo/src/cache/sipt_cache.cc" "src/CMakeFiles/seesaw_cache.dir/cache/sipt_cache.cc.o" "gcc" "src/CMakeFiles/seesaw_cache.dir/cache/sipt_cache.cc.o.d"
+  "/root/repo/src/cache/way_predictor.cc" "src/CMakeFiles/seesaw_cache.dir/cache/way_predictor.cc.o" "gcc" "src/CMakeFiles/seesaw_cache.dir/cache/way_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

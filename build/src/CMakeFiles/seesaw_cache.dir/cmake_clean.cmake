@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_cache.dir/cache/baseline_caches.cc.o"
+  "CMakeFiles/seesaw_cache.dir/cache/baseline_caches.cc.o.d"
+  "CMakeFiles/seesaw_cache.dir/cache/next_level.cc.o"
+  "CMakeFiles/seesaw_cache.dir/cache/next_level.cc.o.d"
+  "CMakeFiles/seesaw_cache.dir/cache/replacement.cc.o"
+  "CMakeFiles/seesaw_cache.dir/cache/replacement.cc.o.d"
+  "CMakeFiles/seesaw_cache.dir/cache/set_assoc_cache.cc.o"
+  "CMakeFiles/seesaw_cache.dir/cache/set_assoc_cache.cc.o.d"
+  "CMakeFiles/seesaw_cache.dir/cache/sipt_cache.cc.o"
+  "CMakeFiles/seesaw_cache.dir/cache/sipt_cache.cc.o.d"
+  "CMakeFiles/seesaw_cache.dir/cache/way_predictor.cc.o"
+  "CMakeFiles/seesaw_cache.dir/cache/way_predictor.cc.o.d"
+  "libseesaw_cache.a"
+  "libseesaw_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/exact_directory.cc" "src/CMakeFiles/seesaw_coherence.dir/coherence/exact_directory.cc.o" "gcc" "src/CMakeFiles/seesaw_coherence.dir/coherence/exact_directory.cc.o.d"
+  "/root/repo/src/coherence/probe_engine.cc" "src/CMakeFiles/seesaw_coherence.dir/coherence/probe_engine.cc.o" "gcc" "src/CMakeFiles/seesaw_coherence.dir/coherence/probe_engine.cc.o.d"
+  "/root/repo/src/coherence/snoop_bus.cc" "src/CMakeFiles/seesaw_coherence.dir/coherence/snoop_bus.cc.o" "gcc" "src/CMakeFiles/seesaw_coherence.dir/coherence/snoop_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_coherence.dir/coherence/exact_directory.cc.o"
+  "CMakeFiles/seesaw_coherence.dir/coherence/exact_directory.cc.o.d"
+  "CMakeFiles/seesaw_coherence.dir/coherence/probe_engine.cc.o"
+  "CMakeFiles/seesaw_coherence.dir/coherence/probe_engine.cc.o.d"
+  "CMakeFiles/seesaw_coherence.dir/coherence/snoop_bus.cc.o"
+  "CMakeFiles/seesaw_coherence.dir/coherence/snoop_bus.cc.o.d"
+  "libseesaw_coherence.a"
+  "libseesaw_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_common.dir/common/logging.cc.o"
+  "CMakeFiles/seesaw_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/seesaw_common.dir/common/random.cc.o"
+  "CMakeFiles/seesaw_common.dir/common/random.cc.o.d"
+  "CMakeFiles/seesaw_common.dir/common/stats.cc.o"
+  "CMakeFiles/seesaw_common.dir/common/stats.cc.o.d"
+  "libseesaw_common.a"
+  "libseesaw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_core.dir/core/seesaw_cache.cc.o"
+  "CMakeFiles/seesaw_core.dir/core/seesaw_cache.cc.o.d"
+  "CMakeFiles/seesaw_core.dir/core/tft.cc.o"
+  "CMakeFiles/seesaw_core.dir/core/tft.cc.o.d"
+  "libseesaw_core.a"
+  "libseesaw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

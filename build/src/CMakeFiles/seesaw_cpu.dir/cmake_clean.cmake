@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_cpu.dir/cpu/cpu_model.cc.o"
+  "CMakeFiles/seesaw_cpu.dir/cpu/cpu_model.cc.o.d"
+  "CMakeFiles/seesaw_cpu.dir/cpu/inorder_core.cc.o"
+  "CMakeFiles/seesaw_cpu.dir/cpu/inorder_core.cc.o.d"
+  "CMakeFiles/seesaw_cpu.dir/cpu/ooo_core.cc.o"
+  "CMakeFiles/seesaw_cpu.dir/cpu/ooo_core.cc.o.d"
+  "libseesaw_cpu.a"
+  "libseesaw_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/buddy_allocator.cc" "src/CMakeFiles/seesaw_mem.dir/mem/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/seesaw_mem.dir/mem/buddy_allocator.cc.o.d"
+  "/root/repo/src/mem/memhog.cc" "src/CMakeFiles/seesaw_mem.dir/mem/memhog.cc.o" "gcc" "src/CMakeFiles/seesaw_mem.dir/mem/memhog.cc.o.d"
+  "/root/repo/src/mem/os_memory_manager.cc" "src/CMakeFiles/seesaw_mem.dir/mem/os_memory_manager.cc.o" "gcc" "src/CMakeFiles/seesaw_mem.dir/mem/os_memory_manager.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/seesaw_mem.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/seesaw_mem.dir/mem/page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_mem.dir/mem/buddy_allocator.cc.o"
+  "CMakeFiles/seesaw_mem.dir/mem/buddy_allocator.cc.o.d"
+  "CMakeFiles/seesaw_mem.dir/mem/memhog.cc.o"
+  "CMakeFiles/seesaw_mem.dir/mem/memhog.cc.o.d"
+  "CMakeFiles/seesaw_mem.dir/mem/os_memory_manager.cc.o"
+  "CMakeFiles/seesaw_mem.dir/mem/os_memory_manager.cc.o.d"
+  "CMakeFiles/seesaw_mem.dir/mem/page_table.cc.o"
+  "CMakeFiles/seesaw_mem.dir/mem/page_table.cc.o.d"
+  "libseesaw_mem.a"
+  "libseesaw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

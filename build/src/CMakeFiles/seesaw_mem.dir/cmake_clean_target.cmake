@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseesaw_mem.a"
+)

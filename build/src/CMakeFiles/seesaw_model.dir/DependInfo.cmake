@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/energy_model.cc" "src/CMakeFiles/seesaw_model.dir/model/energy_model.cc.o" "gcc" "src/CMakeFiles/seesaw_model.dir/model/energy_model.cc.o.d"
+  "/root/repo/src/model/latency_table.cc" "src/CMakeFiles/seesaw_model.dir/model/latency_table.cc.o" "gcc" "src/CMakeFiles/seesaw_model.dir/model/latency_table.cc.o.d"
+  "/root/repo/src/model/sram_model.cc" "src/CMakeFiles/seesaw_model.dir/model/sram_model.cc.o" "gcc" "src/CMakeFiles/seesaw_model.dir/model/sram_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_model.dir/model/energy_model.cc.o"
+  "CMakeFiles/seesaw_model.dir/model/energy_model.cc.o.d"
+  "CMakeFiles/seesaw_model.dir/model/latency_table.cc.o"
+  "CMakeFiles/seesaw_model.dir/model/latency_table.cc.o.d"
+  "CMakeFiles/seesaw_model.dir/model/sram_model.cc.o"
+  "CMakeFiles/seesaw_model.dir/model/sram_model.cc.o.d"
+  "libseesaw_model.a"
+  "libseesaw_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/seesaw_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/seesaw_sim.dir/sim/multicore.cc.o"
+  "CMakeFiles/seesaw_sim.dir/sim/multicore.cc.o.d"
+  "CMakeFiles/seesaw_sim.dir/sim/report.cc.o"
+  "CMakeFiles/seesaw_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/seesaw_sim.dir/sim/system.cc.o"
+  "CMakeFiles/seesaw_sim.dir/sim/system.cc.o.d"
+  "libseesaw_sim.a"
+  "libseesaw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/page_walker.cc" "src/CMakeFiles/seesaw_tlb.dir/tlb/page_walker.cc.o" "gcc" "src/CMakeFiles/seesaw_tlb.dir/tlb/page_walker.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/seesaw_tlb.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/seesaw_tlb.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/tlb/tlb_hierarchy.cc" "src/CMakeFiles/seesaw_tlb.dir/tlb/tlb_hierarchy.cc.o" "gcc" "src/CMakeFiles/seesaw_tlb.dir/tlb/tlb_hierarchy.cc.o.d"
+  "/root/repo/src/tlb/unified_tlb.cc" "src/CMakeFiles/seesaw_tlb.dir/tlb/unified_tlb.cc.o" "gcc" "src/CMakeFiles/seesaw_tlb.dir/tlb/unified_tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

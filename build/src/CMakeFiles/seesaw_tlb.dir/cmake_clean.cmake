@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_tlb.dir/tlb/page_walker.cc.o"
+  "CMakeFiles/seesaw_tlb.dir/tlb/page_walker.cc.o.d"
+  "CMakeFiles/seesaw_tlb.dir/tlb/tlb.cc.o"
+  "CMakeFiles/seesaw_tlb.dir/tlb/tlb.cc.o.d"
+  "CMakeFiles/seesaw_tlb.dir/tlb/tlb_hierarchy.cc.o"
+  "CMakeFiles/seesaw_tlb.dir/tlb/tlb_hierarchy.cc.o.d"
+  "CMakeFiles/seesaw_tlb.dir/tlb/unified_tlb.cc.o"
+  "CMakeFiles/seesaw_tlb.dir/tlb/unified_tlb.cc.o.d"
+  "libseesaw_tlb.a"
+  "libseesaw_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/code_stream.cc" "src/CMakeFiles/seesaw_workload.dir/workload/code_stream.cc.o" "gcc" "src/CMakeFiles/seesaw_workload.dir/workload/code_stream.cc.o.d"
+  "/root/repo/src/workload/reference_stream.cc" "src/CMakeFiles/seesaw_workload.dir/workload/reference_stream.cc.o" "gcc" "src/CMakeFiles/seesaw_workload.dir/workload/reference_stream.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/seesaw_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/seesaw_workload.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/CMakeFiles/seesaw_workload.dir/workload/workload_spec.cc.o" "gcc" "src/CMakeFiles/seesaw_workload.dir/workload/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

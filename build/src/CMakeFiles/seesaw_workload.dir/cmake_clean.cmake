@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_workload.dir/workload/code_stream.cc.o"
+  "CMakeFiles/seesaw_workload.dir/workload/code_stream.cc.o.d"
+  "CMakeFiles/seesaw_workload.dir/workload/reference_stream.cc.o"
+  "CMakeFiles/seesaw_workload.dir/workload/reference_stream.cc.o.d"
+  "CMakeFiles/seesaw_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/seesaw_workload.dir/workload/trace.cc.o.d"
+  "CMakeFiles/seesaw_workload.dir/workload/workload_spec.cc.o"
+  "CMakeFiles/seesaw_workload.dir/workload/workload_spec.cc.o.d"
+  "libseesaw_workload.a"
+  "libseesaw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_baseline_caches.cc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_baseline_caches.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_baseline_caches.cc.o.d"
+  "/root/repo/tests/cache/test_next_level.cc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_next_level.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_next_level.cc.o.d"
+  "/root/repo/tests/cache/test_replacement.cc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_replacement.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_replacement.cc.o.d"
+  "/root/repo/tests/cache/test_set_assoc_cache.cc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_set_assoc_cache.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_set_assoc_cache.cc.o.d"
+  "/root/repo/tests/cache/test_sipt_cache.cc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_sipt_cache.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_sipt_cache.cc.o.d"
+  "/root/repo/tests/cache/test_way_predictor.cc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_way_predictor.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cache/test_way_predictor.cc.o.d"
+  "/root/repo/tests/coherence/test_exact_directory.cc" "tests/CMakeFiles/seesaw_tests.dir/coherence/test_exact_directory.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/coherence/test_exact_directory.cc.o.d"
+  "/root/repo/tests/coherence/test_moesi.cc" "tests/CMakeFiles/seesaw_tests.dir/coherence/test_moesi.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/coherence/test_moesi.cc.o.d"
+  "/root/repo/tests/coherence/test_probe_engine.cc" "tests/CMakeFiles/seesaw_tests.dir/coherence/test_probe_engine.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/coherence/test_probe_engine.cc.o.d"
+  "/root/repo/tests/common/test_assertions.cc" "tests/CMakeFiles/seesaw_tests.dir/common/test_assertions.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/common/test_assertions.cc.o.d"
+  "/root/repo/tests/common/test_bitops.cc" "tests/CMakeFiles/seesaw_tests.dir/common/test_bitops.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/common/test_bitops.cc.o.d"
+  "/root/repo/tests/common/test_random.cc" "tests/CMakeFiles/seesaw_tests.dir/common/test_random.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/common/test_random.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/seesaw_tests.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/core/test_seesaw_cache.cc" "tests/CMakeFiles/seesaw_tests.dir/core/test_seesaw_cache.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/core/test_seesaw_cache.cc.o.d"
+  "/root/repo/tests/core/test_tft.cc" "tests/CMakeFiles/seesaw_tests.dir/core/test_tft.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/core/test_tft.cc.o.d"
+  "/root/repo/tests/cpu/test_cpu_models.cc" "tests/CMakeFiles/seesaw_tests.dir/cpu/test_cpu_models.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/cpu/test_cpu_models.cc.o.d"
+  "/root/repo/tests/integration/test_one_gb_pages.cc" "tests/CMakeFiles/seesaw_tests.dir/integration/test_one_gb_pages.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/integration/test_one_gb_pages.cc.o.d"
+  "/root/repo/tests/integration/test_paper_properties.cc" "tests/CMakeFiles/seesaw_tests.dir/integration/test_paper_properties.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/integration/test_paper_properties.cc.o.d"
+  "/root/repo/tests/integration/test_reference_models.cc" "tests/CMakeFiles/seesaw_tests.dir/integration/test_reference_models.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/integration/test_reference_models.cc.o.d"
+  "/root/repo/tests/mem/test_buddy_allocator.cc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_buddy_allocator.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_buddy_allocator.cc.o.d"
+  "/root/repo/tests/mem/test_memhog.cc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_memhog.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_memhog.cc.o.d"
+  "/root/repo/tests/mem/test_os_memory_manager.cc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_os_memory_manager.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_os_memory_manager.cc.o.d"
+  "/root/repo/tests/mem/test_page_table.cc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_page_table.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/mem/test_page_table.cc.o.d"
+  "/root/repo/tests/model/test_energy_model.cc" "tests/CMakeFiles/seesaw_tests.dir/model/test_energy_model.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/model/test_energy_model.cc.o.d"
+  "/root/repo/tests/model/test_latency_table.cc" "tests/CMakeFiles/seesaw_tests.dir/model/test_latency_table.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/model/test_latency_table.cc.o.d"
+  "/root/repo/tests/model/test_sram_model.cc" "tests/CMakeFiles/seesaw_tests.dir/model/test_sram_model.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/model/test_sram_model.cc.o.d"
+  "/root/repo/tests/sim/test_extensions.cc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_extensions.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_extensions.cc.o.d"
+  "/root/repo/tests/sim/test_multicore.cc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_multicore.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_multicore.cc.o.d"
+  "/root/repo/tests/sim/test_report.cc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_report.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_report.cc.o.d"
+  "/root/repo/tests/sim/test_system.cc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_system.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/sim/test_system.cc.o.d"
+  "/root/repo/tests/tlb/test_page_walker.cc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_page_walker.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_page_walker.cc.o.d"
+  "/root/repo/tests/tlb/test_tlb.cc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_tlb.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_tlb.cc.o.d"
+  "/root/repo/tests/tlb/test_tlb_hierarchy.cc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_tlb_hierarchy.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_tlb_hierarchy.cc.o.d"
+  "/root/repo/tests/tlb/test_unified_tlb.cc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_unified_tlb.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/tlb/test_unified_tlb.cc.o.d"
+  "/root/repo/tests/workload/test_code_stream.cc" "tests/CMakeFiles/seesaw_tests.dir/workload/test_code_stream.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/workload/test_code_stream.cc.o.d"
+  "/root/repo/tests/workload/test_trace.cc" "tests/CMakeFiles/seesaw_tests.dir/workload/test_trace.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/workload/test_trace.cc.o.d"
+  "/root/repo/tests/workload/test_workloads.cc" "tests/CMakeFiles/seesaw_tests.dir/workload/test_workloads.cc.o" "gcc" "tests/CMakeFiles/seesaw_tests.dir/workload/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seesaw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/seesaw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
