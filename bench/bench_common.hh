@@ -11,7 +11,9 @@
 #define SEESAW_BENCH_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <string>
 
+#include "harness/runner.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/system.hh"
@@ -48,6 +50,32 @@ makeConfig(const CacheOrg &org, double freq_ghz,
     cfg.os.memBytes = experimentMemBytes(4ULL << 30);
     cfg.seed = 1;
     return cfg;
+}
+
+/** @p cfg with its L1 design switched to @p kind. */
+inline SystemConfig
+withDesign(SystemConfig cfg, L1Kind kind)
+{
+    cfg.l1Kind = kind;
+    return cfg;
+}
+
+/** Cell-name suffix for the two designs every comparison sweeps. */
+inline const char *
+designLabel(L1Kind kind)
+{
+    return kind == L1Kind::ViptBaseline ? "vipt" : "seesaw";
+}
+
+/**
+ * Run @p spec with the bench defaults — SEESAW_JOBS-many workers
+ * (hardware_concurrency when unset) and progress on stderr — and
+ * archive JSON/CSV sinks under results/ (SEESAW_RESULTS_DIR).
+ */
+inline harness::CampaignOutcome
+runBenchCampaign(const harness::CampaignSpec &spec)
+{
+    return harness::CampaignRunner().runAndWrite(spec);
 }
 
 } // namespace seesaw::bench

@@ -6,6 +6,10 @@
  * remote copy. Reports, per core count and design, the probe load,
  * the per-probe energy gap (§IV-C1: 4-way vs full-set lookups) and
  * the share of SEESAW's L1 energy savings that coherence contributes.
+ *
+ * Runs as a parallel campaign of explicit cells — one MultiCoreSystem
+ * per (workload, cores, design) — archiving every projected RunResult
+ * to results/multicore_coherence.{json,csv}.
  */
 
 #include <cstdio>
@@ -23,43 +27,67 @@ main()
                 "exact-directory MOESI, threads sharing one heap "
                 "(64KB L1s, OoO, 1.33GHz)");
 
-    TableReporter table({"workload", "cores", "probes/kinstr",
-                         "c2c/kinstr", "coh energy share",
-                         "coh savings share", "speedup"});
+    const char *names[] = {"tunk", "cann", "g500"};
+    const unsigned core_counts[] = {2u, 4u, 8u, 16u};
 
-    for (const char *name : {"tunk", "cann", "g500"}) {
+    harness::CampaignSpec spec("multicore_coherence");
+    for (const char *name : names) {
         const WorkloadSpec &w = findWorkload(name);
-        for (unsigned cores : {2u, 4u, 8u, 16u}) {
+        for (unsigned cores : core_counts) {
             MultiCoreConfig cfg;
             cfg.cores = cores;
             cfg.l1SizeBytes = 64 * 1024;
             cfg.l1Assoc = 16;
-            cfg.instructionsPerCore =
-                experimentInstructions(60'000);
+            cfg.instructionsPerCore = experimentInstructions(60'000);
             cfg.warmupInstructionsPerCore = 30'000;
             cfg.os.memBytes = experimentMemBytes(4ULL << 30);
             cfg.seed = 1;
 
-            cfg.l1Kind = L1Kind::ViptBaseline;
-            const MultiRunResult base =
-                MultiCoreSystem(cfg, w).run();
-            cfg.l1Kind = L1Kind::Seesaw;
-            const MultiRunResult see = MultiCoreSystem(cfg, w).run();
+            for (L1Kind kind :
+                 {L1Kind::ViptBaseline, L1Kind::Seesaw}) {
+                cfg.l1Kind = kind;
+                const std::string cell_name =
+                    std::string(name) + "/c" + std::to_string(cores) +
+                    "/" + designLabel(kind);
+                spec.cell(
+                    cell_name,
+                    [cfg, w] {
+                        return asRunResult(
+                            MultiCoreSystem(cfg, w).run(), w.name);
+                    },
+                    cfg.seed);
+            }
+        }
+    }
+    const auto outcome = runBenchCampaign(spec);
+
+    TableReporter table({"workload", "cores", "probes/kinstr",
+                         "c2c/kinstr", "coh energy share",
+                         "coh savings share", "speedup"});
+
+    for (const char *name : names) {
+        for (unsigned cores : core_counts) {
+            const std::string base = std::string(name) + "/c" +
+                                     std::to_string(cores) + "/";
+            const RunResult &vipt =
+                harness::findResult(outcome.results, base + "vipt");
+            const RunResult &see =
+                harness::findResult(outcome.results, base + "seesaw");
 
             const double kinstr = see.instructions / 1000.0;
             const double coh_share =
                 100.0 * see.l1CoherenceDynamicNj /
                 (see.l1CoherenceDynamicNj + see.l1CpuDynamicNj);
-            const double coh_saved = base.l1CoherenceDynamicNj -
+            const double coh_saved = vipt.l1CoherenceDynamicNj -
                                      see.l1CoherenceDynamicNj;
             const double cpu_saved =
-                base.l1CpuDynamicNj - see.l1CpuDynamicNj;
+                vipt.l1CpuDynamicNj - see.l1CpuDynamicNj;
             const double savings_share =
                 100.0 * coh_saved / (coh_saved + cpu_saved);
             const double speedup =
                 100.0 *
-                (static_cast<double>(base.cycles) - see.cycles) /
-                base.cycles;
+                (static_cast<double>(vipt.cycles) - see.cycles) /
+                vipt.cycles;
 
             table.addRow(
                 {name, std::to_string(cores),

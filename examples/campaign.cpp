@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Command-line campaign driver: describe a sweep (workloads × designs
+ * × cache orgs × frequencies × memhog levels × seeds) on the command
+ * line, execute every cell in parallel, print a summary table and
+ * archive machine-readable results. The full paper reproduction
+ * becomes one command:
+ *
+ *   $ ./build/examples/campaign --jobs 8
+ *   $ ./build/examples/campaign --campaign smoke \
+ *         --workloads redis,mcf --l1 32K --jobs 2 --instructions 50000
+ *   $ SEESAW_JOBS=16 ./build/examples/campaign --designs vipt,seesaw,pipt
+ *
+ * Outputs results/<campaign>.json and results/<campaign>.csv
+ * (SEESAW_RESULTS_DIR overrides the directory).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace seesaw;
+
+void
+usage()
+{
+    std::printf(
+        "usage: campaign [options]\n"
+        "  --campaign NAME     name for results/<NAME>.json|csv "
+        "(default 'campaign')\n"
+        "  --workloads a,b,..  subset of the 16 paper workloads "
+        "(default all)\n"
+        "  --designs a,b,..    vipt | pipt | sipt | seesaw | wp | "
+        "wpseesaw\n"
+        "                      (default vipt,seesaw)\n"
+        "  --l1 a,b,..         32K | 64K | 128K (default all three)\n"
+        "  --freq a,b,..       GHz list (default 1.33)\n"
+        "  --memhog a,b,..     fragmentation fractions (default 0)\n"
+        "  --seeds a,b,..      RNG seeds (default 1)\n"
+        "  --instructions N    per-cell instruction budget (default "
+        "300000;\n"
+        "                      SEESAW_INSTRUCTIONS also respected)\n"
+        "  --jobs N            worker threads (default SEESAW_JOBS, "
+        "else\n"
+        "                      hardware_concurrency; 1 = serial)\n"
+        "  --out DIR           results directory (default results/)\n"
+        "  --list              print the expanded cells and exit\n"
+        "  --quiet             suppress stderr progress\n");
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const auto comma = arg.find(',', start);
+        const auto end =
+            comma == std::string::npos ? arg.size() : comma;
+        if (end > start)
+            out.push_back(arg.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+L1Kind
+parseDesign(const std::string &kind)
+{
+    if (kind == "vipt")
+        return L1Kind::ViptBaseline;
+    if (kind == "pipt")
+        return L1Kind::Pipt;
+    if (kind == "sipt")
+        return L1Kind::Sipt;
+    if (kind == "seesaw")
+        return L1Kind::Seesaw;
+    if (kind == "wp")
+        return L1Kind::ViptWayPredicted;
+    if (kind == "wpseesaw")
+        return L1Kind::SeesawWayPredicted;
+    std::fprintf(stderr, "unknown design %s\n", kind.c_str());
+    std::exit(1);
+}
+
+seesaw::bench::CacheOrg
+parseOrg(const std::string &size)
+{
+    for (const auto &org : seesaw::bench::kCacheOrgs) {
+        if (size == org.label ||
+            (size.size() > 1 && size.substr(0, size.size() - 1) ==
+                                    std::string(org.label).substr(
+                                        0, size.size() - 1)))
+            return org;
+    }
+    std::fprintf(stderr, "unknown L1 size %s (use 32K|64K|128K)\n",
+                 size.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace seesaw::bench;
+
+    std::string campaign_name = "campaign";
+    std::string out_dir;
+    std::vector<std::string> workload_names;
+    std::vector<L1Kind> designs{L1Kind::ViptBaseline, L1Kind::Seesaw};
+    std::vector<CacheOrg> orgs(std::begin(kCacheOrgs),
+                               std::end(kCacheOrgs));
+    std::vector<double> freqs{1.33};
+    std::vector<double> memhogs{0.0};
+    std::vector<std::uint64_t> seeds{1};
+    std::uint64_t instructions = experimentInstructions(300'000);
+    harness::RunnerOptions options;
+    bool list_only = false;
+
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(1);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--campaign") {
+            campaign_name = need_value(i++);
+        } else if (arg == "--workloads") {
+            workload_names = splitList(need_value(i++));
+        } else if (arg == "--designs") {
+            designs.clear();
+            for (const auto &kind : splitList(need_value(i++)))
+                designs.push_back(parseDesign(kind));
+        } else if (arg == "--l1") {
+            orgs.clear();
+            for (const auto &size : splitList(need_value(i++)))
+                orgs.push_back(parseOrg(size));
+        } else if (arg == "--freq") {
+            freqs.clear();
+            for (const auto &f : splitList(need_value(i++)))
+                freqs.push_back(std::atof(f.c_str()));
+        } else if (arg == "--memhog") {
+            memhogs.clear();
+            for (const auto &f : splitList(need_value(i++)))
+                memhogs.push_back(std::atof(f.c_str()));
+        } else if (arg == "--seeds") {
+            seeds.clear();
+            for (const auto &s : splitList(need_value(i++)))
+                seeds.push_back(
+                    std::strtoull(s.c_str(), nullptr, 10));
+        } else if (arg == "--instructions") {
+            instructions =
+                std::strtoull(need_value(i++), nullptr, 10);
+        } else if (arg == "--jobs") {
+            options.jobs = std::atoi(need_value(i++));
+        } else if (arg == "--out") {
+            out_dir = need_value(i++);
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--quiet") {
+            options.progress = false;
+        } else {
+            std::fprintf(stderr, "unknown option %s (try --help)\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+
+    harness::CampaignSpec spec(campaign_name);
+    if (workload_names.empty()) {
+        spec.workloads(paperWorkloads());
+    } else {
+        for (const auto &name : workload_names)
+            spec.workload(findWorkload(name));
+    }
+    for (const auto &org : orgs) {
+        for (const double freq : freqs) {
+            for (const double memhog : memhogs) {
+                SystemConfig cfg = makeConfig(org, freq);
+                cfg.instructions = instructions;
+                cfg.memhogFraction = memhog;
+                for (const L1Kind kind : designs) {
+                    std::string label = std::string(org.label) + "/" +
+                                        TableReporter::fmt(freq, 2) +
+                                        "GHz";
+                    if (memhogs.size() > 1 || memhog > 0.0) {
+                        label += "/mh" + std::to_string(static_cast<int>(
+                                             memhog * 100));
+                    }
+                    label += std::string("/") + designLabel(kind);
+                    if (kind != L1Kind::ViptBaseline &&
+                        kind != L1Kind::Seesaw) {
+                        // designLabel only distinguishes the two
+                        // paper designs; spell the rest out.
+                        label = label.substr(0, label.rfind('/') + 1);
+                        switch (kind) {
+                          case L1Kind::Pipt: label += "pipt"; break;
+                          case L1Kind::Sipt: label += "sipt"; break;
+                          case L1Kind::ViptWayPredicted:
+                            label += "wp";
+                            break;
+                          case L1Kind::SeesawWayPredicted:
+                            label += "wpseesaw";
+                            break;
+                          default: break;
+                        }
+                    }
+                    spec.variant(label, withDesign(cfg, kind));
+                }
+            }
+        }
+    }
+    spec.seeds(seeds);
+
+    const auto cells = spec.cells();
+    if (list_only) {
+        for (const auto &cell : cells)
+            std::printf("%s\n", cell.name.c_str());
+        std::printf("%zu cells\n", cells.size());
+        return 0;
+    }
+
+    harness::CampaignRunner runner(options);
+    std::fprintf(stderr, "[%s] %zu cells on %u worker%s\n",
+                 campaign_name.c_str(), cells.size(),
+                 runner.effectiveJobs(),
+                 runner.effectiveJobs() == 1 ? "" : "s");
+    const auto outcome = runner.runAndWrite(spec, out_dir);
+
+    // Human-readable recap: one row per cell.
+    TableReporter table({"cell", "ipc", "l1 mpki", "cover",
+                         "energy uJ", "wall s"});
+    for (const auto &cell : outcome.results) {
+        table.addRow(
+            {cell.name, TableReporter::fmt(cell.result.ipc, 3),
+             TableReporter::fmt(cell.result.l1Mpki, 1),
+             TableReporter::pct(100.0 * cell.result.superpageCoverage,
+                                0),
+             TableReporter::fmt(cell.result.energyTotalNj / 1000.0, 1),
+             TableReporter::fmt(cell.wallSeconds, 2)});
+    }
+    table.print();
+    std::printf("\n%zu cells in %.1fs on %u worker%s (git %s)\n",
+                outcome.results.size(), outcome.meta.wallSeconds,
+                outcome.meta.jobs, outcome.meta.jobs == 1 ? "" : "s",
+                outcome.meta.gitDescribe.c_str());
+    return 0;
+}

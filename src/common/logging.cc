@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace seesaw {
 
 namespace {
+
 std::atomic<bool> verboseFlag{true};
+
+/** Serializes log lines so parallel campaign cells cannot interleave
+ *  partial messages on stderr. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 } // namespace
 
 void
@@ -29,6 +41,7 @@ logMessage(const char *prefix, const char *file, int line,
 {
     if (!logVerbose())
         return;
+    std::lock_guard lock(logMutex());
     std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file,
                  line);
 }

@@ -2,6 +2,11 @@
  * @file
  * gem5-style status and error reporting: panic() for simulator bugs,
  * fatal() for user configuration errors, warn()/inform() for status.
+ *
+ * Thread safety: the verbosity switch is an atomic, and message
+ * emission is serialized under an internal mutex, so parallel
+ * campaign cells (src/harness) may log concurrently without tearing
+ * lines. panic()/fatal() abort/exit the whole process by design.
  */
 
 #ifndef SEESAW_COMMON_LOGGING_HH

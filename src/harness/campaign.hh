@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Declarative experiment campaigns: a CampaignSpec describes a sweep
+ * as the cross-product of workloads × named SystemConfig variants ×
+ * seeds, expanded into uniquely-named Cells. Each cell owns everything
+ * it needs to run (a fresh System is constructed inside the cell's
+ * thunk), so cells are independent and safe to execute in parallel in
+ * any order with bit-identical results.
+ */
+
+#ifndef SEESAW_HARNESS_CAMPAIGN_HH
+#define SEESAW_HARNESS_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/workload_spec.hh"
+
+namespace seesaw::harness {
+
+/** One runnable unit of a campaign. */
+struct Cell
+{
+    std::string name;   //!< unique within the campaign
+    std::uint64_t seed = 0;
+    std::uint64_t configHash = 0;
+
+    /** Runs the cell; must be self-contained (no shared mutable
+     *  state) so cells can execute concurrently. */
+    std::function<RunResult()> run;
+};
+
+/** A cell's outcome plus scheduling metadata. */
+struct CellResult
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::uint64_t configHash = 0;
+    double wallSeconds = 0.0;
+    RunResult result;
+};
+
+/**
+ * Stable 64-bit FNV-1a hash over every SystemConfig field, recorded
+ * with each result so archived campaigns can be matched to the exact
+ * configuration that produced them.
+ */
+std::uint64_t configHash(const SystemConfig &config);
+
+/**
+ * Builder for a sweep. Axes (workloads, variants, seeds) expand as a
+ * cross-product via cells(); custom cells (e.g. MultiCoreSystem runs)
+ * can be added explicitly and are appended after the cross-product in
+ * insertion order.
+ *
+ *   CampaignSpec spec("fig07");
+ *   spec.workloads(paperWorkloads())
+ *       .variant("32KB/vipt", vipt32)
+ *       .variant("32KB/seesaw", seesaw32)
+ *       .seeds({1});
+ *   for (Cell &cell : spec.cells()) ...
+ *
+ * Cross-product cells are named "<workload>/<variant>" (plus "/s<seed>"
+ * when more than one seed is swept) and run simulate() on a copy of the
+ * variant's config with the cell's seed applied.
+ */
+class CampaignSpec
+{
+  public:
+    explicit CampaignSpec(std::string name);
+
+    /** @name Sweep axes. */
+    /// @{
+    CampaignSpec &workload(const WorkloadSpec &w);
+    CampaignSpec &workloads(const std::vector<WorkloadSpec> &ws);
+    CampaignSpec &variant(std::string label, SystemConfig config);
+    CampaignSpec &seeds(std::vector<std::uint64_t> seeds);
+    /// @}
+
+    /** Add an explicit cell with a custom runner thunk. */
+    CampaignSpec &cell(std::string name, std::function<RunResult()> run,
+                       std::uint64_t seed = 0,
+                       std::uint64_t config_hash = 0);
+
+    /** Expand the axes (then append explicit cells). Names are
+     *  guaranteed unique (fatal otherwise). */
+    std::vector<Cell> cells() const;
+
+    const std::string &name() const { return name_; }
+
+    std::size_t variantCount() const { return variants_.size(); }
+    std::size_t workloadCount() const { return workloads_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<WorkloadSpec> workloads_;
+    std::vector<std::pair<std::string, SystemConfig>> variants_;
+    std::vector<std::uint64_t> seeds_{1};
+    std::vector<Cell> explicit_;
+};
+
+} // namespace seesaw::harness
+
+#endif // SEESAW_HARNESS_CAMPAIGN_HH

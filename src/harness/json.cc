@@ -1,0 +1,186 @@
+#include "harness/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace seesaw::harness {
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+JsonWriter::~JsonWriter()
+{
+    // A throwing cell can unwind through a writer; only enforce
+    // completeness on the happy path.
+    if (!std::uncaught_exceptions())
+        SEESAW_ASSERT(stack_.empty() && !pendingKey_,
+                      "JSON document left unfinished");
+}
+
+void
+JsonWriter::beforeValue()
+{
+    SEESAW_ASSERT(!done_, "JSON document already complete");
+    if (!stack_.empty() && stack_.back() == Scope::Object) {
+        SEESAW_ASSERT(pendingKey_, "object member needs a key first");
+        pendingKey_ = false;
+        return; // key() already handled the comma
+    }
+    if (needComma_)
+        os_ << ',';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SEESAW_ASSERT(!stack_.empty() && stack_.back() == Scope::Object &&
+                      !pendingKey_,
+                  "unbalanced endObject");
+    os_ << '}';
+    stack_.pop_back();
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SEESAW_ASSERT(!stack_.empty() && stack_.back() == Scope::Array,
+                  "unbalanced endArray");
+    os_ << ']';
+    stack_.pop_back();
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    SEESAW_ASSERT(!stack_.empty() && stack_.back() == Scope::Object &&
+                      !pendingKey_,
+                  "key() outside an object");
+    if (needComma_)
+        os_ << ',';
+    os_ << '"' << escape(k) << "\":";
+    pendingKey_ = true;
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    os_ << '"' << escape(v) << '"';
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null(); // JSON has no NaN/Inf
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    needComma_ = true;
+    done_ = stack_.empty();
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace seesaw::harness

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A dependency-free streaming JSON writer: objects, arrays, strings
+ * (with full RFC 8259 escaping), integers, doubles and booleans, with
+ * automatic comma/nesting management. Enough to serialize campaign
+ * results; deliberately not a DOM.
+ */
+
+#ifndef SEESAW_HARNESS_JSON_HH
+#define SEESAW_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seesaw::harness {
+
+/**
+ * Writes one JSON value (usually a top-level object) to a stream.
+ * Calls must form a valid document: begin/end pairs balanced, key()
+ * before every value inside an object. Misuse panics.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    /** Destructor asserts the document was completed. */
+    ~JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must produce its value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t(v)); }
+    JsonWriter &value(int v) { return value(std::int64_t(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Shorthand: key() followed by value(). */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** @return @p s with every character JSON demands escaped. */
+    static std::string escape(std::string_view s);
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void beforeValue();
+
+    std::ostream &os_;
+    std::vector<Scope> stack_;
+    bool needComma_ = false;
+    bool pendingKey_ = false;
+    bool done_ = false;
+};
+
+} // namespace seesaw::harness
+
+#endif // SEESAW_HARNESS_JSON_HH

@@ -1,0 +1,147 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "harness/thread_pool.hh"
+
+namespace seesaw::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Serialized progress reporting shared by all workers. */
+class Progress
+{
+  public:
+    Progress(const std::string &campaign, std::size_t total,
+             bool enabled)
+        : campaign_(campaign), total_(total), enabled_(enabled),
+          start_(Clock::now())
+    {
+    }
+
+    void
+    cellDone(const std::string &name, double cell_seconds)
+    {
+        const std::size_t done = ++done_;
+        if (!enabled_)
+            return;
+        const double elapsed = secondsSince(start_);
+        const double eta =
+            done ? elapsed / done * (total_ - done) : 0.0;
+        std::lock_guard lock(mutex_);
+        std::fprintf(stderr,
+                     "[%s] %zu/%zu %s (%.2fs) elapsed %.1fs eta %.1fs\n",
+                     campaign_.c_str(), done, total_, name.c_str(),
+                     cell_seconds, elapsed, eta);
+    }
+
+  private:
+    const std::string &campaign_;
+    const std::size_t total_;
+    const bool enabled_;
+    const Clock::time_point start_;
+    std::atomic<std::size_t> done_{0};
+    std::mutex mutex_; //!< keeps stderr lines whole across workers
+};
+
+CellResult
+runCell(const Cell &cell, Progress &progress)
+{
+    CellResult out;
+    out.name = cell.name;
+    out.seed = cell.seed;
+    out.configHash = cell.configHash;
+    const auto start = Clock::now();
+    out.result = cell.run();
+    out.wallSeconds = secondsSince(start);
+    progress.cellDone(cell.name, out.wallSeconds);
+    return out;
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(RunnerOptions options)
+    : options_(options)
+{
+}
+
+unsigned
+CampaignRunner::effectiveJobs() const
+{
+    return options_.jobs ? options_.jobs : defaultJobs();
+}
+
+CampaignOutcome
+CampaignRunner::run(const CampaignSpec &spec) const
+{
+    const std::vector<Cell> cells = spec.cells();
+    const unsigned jobs = effectiveJobs();
+
+    CampaignOutcome outcome;
+    outcome.meta.campaign = spec.name();
+    outcome.meta.gitDescribe = gitDescribe();
+    outcome.meta.jobs = jobs;
+    outcome.results.resize(cells.size());
+
+    const auto start = Clock::now();
+    Progress progress(spec.name(), cells.size(), options_.progress);
+
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            outcome.results[i] = runCell(cells[i], progress);
+    } else {
+        ThreadPool pool(jobs);
+        // Each task writes only its own pre-sized slot, so result
+        // order is the cell order no matter who finishes when.
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            pool.submit([&, i] {
+                outcome.results[i] = runCell(cells[i], progress);
+            });
+        }
+        pool.wait();
+    }
+
+    outcome.meta.wallSeconds = secondsSince(start);
+    return outcome;
+}
+
+CampaignOutcome
+CampaignRunner::runAndWrite(const CampaignSpec &spec,
+                            std::string dir) const
+{
+    CampaignOutcome outcome = run(spec);
+    const auto paths =
+        writeCampaignSinks(outcome.meta, outcome.results,
+                           std::move(dir));
+    if (options_.progress) {
+        for (const auto &path : paths)
+            std::fprintf(stderr, "[%s] wrote %s\n",
+                         spec.name().c_str(), path.c_str());
+    }
+    return outcome;
+}
+
+const RunResult &
+findResult(const std::vector<CellResult> &results,
+           const std::string &name)
+{
+    for (const auto &cell : results) {
+        if (cell.name == name)
+            return cell.result;
+    }
+    SEESAW_FATAL("no campaign cell named ", name);
+}
+
+} // namespace seesaw::harness

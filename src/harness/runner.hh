@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Executes a campaign's cells across a thread pool. Results come back
+ * in cell order regardless of completion order, and every cell runs a
+ * fresh, self-contained simulation, so a parallel run is bit-identical
+ * to a serial one. Progress (cells done/total, per-cell wall time,
+ * ETA) goes to stderr under a mutex.
+ */
+
+#ifndef SEESAW_HARNESS_RUNNER_HH
+#define SEESAW_HARNESS_RUNNER_HH
+
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/sinks.hh"
+
+namespace seesaw::harness {
+
+/** Runner knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = defaultJobs() (SEESAW_JOBS env, else
+     *  hardware_concurrency). 1 runs inline with no pool. */
+    unsigned jobs = 0;
+
+    /** Emit per-cell progress lines to stderr. */
+    bool progress = true;
+};
+
+/** What a campaign run produced, plus how it was produced. */
+struct CampaignOutcome
+{
+    CampaignMetadata meta;           //!< ready for the sinks
+    std::vector<CellResult> results; //!< in cell order
+};
+
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(RunnerOptions options = {});
+
+    /** Run every cell of @p spec; blocks until all complete. */
+    CampaignOutcome run(const CampaignSpec &spec) const;
+
+    /** Run @p spec, write JSON+CSV sinks, return the outcome. */
+    CampaignOutcome runAndWrite(const CampaignSpec &spec,
+                                std::string dir = {}) const;
+
+    /** The worker count run() will use. */
+    unsigned effectiveJobs() const;
+
+  private:
+    RunnerOptions options_;
+};
+
+/**
+ * Find a named cell's RunResult in @p results (fatal if absent) —
+ * benches use this to rebuild their tables after a parallel run.
+ */
+const RunResult &findResult(const std::vector<CellResult> &results,
+                            const std::string &name);
+
+} // namespace seesaw::harness
+
+#endif // SEESAW_HARNESS_RUNNER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-readable result sinks for campaigns: every RunResult stat
+ * plus per-cell metadata (name, config hash, seed, wall time) and
+ * campaign metadata (git describe, job count, total wall time) is
+ * serialized to JSON and CSV, alongside whatever tables the bench
+ * prints. Downstream plotting/regression tooling consumes these files;
+ * the field list and CSV header are append-only by convention.
+ */
+
+#ifndef SEESAW_HARNESS_SINKS_HH
+#define SEESAW_HARNESS_SINKS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+
+namespace seesaw::harness {
+
+/** One named numeric stat extracted from a RunResult. */
+struct ResultField
+{
+    const char *name;
+    bool integral;       //!< emit as integer (else double)
+    std::uint64_t u = 0;
+    double d = 0.0;
+};
+
+/**
+ * Every numeric RunResult stat, in declaration order. Both sinks
+ * serialize exactly this list, so JSON and CSV can never drift apart.
+ * (The `workload` string is reported separately.)
+ */
+std::vector<ResultField> resultFields(const RunResult &r);
+
+/** Campaign-level metadata recorded in every sink. */
+struct CampaignMetadata
+{
+    std::string campaign;
+    std::string gitDescribe; //!< from gitDescribe(); "unknown" if n/a
+    unsigned jobs = 1;
+    double wallSeconds = 0.0; //!< whole-campaign wall time
+};
+
+/** `git describe --always --dirty`, or "unknown" outside a checkout. */
+std::string gitDescribe();
+
+/** @name Stream-level emitters (unit-testable without touching disk). */
+/// @{
+void emitCampaignJson(std::ostream &os, const CampaignMetadata &meta,
+                      const std::vector<CellResult> &results);
+void emitCampaignCsv(std::ostream &os, const CampaignMetadata &meta,
+                     const std::vector<CellResult> &results);
+/// @}
+
+/** The exact CSV header emitCampaignCsv() writes. */
+std::string csvHeader();
+
+/**
+ * Write `<dir>/<meta.campaign>.json` and `.csv`, creating @p dir if
+ * needed. @p dir defaults to $SEESAW_RESULTS_DIR, else "results".
+ * @return The two paths written.
+ */
+std::vector<std::string>
+writeCampaignSinks(const CampaignMetadata &meta,
+                   const std::vector<CellResult> &results,
+                   std::string dir = {});
+
+} // namespace seesaw::harness
+
+#endif // SEESAW_HARNESS_SINKS_HH

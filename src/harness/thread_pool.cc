@@ -1,0 +1,100 @@
+#include "harness/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace seesaw::harness {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    SEESAW_ASSERT(task, "cannot submit an empty task");
+    {
+        std::unique_lock lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    drained_.wait(lock,
+                  [this] { return queue_.empty() && inFlight_ == 0; });
+    if (firstError_) {
+        auto error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        wake_.wait(lock,
+                   [this] { return stopping_ || !queue_.empty(); });
+        // Drain the queue even when stopping: destructor-initiated
+        // shutdown still runs everything that was submitted.
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        auto task = std::move(queue_.front());
+        queue_.pop_front();
+        ++inFlight_;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !firstError_)
+            firstError_ = error;
+        --inFlight_;
+        if (queue_.empty() && inFlight_ == 0)
+            drained_.notify_all();
+    }
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SEESAW_JOBS"); env && *env) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && parsed >= 1)
+            return static_cast<unsigned>(parsed);
+        SEESAW_WARN("ignoring unparsable SEESAW_JOBS=", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace seesaw::harness

@@ -350,4 +350,27 @@ MultiCoreSystem::checkDirectoryInvariant() const
     return directory_.trackedLines() <= cached;
 }
 
+RunResult
+asRunResult(const MultiRunResult &r, const std::string &workload)
+{
+    RunResult out;
+    out.workload = workload;
+    out.instructions = r.instructions;
+    out.cycles = r.cycles;
+    out.ipc = r.aggregateIpc;
+    out.l1Accesses = r.l1Accesses;
+    out.l1Hits = r.l1Hits;
+    out.l1Misses = r.l1Accesses - r.l1Hits;
+    out.probes = r.probes;
+    out.probeHits = r.probeHits;
+    out.ownerSupplies = r.ownerSupplies;
+    out.energyTotalNj = r.energyTotalNj;
+    out.l1CpuDynamicNj = r.l1CpuDynamicNj;
+    out.l1CoherenceDynamicNj = r.l1CoherenceDynamicNj;
+    out.outerNj = r.outerNj;
+    out.superpageRefFraction = r.superpageRefFraction;
+    out.superpageCoverage = r.superpageCoverage;
+    return out;
+}
+
 } // namespace seesaw

@@ -81,6 +81,15 @@ struct MultiRunResult
 };
 
 /**
+ * Project a multi-core result onto the single-system RunResult shape
+ * (fields the multi-core simulator does not model stay zero), so
+ * multi-core cells flow through the same campaign sinks as everything
+ * else. @p workload labels the result.
+ */
+RunResult asRunResult(const MultiRunResult &r,
+                      const std::string &workload);
+
+/**
  * The multi-core simulator.
  */
 class MultiCoreSystem

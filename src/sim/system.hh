@@ -187,11 +187,17 @@ struct RunResult
     std::uint64_t squashes = 0;
     std::uint64_t probes = 0;
     std::uint64_t probeHits = 0;
+    std::uint64_t ownerSupplies = 0; //!< cache-to-cache transfers
+                                     //!< (multi-core runs only)
     double wpAccuracy = 0.0;
 
     std::uint64_t promotions = 0;
     std::uint64_t splinters = 0;
     std::uint64_t pageFaults = 0;
+
+    /** Field-wise equality, so the harness can assert that parallel
+     *  and serial campaign executions are bit-identical. */
+    bool operator==(const RunResult &) const = default;
 };
 
 /**

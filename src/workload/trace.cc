@@ -11,6 +11,7 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'E', 'E', 'S', 'A', 'W', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kHeaderTail[2] = {kVersion, 0};
 
 struct RawRecord
 {
@@ -24,19 +25,27 @@ static_assert(sizeof(RawRecord) == 16, "trace record must be 16 bytes");
 } // namespace
 
 TraceWriter::TraceWriter(const std::string &path)
-    : file_(std::fopen(path.c_str(), "wb"))
+    : path_(path), file_(std::fopen(path.c_str(), "wb"))
 {
     if (!file_)
         SEESAW_FATAL("cannot open trace for writing: ", path);
-    std::fwrite(kMagic, 1, sizeof(kMagic), file_);
-    std::uint32_t header[2] = {kVersion, 0};
-    std::fwrite(header, sizeof(header[0]), 2, file_);
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) !=
+            sizeof(kMagic) ||
+        std::fwrite(kHeaderTail, sizeof(kHeaderTail[0]), 2, file_) !=
+            2) {
+        SEESAW_FATAL("short write of trace header to ", path,
+                     " (disk full?)");
+    }
 }
 
 TraceWriter::~TraceWriter()
 {
-    if (file_)
-        std::fclose(file_);
+    // fclose flushes stdio's buffer; a failure here means the tail of
+    // the trace never reached disk. We cannot FATAL from a destructor
+    // (it may run during unwinding), so report loudly instead.
+    if (file_ && std::fclose(file_) != 0)
+        SEESAW_WARN("error closing trace ", path_,
+                    " — archive may be truncated");
 }
 
 void
@@ -46,13 +55,14 @@ TraceWriter::append(const MemRef &ref)
     raw.gap = ref.gap;
     raw.isWrite = ref.type == AccessType::Write ? 1 : 0;
     raw.va = ref.va;
-    const auto written = std::fwrite(&raw, sizeof(raw), 1, file_);
-    SEESAW_ASSERT(written == 1, "trace write failed");
+    if (std::fwrite(&raw, sizeof(raw), 1, file_) != 1)
+        SEESAW_FATAL("short write of trace record ", records_, " to ",
+                     path_, " (disk full?)");
     ++records_;
 }
 
 TraceReader::TraceReader(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb"))
+    : path_(path), file_(std::fopen(path.c_str(), "rb"))
 {
     if (!file_)
         SEESAW_FATAL("cannot open trace for reading: ", path);
@@ -78,8 +88,19 @@ std::optional<MemRef>
 TraceReader::next()
 {
     RawRecord raw;
-    if (std::fread(&raw, sizeof(raw), 1, file_) != 1)
+    const auto got = std::fread(&raw, 1, sizeof(raw), file_);
+    if (got != sizeof(raw)) {
+        // Distinguish a clean end-of-trace from a torn record or an
+        // I/O error: archived campaigns must fail loudly, not quietly
+        // replay a prefix.
+        if (std::ferror(file_))
+            SEESAW_FATAL("read error in trace ", path_);
+        if (got != 0)
+            SEESAW_FATAL("truncated trace record in ", path_, " (",
+                         got, " of ", sizeof(raw),
+                         " bytes) — file was cut short");
         return std::nullopt;
+    }
     MemRef ref;
     ref.gap = raw.gap;
     ref.type = raw.isWrite ? AccessType::Write : AccessType::Read;

@@ -29,10 +29,12 @@ class TraceWriter
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
+    /** Write one record; fatal on a short write (e.g. disk full). */
     void append(const MemRef &ref);
     std::uint64_t records() const { return records_; }
 
   private:
+    std::string path_;
     std::FILE *file_;
     std::uint64_t records_ = 0;
 };
@@ -46,10 +48,13 @@ class TraceReader
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
 
-    /** @return The next record, or nullopt at end of trace. */
+    /** @return The next record, or nullopt at a clean end of trace.
+     *  A torn trailing record or read error is fatal — a truncated
+     *  archive must never silently replay as a shorter trace. */
     std::optional<MemRef> next();
 
   private:
+    std::string path_;
     std::FILE *file_;
 };
 

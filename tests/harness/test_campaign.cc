@@ -1,0 +1,128 @@
+/** @file Tests for campaign expansion and the parallel runner. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/runner.hh"
+#include "workload/workload_spec.hh"
+
+namespace seesaw::harness {
+namespace {
+
+SystemConfig
+tinyConfig(L1Kind kind)
+{
+    SystemConfig cfg;
+    cfg.l1Kind = kind;
+    cfg.instructions = 30'000;
+    cfg.warmupInstructions = 5'000;
+    cfg.os.memBytes = 1ULL << 30;
+    return cfg;
+}
+
+CampaignSpec
+twoByTwo()
+{
+    CampaignSpec spec("test2x2");
+    spec.workload(findWorkload("redis"))
+        .workload(findWorkload("mcf"))
+        .variant("vipt", tinyConfig(L1Kind::ViptBaseline))
+        .variant("seesaw", tinyConfig(L1Kind::Seesaw));
+    return spec;
+}
+
+TEST(CampaignSpec, CrossProductExpansion)
+{
+    CampaignSpec spec = twoByTwo();
+    spec.seeds({1, 2});
+    const auto cells = spec.cells();
+    ASSERT_EQ(cells.size(), 8u); // 2 workloads x 2 variants x 2 seeds
+
+    std::set<std::string> names;
+    for (const auto &cell : cells)
+        names.insert(cell.name);
+    EXPECT_EQ(names.size(), cells.size()); // unique
+    EXPECT_TRUE(names.count("redis/vipt/s1"));
+    EXPECT_TRUE(names.count("mcf/seesaw/s2"));
+}
+
+TEST(CampaignSpec, SingleSeedOmitsSeedSuffix)
+{
+    const auto cells = twoByTwo().cells();
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells.front().name, "redis/vipt");
+}
+
+TEST(CampaignSpec, ExplicitCellsAppendAfterCross)
+{
+    CampaignSpec spec = twoByTwo();
+    spec.cell("custom", [] { return RunResult{}; }, 42);
+    const auto cells = spec.cells();
+    ASSERT_EQ(cells.size(), 5u);
+    EXPECT_EQ(cells.back().name, "custom");
+    EXPECT_EQ(cells.back().seed, 42u);
+}
+
+TEST(ConfigHash, DistinguishesVariantsAndIsStable)
+{
+    const SystemConfig a = tinyConfig(L1Kind::ViptBaseline);
+    SystemConfig b = a;
+    EXPECT_EQ(configHash(a), configHash(b));
+    b.l1Assoc = 16;
+    EXPECT_NE(configHash(a), configHash(b));
+    SystemConfig c = a;
+    c.seed = 99;
+    EXPECT_NE(configHash(a), configHash(c));
+    c.seed = a.seed;
+    c.tracePath = "x";
+    EXPECT_NE(configHash(a), configHash(c));
+}
+
+TEST(CampaignRunner, SerialAndParallelAreBitIdentical)
+{
+    RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.progress = false;
+    RunnerOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    parallel_opts.progress = false;
+
+    const auto serial = CampaignRunner(serial_opts).run(twoByTwo());
+    const auto parallel =
+        CampaignRunner(parallel_opts).run(twoByTwo());
+
+    ASSERT_EQ(serial.results.size(), 4u);
+    ASSERT_EQ(parallel.results.size(), 4u);
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        // Deterministic ordering: same cell in the same slot.
+        EXPECT_EQ(serial.results[i].name, parallel.results[i].name);
+        EXPECT_EQ(serial.results[i].configHash,
+                  parallel.results[i].configHash);
+        // Field-wise identical stats regardless of scheduling.
+        EXPECT_EQ(serial.results[i].result,
+                  parallel.results[i].result)
+            << "cell " << serial.results[i].name
+            << " diverged between serial and parallel execution";
+    }
+    EXPECT_EQ(serial.meta.jobs, 1u);
+    EXPECT_EQ(parallel.meta.jobs, 4u);
+}
+
+TEST(CampaignRunner, FindResultLooksUpByName)
+{
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    CampaignSpec spec("lookup");
+    spec.workload(findWorkload("redis"))
+        .variant("vipt", tinyConfig(L1Kind::ViptBaseline));
+    const auto outcome = CampaignRunner(opts).run(spec);
+    const RunResult &r = findResult(outcome.results, "redis/vipt");
+    EXPECT_EQ(r.workload, "redis");
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(outcome.results[0].wallSeconds, 0.0);
+}
+
+} // namespace
+} // namespace seesaw::harness

@@ -1,0 +1,373 @@
+/** @file Tests for the JSON/CSV campaign result sinks. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+#include "harness/sinks.hh"
+
+namespace seesaw::harness {
+namespace {
+
+// ----------------------------------------------------------------- //
+// A deliberately tiny recursive-descent JSON parser — test-only, so //
+// the round-trip check does not trust the writer to verify itself.  //
+// ----------------------------------------------------------------- //
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = members.find(key);
+        EXPECT_NE(it, members.end()) << "missing key " << key;
+        static const JsonValue none;
+        return it == members.end() ? none : it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, text_.size()) << "trailing JSON garbage";
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        EXPECT_EQ(peek(), c);
+        ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.str = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.b = text_[pos_] == 't';
+            pos_ += v.b ? 4 : 5;
+            return v;
+          }
+          case 'n': {
+            pos_ += 4;
+            return JsonValue{};
+          }
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            const std::string key = parseString();
+            expect(':');
+            v.members.emplace(key, parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                const unsigned code = static_cast<unsigned>(
+                    std::stoul(text_.substr(pos_, 4), nullptr, 16));
+                pos_ += 4;
+                EXPECT_LT(code, 0x80u) << "test parser is ASCII-only";
+                out += static_cast<char>(code);
+                break;
+              }
+              default: ADD_FAILURE() << "bad escape \\" << esc;
+            }
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        std::size_t used = 0;
+        v.num = std::stod(text_.substr(pos_), &used);
+        pos_ += used;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------- //
+
+TEST(JsonWriter, EscapesEverythingJsonDemands)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape(std::string("nul\x01rest")),
+              "nul\\u0001rest");
+    EXPECT_EQ(JsonWriter::escape("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(JsonWriter, WritesWellFormedNestedDocument)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject()
+            .field("name", "a \"quoted\" name")
+            .field("count", std::uint64_t{42})
+            .field("ratio", 0.5)
+            .field("flag", true);
+        json.key("list").beginArray().value(1).value(2).endArray();
+        json.endObject();
+    }
+    const std::string text = os.str();
+    JsonValue root = JsonParser(text).parse();
+    EXPECT_EQ(root.at("name").str, "a \"quoted\" name");
+    EXPECT_EQ(root.at("count").num, 42.0);
+    EXPECT_EQ(root.at("ratio").num, 0.5);
+    EXPECT_TRUE(root.at("flag").b);
+    ASSERT_EQ(root.at("list").items.size(), 2u);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject()
+            .field("nan", std::nan(""))
+            .field("inf", std::numeric_limits<double>::infinity())
+            .endObject();
+    }
+    JsonValue root = JsonParser(os.str()).parse();
+    EXPECT_EQ(root.at("nan").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(root.at("inf").kind, JsonValue::Kind::Null);
+}
+
+RunResult
+distinctiveResult()
+{
+    RunResult r;
+    r.workload = "redis \"hot\"\nshard";
+    r.instructions = 123456789;
+    r.cycles = 987654321;
+    r.ipc = 1.6180339887498949;
+    r.l1Accesses = 18133;
+    r.l1Mpki = 28.62;
+    r.energyTotalNj = 4307.0642401985506;
+    r.superpageCoverage = 0.953125;
+    r.pageFaults = 7;
+    r.ownerSupplies = 3;
+    return r;
+}
+
+TEST(Sinks, JsonRoundTripsARunResult)
+{
+    CampaignMetadata meta;
+    meta.campaign = "unit";
+    meta.gitDescribe = "deadbeef-dirty";
+    meta.jobs = 3;
+    meta.wallSeconds = 1.25;
+
+    CellResult cell;
+    cell.name = "redis/32KB/seesaw";
+    cell.seed = 17;
+    cell.configHash = 0xabcdef0123456789ULL;
+    cell.wallSeconds = 0.5;
+    cell.result = distinctiveResult();
+
+    std::ostringstream os;
+    emitCampaignJson(os, meta, {cell});
+    JsonValue root = JsonParser(os.str()).parse();
+
+    EXPECT_EQ(root.at("campaign").str, "unit");
+    EXPECT_EQ(root.at("git").str, "deadbeef-dirty");
+    EXPECT_EQ(root.at("jobs").num, 3.0);
+    EXPECT_EQ(root.at("cells").num, 1.0);
+    ASSERT_EQ(root.at("results").items.size(), 1u);
+
+    const JsonValue &entry = root.at("results").items[0];
+    EXPECT_EQ(entry.at("cell").str, "redis/32KB/seesaw");
+    EXPECT_EQ(entry.at("seed").num, 17.0);
+    EXPECT_EQ(entry.at("config_hash").str, "abcdef0123456789");
+    // The workload string survives quotes and newlines intact.
+    EXPECT_EQ(entry.at("workload").str, "redis \"hot\"\nshard");
+
+    const JsonValue &stats = entry.at("stats");
+    EXPECT_EQ(stats.at("instructions").num, 123456789.0);
+    EXPECT_EQ(stats.at("cycles").num, 987654321.0);
+    EXPECT_DOUBLE_EQ(stats.at("ipc").num, 1.6180339887498949);
+    EXPECT_DOUBLE_EQ(stats.at("energy_total_nj").num,
+                     4307.0642401985506);
+    EXPECT_DOUBLE_EQ(stats.at("superpage_coverage").num, 0.953125);
+    EXPECT_EQ(stats.at("page_faults").num, 7.0);
+    EXPECT_EQ(stats.at("owner_supplies").num, 3.0);
+    // Every declared field is present.
+    EXPECT_EQ(stats.members.size(),
+              resultFields(RunResult{}).size());
+}
+
+TEST(Sinks, CsvHeaderIsStable)
+{
+    // Downstream tooling keys on these column names; treat the header
+    // as an append-only contract. If you add a RunResult stat, extend
+    // this golden string — never reorder or rename existing columns.
+    EXPECT_EQ(
+        csvHeader(),
+        "campaign,git,cell,seed,config_hash,wall_seconds,workload,"
+        "instructions,cycles,ipc,runtime_ns,l1_accesses,l1_hits,"
+        "l1_misses,l1_mpki,fast_hits,l2_accesses,l2_hits,llc_accesses,"
+        "llc_hits,dram_accesses,tft_lookups,tft_hits,superpage_refs,"
+        "superpage_refs_tft_miss,superpage_refs_tft_miss_l1_hit,"
+        "superpage_refs_tft_miss_l1_miss,superpage_coverage,"
+        "superpage_ref_fraction,energy_total_nj,l1_cpu_dynamic_nj,"
+        "l1_coherence_dynamic_nj,l1_leakage_nj,outer_nj,"
+        "translation_nj,l1i_accesses,l1i_misses,squashes,probes,"
+        "probe_hits,owner_supplies,wp_accuracy,promotions,splinters,"
+        "page_faults");
+}
+
+TEST(Sinks, CsvQuotesAwkwardFieldsAndMatchesHeaderWidth)
+{
+    CampaignMetadata meta;
+    meta.campaign = "unit";
+    meta.gitDescribe = "v1,comma"; // forces quoting
+    CellResult cell;
+    cell.name = "redis/32KB/seesaw";
+    cell.result = distinctiveResult();
+
+    std::ostringstream os;
+    emitCampaignCsv(os, meta, {cell});
+    std::istringstream in(os.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_EQ(header, csvHeader());
+    EXPECT_NE(row.find("\"v1,comma\""), std::string::npos);
+    // The workload contains a quote and a newline -> quoted and the
+    // embedded quote doubled.
+    EXPECT_NE(row.find("\"redis \"\"hot\"\""), std::string::npos);
+}
+
+TEST(Sinks, ResultFieldCountMatchesCsvColumns)
+{
+    const auto fields = resultFields(RunResult{});
+    std::size_t commas = 0;
+    for (const char c : csvHeader())
+        commas += c == ',';
+    // 7 metadata columns precede the stats.
+    EXPECT_EQ(commas + 1, fields.size() + 7);
+}
+
+} // namespace
+} // namespace seesaw::harness

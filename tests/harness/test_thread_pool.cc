@@ -1,0 +1,96 @@
+/** @file Tests for the campaign thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/thread_pool.hh"
+
+namespace seesaw::harness {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([] { throw std::runtime_error("cell exploded"); });
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&count] { ++count; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure does not poison later work: the pool stays usable
+    // and a second wait() does not rethrow the consumed error.
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, DestructorDrainsQueueOnShutdown)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++count;
+            });
+        }
+        // No wait(): the destructor must still run everything.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitThenReuse)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(DefaultJobs, EnvOverridesHardwareConcurrency)
+{
+    ::setenv("SEESAW_JOBS", "7", 1);
+    EXPECT_EQ(defaultJobs(), 7u);
+    ::setenv("SEESAW_JOBS", "garbage", 1);
+    EXPECT_GE(defaultJobs(), 1u); // falls back, never 0
+    ::unsetenv("SEESAW_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+} // namespace
+} // namespace seesaw::harness

@@ -6,6 +6,10 @@
 #include <string>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "workload/trace.hh"
 
 namespace seesaw {
@@ -40,6 +44,34 @@ TEST(Trace, RoundTripPreservesRecords)
         EXPECT_EQ(got->type, expected.type);
     }
     EXPECT_FALSE(reader.next().has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, TruncatedTrailingRecordFailsLoudly)
+{
+    const std::string path = tempPath("truncated.trace");
+    {
+        TraceWriter writer(path);
+        writer.append({0, 0x1000, AccessType::Read});
+        writer.append({1, 0x2000, AccessType::Write});
+    }
+    // Cut the last record in half: 16B header + 2 records of 16B,
+    // resized down to 40 bytes leaves 8 stray bytes.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+#if defined(_WIN32)
+    GTEST_SKIP() << "no ftruncate";
+#else
+    ASSERT_EQ(::ftruncate(fileno(f), 40), 0);
+#endif
+    std::fclose(f);
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.next().has_value()); // record 0 is intact
+    // The torn record must be a fatal error (exit 1), not a silent
+    // end-of-trace that replays a shorter archive.
+    EXPECT_EXIT(reader.next(), ::testing::ExitedWithCode(1),
+                "truncated trace record");
     std::remove(path.c_str());
 }
 
