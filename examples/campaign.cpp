@@ -49,6 +49,12 @@ usage()
         "  --jobs N            worker threads (default SEESAW_JOBS, "
         "else\n"
         "                      hardware_concurrency; 1 = serial)\n"
+        "  --audit MODE        invariant audits: off | end | periodic "
+        "|\n"
+        "                      paranoid (default off; needs a "
+        "-DSEESAW_AUDIT=ON build)\n"
+        "  --audit-period N    events between periodic audits "
+        "(default 65536)\n"
         "  --out DIR           results directory (default results/)\n"
         "  --list              print the expanded cells and exit\n"
         "  --quiet             suppress stderr progress\n");
@@ -125,6 +131,8 @@ main(int argc, char **argv)
     std::uint64_t instructions = experimentInstructions(300'000);
     harness::RunnerOptions options;
     bool list_only = false;
+    check::AuditOptions audit;
+    audit.mode = check::AuditMode::Off;
 
     auto need_value = [&](int i) -> const char * {
         if (i + 1 >= argc) {
@@ -169,6 +177,11 @@ main(int argc, char **argv)
                 std::strtoull(need_value(i++), nullptr, 10);
         } else if (arg == "--jobs") {
             options.jobs = std::atoi(need_value(i++));
+        } else if (arg == "--audit") {
+            audit.mode = check::parseAuditMode(need_value(i++));
+        } else if (arg == "--audit-period") {
+            audit.periodEvents =
+                std::strtoull(need_value(i++), nullptr, 10);
         } else if (arg == "--out") {
             out_dir = need_value(i++);
         } else if (arg == "--list") {
@@ -195,6 +208,7 @@ main(int argc, char **argv)
                 SystemConfig cfg = makeConfig(org, freq);
                 cfg.instructions = instructions;
                 cfg.memhogFraction = memhog;
+                cfg.audit = audit;
                 for (const L1Kind kind : designs) {
                     std::string label = std::string(org.label) + "/" +
                                         TableReporter::fmt(freq, 2) +

@@ -50,6 +50,12 @@ usage()
         "  --icache            also model a SEESAW/VIPT L1I\n"
         "  --instructions N    instruction budget (default 1000000)\n"
         "  --seed N            RNG seed (default 1)\n"
+        "  --audit MODE        invariant audits: off | end | periodic "
+        "|\n"
+        "                      paranoid (default end; needs a\n"
+        "                      -DSEESAW_AUDIT=ON build)\n"
+        "  --audit-period N    events between periodic audits\n"
+        "                      (default 65536)\n"
         "  --baseline          also run baseline VIPT and report the\n"
         "                      improvement\n"
         "  --list              list workloads and exit\n");
@@ -211,6 +217,11 @@ main(int argc, char **argv)
                                              10);
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(need_value(i++), nullptr, 10);
+        } else if (arg == "--audit") {
+            cfg.audit.mode = check::parseAuditMode(need_value(i++));
+        } else if (arg == "--audit-period") {
+            cfg.audit.periodEvents =
+                std::strtoull(need_value(i++), nullptr, 10);
         } else if (arg == "--baseline") {
             run_baseline = true;
         } else {

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Local mirror of the CI correctness matrix:
+#
+#   default    -Wall -Wextra -Werror build, full test suite
+#   audit-off  verify the hooks compile out cleanly (SEESAW_AUDIT=OFF)
+#   asan-ubsan AddressSanitizer + UBSan build, full test suite
+#   tsan       ThreadSanitizer build, threaded harness tests + a
+#              2-worker smoke campaign
+#   tidy       clang-tidy over the compilation database (skipped with a
+#              notice when clang-tidy is not installed)
+#
+# Usage: scripts/check.sh [stage...]   (default: all stages)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+stages=("$@")
+[ ${#stages[@]} -eq 0 ] && stages=(default audit-off asan-ubsan tsan tidy)
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+configure_build_test() {
+    local dir="$1"; shift
+    cmake -S "$repo" -B "$dir" "$@"
+    cmake --build "$dir" -j "$jobs"
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+for stage in "${stages[@]}"; do
+    case "$stage" in
+    default)
+        banner "default build + tests"
+        configure_build_test "$repo/build"
+        ;;
+    audit-off)
+        banner "SEESAW_AUDIT=OFF build + tests"
+        configure_build_test "$repo/build-noaudit" -DSEESAW_AUDIT=OFF
+        ;;
+    asan-ubsan)
+        banner "ASan+UBSan build + tests"
+        configure_build_test "$repo/build-asan" \
+            -DSEESAW_SANITIZE=asan-ubsan
+        ;;
+    tsan)
+        banner "TSan build + threaded smoke"
+        cmake -S "$repo" -B "$repo/build-tsan" -DSEESAW_SANITIZE=tsan
+        cmake --build "$repo/build-tsan" -j "$jobs"
+        # The harness owns all the threading; run its suites plus a
+        # parallel campaign so real worker interleavings execute.
+        ctest --test-dir "$repo/build-tsan" --output-on-failure \
+            -R 'ThreadPool|Campaign|Sink'
+        "$repo/build-tsan/examples/campaign" --campaign tsan-smoke \
+            --workloads redis,mcf --l1 32K --jobs 2 \
+            --instructions 50000 --quiet
+        ;;
+    tidy)
+        banner "clang-tidy"
+        if ! command -v clang-tidy > /dev/null; then
+            echo "clang-tidy not installed; skipping (CI runs it)"
+            continue
+        fi
+        cmake -S "$repo" -B "$repo/build" > /dev/null # refresh DB
+        mapfile -t sources < <(
+            find "$repo/src" "$repo/examples" "$repo/bench" \
+                -name '*.cc' -o -name '*.cpp' | sort)
+        if command -v run-clang-tidy > /dev/null; then
+            run-clang-tidy -p "$repo/build" -j "$jobs" -quiet \
+                "${sources[@]}"
+        else
+            clang-tidy -p "$repo/build" --quiet "${sources[@]}"
+        fi
+        ;;
+    *)
+        echo "unknown stage: $stage" >&2
+        echo "stages: default audit-off asan-ubsan tsan tidy" >&2
+        exit 1
+        ;;
+    esac
+done
+
+banner "all requested stages passed"

@@ -120,6 +120,16 @@ class SetAssocCache
     /** Count of currently valid lines. */
     unsigned validLines() const;
 
+    /** Direct line access by geometry (invariant audits, tests). */
+    const CacheLine &
+    lineAt(unsigned set, unsigned way) const
+    {
+        return setBase(set)[way];
+    }
+
+    /** Current LRU clock; no line's lastUse may exceed it. */
+    std::uint64_t useClock() const { return useClock_; }
+
     /** Visit every valid line (coherence invariant checks, dumps). */
     void forEachValidLine(
         const std::function<void(const CacheLine &)> &fn) const;

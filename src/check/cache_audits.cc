@@ -1,0 +1,135 @@
+#include "check/cache_audits.hh"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seesaw::check {
+
+namespace {
+
+std::string
+lineLabel(unsigned set, unsigned way)
+{
+    return "set " + std::to_string(set) + " way " + std::to_string(way);
+}
+
+} // namespace
+
+void
+auditTagStoreSanity(const SetAssocCache &tags, AuditContext &ctx,
+                    bool allow_duplicates)
+{
+    const unsigned line_bits = [&] {
+        unsigned bits = 0;
+        while ((1U << bits) < tags.lineBytes())
+            ++bits;
+        return bits;
+    }();
+
+    for (unsigned set = 0; set < tags.numSets(); ++set) {
+        std::vector<std::uint64_t> last_uses;
+        for (unsigned way = 0; way < tags.assoc(); ++way) {
+            const CacheLine &line = tags.lineAt(set, way);
+            if (!line.valid) {
+                if (line.state != CoherenceState::Invalid) {
+                    ctx.violation(line.lineAddr << line_bits,
+                                  lineLabel(set, way) +
+                                      ": invalid line carries live "
+                                      "coherence state");
+                }
+                continue;
+            }
+            const Addr pa = line.lineAddr << line_bits;
+
+            // A valid line must be Invalid-free and findable in the
+            // set its own address names.
+            if (line.state == CoherenceState::Invalid) {
+                ctx.violation(pa, lineLabel(set, way) +
+                                      ": valid line in state Invalid");
+            }
+            if (tags.setIndex(pa) != set) {
+                ctx.violation(
+                    pa, lineLabel(set, way) + ": line belongs to set " +
+                            std::to_string(tags.setIndex(pa)) +
+                            " (unreachable where it sits)");
+            }
+
+            // LRU timestamps never run ahead of the store's clock.
+            if (line.lastUse > tags.useClock()) {
+                ctx.violation(
+                    pa, lineLabel(set, way) + ": lastUse " +
+                            std::to_string(line.lastUse) +
+                            " exceeds use clock " +
+                            std::to_string(tags.useClock()));
+            }
+            for (std::uint64_t prev : last_uses) {
+                if (prev == line.lastUse) {
+                    ctx.violation(
+                        pa, lineLabel(set, way) +
+                                ": duplicate LRU timestamp " +
+                                std::to_string(line.lastUse) +
+                                " within the set (recency order "
+                                "is ambiguous)");
+                    break;
+                }
+            }
+            last_uses.push_back(line.lastUse);
+
+            // One physical line in two ways of a set means lookups are
+            // nondeterministic — legal only under `4way-8way` aliasing.
+            if (!allow_duplicates) {
+                for (unsigned other = 0; other < way; ++other) {
+                    const CacheLine &o = tags.lineAt(set, other);
+                    if (o.valid && o.lineAddr == line.lineAddr) {
+                        ctx.violation(
+                            pa, lineLabel(set, way) +
+                                    ": same line also valid in way " +
+                                    std::to_string(other));
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+auditSeesawPlacement(const SeesawCache &cache, AuditContext &ctx)
+{
+    const SetAssocCache &tags = cache.tags();
+    if (tags.numPartitions() <= 1)
+        return;
+
+    const bool super_only =
+        cache.config().policy == InsertionPolicy::FourWayEightWay;
+    const unsigned line_bits = [&] {
+        unsigned bits = 0;
+        while ((1U << bits) < tags.lineBytes())
+            ++bits;
+        return bits;
+    }();
+
+    for (unsigned set = 0; set < tags.numSets(); ++set) {
+        for (unsigned way = 0; way < tags.assoc(); ++way) {
+            const CacheLine &line = tags.lineAt(set, way);
+            if (!line.valid)
+                continue;
+            if (super_only && !isSuperpage(line.pageSize))
+                continue;
+            const Addr pa = line.lineAddr << line_bits;
+            const unsigned holds = way / tags.waysPerPartition();
+            const unsigned wants = tags.partitionIndex(pa);
+            if (holds != wants) {
+                ctx.violation(
+                    pa,
+                    lineLabel(set, way) + ": line sits in partition " +
+                        std::to_string(holds) +
+                        " but its physical address names partition " +
+                        std::to_string(wants) +
+                        " (coherence probes read one partition)");
+            }
+        }
+    }
+}
+
+} // namespace seesaw::check

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * MOESI directory-consistency audit for the multi-core system.
+ *
+ * The ExactDirectory is exact by construction: every probe list it
+ * emits assumes its sharer vectors mirror the per-core L1 tag state.
+ * This audit walks both directions — every directory entry against the
+ * L1s it claims as sharers, and every valid L1 line against the
+ * directory — and enforces the MOESI single-writer rules: at most one
+ * dirty owner, a dirty copy only at the recorded owner, and an E/M
+ * copy only while it is the sole copy system-wide.
+ */
+
+#ifndef SEESAW_CHECK_COHERENCE_AUDITS_HH
+#define SEESAW_CHECK_COHERENCE_AUDITS_HH
+
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "check/invariant_auditor.hh"
+#include "coherence/exact_directory.hh"
+
+namespace seesaw::check {
+
+/**
+ * Cross-check @p directory against the per-core L1s in @p l1s
+ * (indexed by core id; must cover directory.numCores() cores).
+ */
+void auditDirectoryConsistency(const ExactDirectory &directory,
+                               const std::vector<const L1Cache *> &l1s,
+                               AuditContext &ctx);
+
+} // namespace seesaw::check
+
+#endif // SEESAW_CHECK_COHERENCE_AUDITS_HH

@@ -1,0 +1,104 @@
+#include "check/invariant_auditor.hh"
+
+#include "common/logging.hh"
+
+namespace seesaw::check {
+
+void
+AuditContext::violation(Addr addr, std::string detail)
+{
+    auditor_.report(
+        Violation{check_, core, addr, cycle_, std::move(detail)});
+}
+
+InvariantAuditor::InvariantAuditor(AuditOptions options)
+    : options_(options)
+{
+    SEESAW_ASSERT(options_.periodEvents > 0,
+                  "periodic audits need a non-zero period");
+}
+
+void
+InvariantAuditor::registerCheck(std::string name, CheckFn check)
+{
+    SEESAW_ASSERT(check, "cannot register an empty check");
+    for (const auto &existing : checks_) {
+        SEESAW_ASSERT(existing.name != name,
+                      "duplicate audit check name: ", name);
+    }
+    checks_.push_back(NamedCheck{std::move(name), std::move(check)});
+}
+
+void
+InvariantAuditor::onEvent(std::uint64_t events, Cycles now)
+{
+    if (options_.mode == AuditMode::Paranoid) {
+        runAll(now);
+        return;
+    }
+    if (options_.mode != AuditMode::Periodic)
+        return;
+    eventsSinceAudit_ += events;
+    if (eventsSinceAudit_ >= options_.periodEvents) {
+        // Carry the overshoot so the cadence does not drift by up to
+        // a period per audit.
+        eventsSinceAudit_ %= options_.periodEvents;
+        runAll(now);
+    }
+}
+
+void
+InvariantAuditor::onCoherenceTransition(Cycles now)
+{
+    if (options_.mode == AuditMode::Paranoid)
+        runAll(now);
+}
+
+void
+InvariantAuditor::onEndOfRun(Cycles now)
+{
+    if (options_.mode != AuditMode::Off)
+        runAll(now);
+}
+
+void
+InvariantAuditor::runAll(Cycles now)
+{
+    ++auditsRun_;
+    for (const auto &check : checks_) {
+        AuditContext ctx(*this, check.name, now);
+        check.fn(ctx);
+        ++checksRun_;
+    }
+}
+
+void
+InvariantAuditor::setViolationHandler(ViolationHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+void
+InvariantAuditor::report(const Violation &v)
+{
+    ++violations_;
+    if (handler_) {
+        handler_(v);
+        return;
+    }
+    // Default: corrupt simulator state poisons every downstream
+    // number — report and abort.
+    SEESAW_PANIC(formatViolation(v));
+}
+
+std::vector<std::string>
+InvariantAuditor::checkNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(checks_.size());
+    for (const auto &check : checks_)
+        names.push_back(check.name);
+    return names;
+}
+
+} // namespace seesaw::check

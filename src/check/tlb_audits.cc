@@ -1,0 +1,61 @@
+#include "check/tlb_audits.hh"
+
+#include <string>
+
+namespace seesaw::check {
+
+void
+auditTlbAgainstPageTable(const TlbHierarchy &tlb,
+                         const PageTable &page_table, AuditContext &ctx)
+{
+    tlb.forEachValidEntry([&](const char *level, const TlbEntry &e) {
+        const Addr va_base = e.vpn << pageOffsetBits(e.size);
+        const auto t = page_table.translate(e.asid, va_base);
+        if (!t) {
+            ctx.violation(va_base,
+                          std::string(level) + " entry for va 0x" +
+                              std::to_string(va_base) +
+                              " has no page-table mapping "
+                              "(stale after unmap)");
+            return;
+        }
+        if (t->size != e.size) {
+            ctx.violation(
+                va_base, std::string(level) + " entry caches a " +
+                             std::to_string(pageBytes(e.size)) +
+                             "B page but the page table maps " +
+                             std::to_string(pageBytes(t->size)) +
+                             "B (stale after promotion/splinter)");
+            return;
+        }
+        if (t->paBase != e.paBase) {
+            ctx.violation(va_base,
+                          std::string(level) +
+                              " entry translates to a different "
+                              "physical base than the page table");
+        }
+    });
+}
+
+void
+auditTftAgainstPageTable(const Tft &tft, const PageTable &page_table,
+                         Asid asid, AuditContext &ctx)
+{
+    tft.forEachValidRegion([&](Addr va_base) {
+        const auto t = page_table.translate(asid, va_base);
+        if (!t) {
+            ctx.violation(va_base,
+                          "TFT marks an unmapped region as "
+                          "superpage-backed");
+            return;
+        }
+        if (!isSuperpage(t->size)) {
+            ctx.violation(va_base,
+                          "TFT marks a base-page-backed region as "
+                          "superpage-backed (a hit would commit the "
+                          "L1 to the wrong partition)");
+        }
+    });
+}
+
+} // namespace seesaw::check

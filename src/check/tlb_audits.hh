@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Invariant checks over the translation structures.
+ *
+ * auditTlbAgainstPageTable() asserts every valid TLB entry (all levels
+ * of the hierarchy) is a faithful copy of the page table: the mapping
+ * still exists, at the same size, to the same physical base. A stale
+ * entry means an invlpg was lost — translations would silently diverge.
+ *
+ * auditTftAgainstPageTable() asserts the TFT's core guarantee
+ * (§IV-A2): a TFT hit *guarantees* superpage backing, so every valid
+ * TFT region must still be mapped by a superpage. A violation means a
+ * splinter/unmap failed to invalidate the TFT and the cache would
+ * commit to a single partition using VA bits that are not PA bits.
+ */
+
+#ifndef SEESAW_CHECK_TLB_AUDITS_HH
+#define SEESAW_CHECK_TLB_AUDITS_HH
+
+#include "check/invariant_auditor.hh"
+#include "core/tft.hh"
+#include "mem/page_table.hh"
+#include "tlb/tlb_hierarchy.hh"
+
+namespace seesaw::check {
+
+/** Every valid TLB entry must match the page table exactly. */
+void auditTlbAgainstPageTable(const TlbHierarchy &tlb,
+                              const PageTable &page_table,
+                              AuditContext &ctx);
+
+/** Every valid TFT region must still be superpage-backed for
+ *  @p asid (the TFT is not ASID-tagged; it is flushed on context
+ *  switch, so it always describes the running address space). */
+void auditTftAgainstPageTable(const Tft &tft,
+                              const PageTable &page_table, Asid asid,
+                              AuditContext &ctx);
+
+} // namespace seesaw::check
+
+#endif // SEESAW_CHECK_TLB_AUDITS_HH

@@ -19,13 +19,24 @@ ExactDirectory::onReadMiss(CoreId core, Addr pa)
     if (it == lines_.end())
         return probes;
 
-    const Entry &e = it->second;
+    Entry &e = it->second;
     if (e.owner >= 0 && static_cast<CoreId>(e.owner) != core) {
         // Downgrade the dirty owner; it supplies the data.
         probes.targets.push_back(static_cast<CoreId>(e.owner));
         probes.ownerSupplies = true;
         ++stats_.scalar("owner_downgrades");
+    } else if (e.exclusive) {
+        // A sole clean sharer may hold the line Exclusive; E means
+        // "only copy system-wide", so it must be downgraded to Shared
+        // before this fill creates a second copy.
+        for (CoreId c = 0; c < numCores_; ++c) {
+            if (c != core && (e.sharers & (1ULL << c))) {
+                probes.targets.push_back(c);
+                ++stats_.scalar("exclusive_downgrades");
+            }
+        }
     }
+    e.exclusive = false;
     return probes;
 }
 
@@ -53,6 +64,7 @@ ExactDirectory::onWrite(CoreId core, Addr pa)
     e.sharers &= (1ULL << core);
     if (e.owner != static_cast<int>(core))
         e.owner = -1;
+    e.exclusive = false; // the upcoming recordFill() sets ownership
     if (e.sharers == 0)
         lines_.erase(it);
     return probes;
@@ -65,8 +77,13 @@ ExactDirectory::recordFill(CoreId core, Addr pa, bool dirty)
     e.sharers |= (1ULL << core);
     if (dirty) {
         e.owner = static_cast<int>(core);
-    } else if (e.owner == static_cast<int>(core)) {
-        e.owner = -1;
+        e.exclusive = false;
+    } else {
+        if (e.owner == static_cast<int>(core))
+            e.owner = -1;
+        // A clean fill is Exclusive only while it is the sole copy.
+        e.exclusive =
+            e.owner < 0 && e.sharers == (1ULL << core);
     }
     ++stats_.scalar("fills");
 }
@@ -111,6 +128,15 @@ ExactDirectory::owner(Addr pa) const
 {
     auto it = lines_.find(lineOf(pa));
     return it == lines_.end() ? -1 : it->second.owner;
+}
+
+void
+ExactDirectory::forEachEntry(
+    const std::function<void(Addr pa, std::uint64_t sharers,
+                             int owner)> &fn) const
+{
+    for (const auto &[line, entry] : lines_)
+        fn(line << 6, entry.sharers, entry.owner);
 }
 
 } // namespace seesaw

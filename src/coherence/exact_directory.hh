@@ -12,6 +12,7 @@
 #define SEESAW_COHERENCE_EXACT_DIRECTORY_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -40,8 +41,11 @@ class ExactDirectory
 
     /**
      * Core @p core is about to read the line of @p pa and missed in
-     * its L1. @return The probes required (downgrade the dirty owner,
-     * if any). Call recordFill() after the fill completes.
+     * its L1. @return The probes required: downgrade the dirty owner
+     * (it supplies the data), or downgrade a possible silent-E holder
+     * — a sole clean sharer may cache the line Exclusive, and E means
+     * "only copy", so it must fall to Shared before a second copy
+     * exists. Call recordFill() after the fill completes.
      */
     ProbeList onReadMiss(CoreId core, Addr pa);
 
@@ -70,6 +74,14 @@ class ExactDirectory
     /** Number of tracked lines. */
     std::size_t trackedLines() const { return lines_.size(); }
 
+    unsigned numCores() const { return numCores_; }
+
+    /** Visit every tracked line: physical line-base address, sharer
+     *  bitmask, dirty owner (-1 if clean) — invariant audits. */
+    void forEachEntry(
+        const std::function<void(Addr pa, std::uint64_t sharers,
+                                 int owner)> &fn) const;
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 
@@ -78,6 +90,10 @@ class ExactDirectory
     {
         std::uint64_t sharers = 0; //!< bitmask over cores
         int owner = -1;            //!< core holding M/O, or -1
+        /** The sole clean sharer may hold the line Exclusive; a second
+         *  reader must downgrade it before filling (MOESI: at most one
+         *  E/M copy system-wide). Cleared by any downgrade. */
+        bool exclusive = false;
     };
 
     unsigned numCores_;

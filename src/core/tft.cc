@@ -110,6 +110,16 @@ Tft::validCount() const
     return count;
 }
 
+void
+Tft::forEachValidRegion(
+    const std::function<void(Addr va_base)> &fn) const
+{
+    for (const auto &e : table_) {
+        if (e.valid)
+            fn(e.regionTag << 21);
+    }
+}
+
 double
 Tft::storageBytes() const
 {

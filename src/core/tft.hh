@@ -23,6 +23,7 @@
 #define SEESAW_CORE_TFT_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/stats.hh"
@@ -70,6 +71,11 @@ class Tft
 
     /** Valid-entry count (for area/occupancy reporting). */
     unsigned validCount() const;
+
+    /** Visit the 2MB-aligned virtual base of every valid entry
+     *  (invariant audits: each must still be superpage-backed). */
+    void forEachValidRegion(
+        const std::function<void(Addr va_base)> &fn) const;
 
     /** Storage footprint in bytes: 43-bit tags + valid bit (plus LRU
      *  bits when associative). */

@@ -92,6 +92,8 @@ configHash(const SystemConfig &config)
     h.mix(config.codeThpEligibleFraction);
     h.mix(config.useOneGbHeap);
     h.mix(config.tracePath);
+    h.mix(config.audit.mode);
+    h.mix(config.audit.periodEvents);
     return h.value();
 }
 

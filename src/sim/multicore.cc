@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/cache_audits.hh"
+#include "check/coherence_audits.hh"
+#include "check/invariant_auditor.hh"
+#include "check/tlb_audits.hh"
 #include "common/logging.hh"
 
 namespace seesaw {
@@ -99,6 +103,81 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &config,
                 }
             }
         }
+    }
+
+    setupAuditor();
+}
+
+void
+MultiCoreSystem::setupAuditor()
+{
+    if (config_.audit.mode == check::AuditMode::Off)
+        return;
+    if (!check::kAuditCompiledIn) {
+        SEESAW_WARN("audit mode '",
+                    check::auditModeName(config_.audit.mode),
+                    "' requested but the audit layer is compiled out; "
+                    "rebuild with -DSEESAW_AUDIT=ON");
+        return;
+    }
+
+    auditor_ =
+        std::make_unique<check::InvariantAuditor>(config_.audit);
+
+    auditor_->registerCheck(
+        "directory", [this](check::AuditContext &ctx) {
+            std::vector<const L1Cache *> l1s;
+            l1s.reserve(l1s_.size());
+            for (const auto &l1 : l1s_)
+                l1s.push_back(l1.get());
+            check::auditDirectoryConsistency(directory_, l1s, ctx);
+        });
+    const bool allow_dup =
+        isSeesaw() && config_.policy == InsertionPolicy::FourWayEightWay;
+    auditor_->registerCheck(
+        "l1.tags", [this, allow_dup](check::AuditContext &ctx) {
+            for (unsigned c = 0; c < config_.cores; ++c) {
+                ctx.core = static_cast<int>(c);
+                check::auditTagStoreSanity(l1s_[c]->tags(), ctx,
+                                           allow_dup);
+            }
+        });
+    auditor_->registerCheck(
+        "outer.tags", [this](check::AuditContext &ctx) {
+            for (unsigned c = 0; c < config_.cores; ++c) {
+                ctx.core = static_cast<int>(c);
+                check::auditTagStoreSanity(*l2s_[c], ctx);
+            }
+            ctx.core = -1;
+            check::auditTagStoreSanity(*llc_, ctx);
+        });
+    auditor_->registerCheck("tlb", [this](check::AuditContext &ctx) {
+        for (unsigned c = 0; c < config_.cores; ++c) {
+            ctx.core = static_cast<int>(c);
+            check::auditTlbAgainstPageTable(*tlbs_[c],
+                                            os_->pageTable(), ctx);
+        }
+    });
+    if (isSeesaw()) {
+        auditor_->registerCheck(
+            "l1.partition", [this](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < config_.cores; ++c) {
+                    ctx.core = static_cast<int>(c);
+                    check::auditSeesawPlacement(
+                        *static_cast<SeesawCache *>(l1s_[c].get()),
+                        ctx);
+                }
+            });
+        auditor_->registerCheck(
+            "l1.tft", [this](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < config_.cores; ++c) {
+                    ctx.core = static_cast<int>(c);
+                    check::auditTftAgainstPageTable(
+                        static_cast<SeesawCache *>(l1s_[c].get())
+                            ->tft(),
+                        os_->pageTable(), asid_, ctx);
+                }
+            });
     }
 }
 
@@ -218,6 +297,13 @@ MultiCoreSystem::step(CoreId core)
         energy_->addLineInstall(res.installWays);
         directory_.recordFill(core, pa,
                               ref.type == AccessType::Write);
+        if (ref.type != AccessType::Write &&
+            directory_.sharerCount(pa) > 1) {
+            // The L1 installed the read fill Exclusive, but other
+            // copies exist; MOESI grants E only to the sole copy.
+            if (CacheLine *line = l1s_[core]->tags().findLine(pa))
+                line->state = CoherenceState::Shared;
+        }
         if (res.eviction.valid) {
             directory_.recordEviction(core,
                                       res.eviction.lineAddr << 6);
@@ -246,6 +332,16 @@ MultiCoreSystem::step(CoreId core)
     cpus_[core]->retireMemory(timing);
     if (tr.penaltyCycles)
         cpus_[core]->addStallCycles(tr.penaltyCycles);
+
+    if constexpr (check::kAuditCompiledIn) {
+        if (auditor_) {
+            // Directory and caches are mutually consistent again here:
+            // audit after every completed transition in Paranoid mode.
+            if (ref.type == AccessType::Write || !res.hit)
+                auditor_->onCoherenceTransition(cpus_[core]->cycles());
+            auditor_->onEvent(ref.gap + 1, cpus_[core]->cycles());
+        }
+    }
 
     return ref.gap + 1;
 }
@@ -288,6 +384,15 @@ MultiCoreSystem::run()
     }
     run_phase(config_.instructionsPerCore);
 
+    if constexpr (check::kAuditCompiledIn) {
+        if (auditor_) {
+            Cycles now = 0;
+            for (const auto &cpu : cpus_)
+                now = std::max(now, cpu->cycles());
+            auditor_->onEndOfRun(now);
+        }
+    }
+
     MultiRunResult r;
     r.cores = config_.cores;
     for (unsigned c = 0; c < config_.cores; ++c) {
@@ -325,29 +430,23 @@ MultiCoreSystem::run()
 bool
 MultiCoreSystem::checkDirectoryInvariant() const
 {
-    // Cache -> directory: every valid line in core c's L1 must be
-    // tracked as held by c, and every dirty line must be owned by c.
-    bool ok = true;
-    for (unsigned c = 0; c < config_.cores && ok; ++c) {
-        l1s_[c]->tags().forEachValidLine([&](const CacheLine &line) {
-            const Addr pa = line.lineAddr << 6;
-            if (!directory_.holds(c, pa))
-                ok = false;
-            if (isDirtyState(line.state) &&
-                directory_.owner(pa) != static_cast<int>(c)) {
-                ok = false;
-            }
-        });
-    }
-    if (!ok)
-        return false;
+    // One-shot run of the shared directory-consistency audit with a
+    // collecting handler (the full bidirectional MOESI cross-check).
+    check::InvariantAuditor auditor;
+    std::uint64_t found = 0;
+    auditor.setViolationHandler(
+        [&found](const check::Violation &) { ++found; });
 
-    // Directory -> caches: it can never track more lines than the
-    // caches hold in total (a k-sharer line is one entry, k copies).
-    std::size_t cached = 0;
-    for (unsigned c = 0; c < config_.cores; ++c)
-        cached += l1s_[c]->tags().validLines();
-    return directory_.trackedLines() <= cached;
+    std::vector<const L1Cache *> l1s;
+    l1s.reserve(l1s_.size());
+    for (const auto &l1 : l1s_)
+        l1s.push_back(l1.get());
+    auditor.registerCheck(
+        "directory", [&](check::AuditContext &ctx) {
+            check::auditDirectoryConsistency(directory_, l1s, ctx);
+        });
+    auditor.runAll(0);
+    return found == 0;
 }
 
 RunResult

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/baseline_caches.hh"
+#include "check/audit.hh"
 #include "coherence/exact_directory.hh"
 #include "core/seesaw_cache.hh"
 #include "cpu/cpu_model.hh"
@@ -54,6 +55,11 @@ struct MultiCoreConfig
     std::uint64_t instructionsPerCore = 100'000;
     std::uint64_t warmupInstructionsPerCore = 40'000;
     std::uint64_t seed = 1;
+
+    /** Invariant-audit cadence (src/check); Paranoid additionally
+     *  audits after every coherence transition. Modes other than Off
+     *  need a build with -DSEESAW_AUDIT=ON. */
+    check::AuditOptions audit;
 };
 
 /** Aggregate results of one multi-core run. */
@@ -109,6 +115,13 @@ class MultiCoreSystem
     unsigned cores() const { return config_.cores; }
     ExactDirectory &directory() { return directory_; }
     L1Cache &l1(unsigned core) { return *l1s_[core]; }
+    TlbHierarchy &tlb(unsigned core) { return *tlbs_[core]; }
+    OsMemoryManager &os() { return *os_; }
+    Asid asid() const { return asid_; }
+
+    /** The invariant auditor, or nullptr when audits are off or the
+     *  audit layer is compiled out. */
+    check::InvariantAuditor *auditor() { return auditor_.get(); }
 
   private:
     MultiCoreConfig config_;
@@ -159,6 +172,10 @@ class MultiCoreSystem
                          bool owner_supplied);
 
     void resetMeasurement();
+
+    /** Build the auditor and register the per-layer checks. */
+    void setupAuditor();
+    std::unique_ptr<check::InvariantAuditor> auditor_;
 };
 
 } // namespace seesaw

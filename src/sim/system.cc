@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "check/cache_audits.hh"
+#include "check/invariant_auditor.hh"
+#include "check/tlb_audits.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -222,6 +225,71 @@ System::System(const SystemConfig &config, const WorkloadSpec &workload)
     nextContextSwitch_ = config_.contextSwitchInterval;
     nextPromotion_ = config_.promotionInterval;
     nextSplinter_ = config_.splinterInterval;
+
+    setupAuditor();
+}
+
+void
+System::setupAuditor()
+{
+    if (config_.audit.mode == check::AuditMode::Off)
+        return;
+    if (!check::kAuditCompiledIn) {
+        SEESAW_WARN("audit mode '",
+                    check::auditModeName(config_.audit.mode),
+                    "' requested but the audit layer is compiled out; "
+                    "rebuild with -DSEESAW_AUDIT=ON");
+        return;
+    }
+
+    auditor_ =
+        std::make_unique<check::InvariantAuditor>(config_.audit);
+
+    // Duplicate lines (one PA in two ways) are legal only under the
+    // 4way-8way SEESAW policy, where a page mapped both base and super
+    // can be installed twice (§IV-B1).
+    const bool allow_dup =
+        isSeesawKind() &&
+        config_.policy == InsertionPolicy::FourWayEightWay;
+
+    auditor_->registerCheck(
+        "l1.tags", [this, allow_dup](check::AuditContext &ctx) {
+            check::auditTagStoreSanity(l1_->tags(), ctx, allow_dup);
+        });
+    auditor_->registerCheck("tlb", [this](check::AuditContext &ctx) {
+        check::auditTlbAgainstPageTable(*tlb_, os_->pageTable(), ctx);
+    });
+    if (isSeesawKind()) {
+        auditor_->registerCheck(
+            "l1.partition", [this](check::AuditContext &ctx) {
+                check::auditSeesawPlacement(*seesawL1(), ctx);
+            });
+        auditor_->registerCheck(
+            "l1.tft", [this](check::AuditContext &ctx) {
+                check::auditTftAgainstPageTable(seesawL1()->tft(),
+                                                os_->pageTable(),
+                                                asid_, ctx);
+            });
+    }
+    if (l1i_) {
+        auditor_->registerCheck(
+            "l1i.tags", [this, allow_dup](check::AuditContext &ctx) {
+                check::auditTagStoreSanity(l1i_->tags(), ctx,
+                                           allow_dup);
+            });
+        if (auto *icache = dynamic_cast<SeesawCache *>(l1i_.get())) {
+            auditor_->registerCheck(
+                "l1i.partition", [icache](check::AuditContext &ctx) {
+                    check::auditSeesawPlacement(*icache, ctx);
+                });
+            auditor_->registerCheck(
+                "l1i.tft", [this, icache](check::AuditContext &ctx) {
+                    check::auditTftAgainstPageTable(icache->tft(),
+                                                    os_->pageTable(),
+                                                    asid_, ctx);
+                });
+        }
+    }
 }
 
 System::~System() = default;
@@ -481,6 +549,10 @@ System::runLoop(std::uint64_t budget)
         retired += ref.gap + 1;
         probes_->tick(ref.gap + 1);
         osTick(retiredBase_ + retired);
+        if constexpr (check::kAuditCompiledIn) {
+            if (auditor_)
+                auditor_->onEvent(ref.gap + 1, cpu_->cycles());
+        }
     }
     retiredBase_ += retired;
 }
@@ -508,6 +580,10 @@ System::run()
         resetMeasurement();
     }
     runLoop(config_.instructions);
+    if constexpr (check::kAuditCompiledIn) {
+        if (auditor_)
+            auditor_->onEndOfRun(cpu_->cycles());
+    }
 
     // Static energy over the whole run: L1 leakage plus the outer
     // hierarchy's background power (this is where faster runtime

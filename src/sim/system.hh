@@ -14,6 +14,7 @@
 
 #include "cache/baseline_caches.hh"
 #include "cache/next_level.hh"
+#include "check/audit.hh"
 #include "coherence/probe_engine.hh"
 #include "core/seesaw_cache.hh"
 #include "cpu/cpu_model.hh"
@@ -26,6 +27,10 @@
 #include "workload/reference_stream.hh"
 #include "workload/trace.hh"
 #include "workload/workload_spec.hh"
+
+namespace seesaw::check {
+class InvariantAuditor;
+} // namespace seesaw::check
 
 namespace seesaw {
 
@@ -141,6 +146,11 @@ struct SystemConfig
      * trace loops if shorter than the instruction budget.
      */
     std::string tracePath;
+
+    /** Invariant-audit cadence (src/check). Modes other than Off need
+     *  a build with -DSEESAW_AUDIT=ON; otherwise a warning is issued
+     *  and no audits run. */
+    check::AuditOptions audit;
 };
 
 /** Everything a bench needs from one simulation. */
@@ -222,6 +232,10 @@ class System
     EnergyModel &energy() { return *energy_; }
     const SystemConfig &config() const { return config_; }
     Asid asid() const { return asid_; }
+
+    /** The invariant auditor, or nullptr when audits are off or the
+     *  audit layer is compiled out. */
+    check::InvariantAuditor *auditor() { return auditor_.get(); }
     /// @}
 
   private:
@@ -283,6 +297,10 @@ class System
     std::uint64_t nextPromotion_ = 0;
     std::uint64_t nextSplinter_ = 0;
     Rng eventRng_;
+
+    /** Build the auditor and register the per-layer checks. */
+    void setupAuditor();
+    std::unique_ptr<check::InvariantAuditor> auditor_;
 };
 
 } // namespace seesaw

@@ -130,4 +130,14 @@ Tlb::validCount() const
     return count;
 }
 
+void
+Tlb::forEachValidEntry(
+    const std::function<void(const TlbEntry &)> &fn) const
+{
+    for (const auto &e : slots_) {
+        if (e.valid)
+            fn(e);
+    }
+}
+
 } // namespace seesaw

@@ -8,6 +8,7 @@
 #define SEESAW_TLB_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +69,11 @@ class Tlb
 
     /** Number of currently valid entries (scheduler counter, §IV-B3). */
     unsigned validCount() const;
+
+    /** Visit every valid entry (invariant audits against the page
+     *  table, dumps). */
+    void forEachValidEntry(
+        const std::function<void(const TlbEntry &)> &fn) const;
 
     PageSize pageSize() const { return size_; }
     unsigned entries() const { return entries_; }

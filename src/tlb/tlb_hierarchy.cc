@@ -233,4 +233,26 @@ TlbHierarchy::flushAll()
     l22m_.flushAll();
 }
 
+void
+TlbHierarchy::forEachValidEntry(
+    const std::function<void(const char *level, const TlbEntry &)> &fn)
+    const
+{
+    if (unified_) {
+        unified_->forEachValidEntry(
+            [&](const TlbEntry &e) { fn("l1.unified", e); });
+    } else {
+        l14k_.forEachValidEntry(
+            [&](const TlbEntry &e) { fn("l1.4k", e); });
+        l12m_.forEachValidEntry(
+            [&](const TlbEntry &e) { fn("l1.2m", e); });
+        l11g_.forEachValidEntry(
+            [&](const TlbEntry &e) { fn("l1.1g", e); });
+    }
+    l24k_.forEachValidEntry(
+        [&](const TlbEntry &e) { fn("l2.4k", e); });
+    l22m_.forEachValidEntry(
+        [&](const TlbEntry &e) { fn("l2.2m", e); });
+}
+
 } // namespace seesaw

@@ -149,6 +149,13 @@ class TlbHierarchy
 
     const TlbHierarchyParams &params() const { return params_; }
 
+    /** Visit every valid entry of every level; @p fn receives the
+     *  level's name ("l1.4k", "l1.2m", "l1.1g", "l1.unified",
+     *  "l2.4k", "l2.2m") and the entry (invariant audits). */
+    void forEachValidEntry(
+        const std::function<void(const char *level, const TlbEntry &)>
+            &fn) const;
+
     const UnifiedTlb *unifiedL1Tlb() const { return unified_.get(); }
     const Tlb &l1Tlb4k() const { return l14k_; }
     const Tlb &l1Tlb2m() const { return l12m_; }

@@ -124,6 +124,16 @@ UnifiedTlb::validCount() const
     return count;
 }
 
+void
+UnifiedTlb::forEachValidEntry(
+    const std::function<void(const TlbEntry &)> &fn) const
+{
+    for (const auto &e : slots_) {
+        if (e.valid)
+            fn(e);
+    }
+}
+
 unsigned
 UnifiedTlb::superpageValidCount() const
 {

@@ -13,6 +13,7 @@
 #ifndef SEESAW_TLB_UNIFIED_TLB_HH
 #define SEESAW_TLB_UNIFIED_TLB_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +49,10 @@ class UnifiedTlb
 
     unsigned entries() const { return entries_; }
     unsigned validCount() const;
+
+    /** Visit every valid entry (invariant audits, dumps). */
+    void forEachValidEntry(
+        const std::function<void(const TlbEntry &)> &fn) const;
 
     /** Valid entries caching superpage (2MB/1GB) translations — the
      *  §IV-B3 scheduler counter for unified configurations. */

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end audit coverage: paranoid-mode runs over every paper
+ * workload must complete without a single invariant violation (the
+ * default handler aborts the process on one), the audit layer must
+ * stay out of the way when disabled, and a seeded whole-system
+ * corruption — a splinter applied behind the simulator's back — must
+ * be caught by the TFT/TLB audits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.hh"
+#include "sim/multicore.hh"
+#include "sim/system.hh"
+
+namespace seesaw {
+namespace {
+
+/** A footprint small enough that paranoid cadence stays fast. */
+WorkloadSpec
+shrunk(const WorkloadSpec &spec)
+{
+    WorkloadSpec w = spec;
+    w.footprintBytes = std::min<std::uint64_t>(w.footprintBytes,
+                                               4ULL << 20);
+    w.hotSetBytes = std::min(w.hotSetBytes, w.footprintBytes / 2);
+    w.codeFootprintBytes =
+        std::min<std::uint64_t>(w.codeFootprintBytes, 1ULL << 20);
+    return w;
+}
+
+SystemConfig
+paranoidConfig(L1Kind kind)
+{
+    SystemConfig cfg;
+    cfg.l1Kind = kind;
+    cfg.instructions = 6'000;
+    cfg.warmupInstructions = 3'000;
+    cfg.audit.mode = check::AuditMode::Paranoid;
+    return cfg;
+}
+
+TEST(AuditIntegrationTest, ParanoidRunsCleanOverAllPaperWorkloads)
+{
+    if constexpr (!check::kAuditCompiledIn)
+        GTEST_SKIP() << "audit layer compiled out";
+
+    for (L1Kind kind : {L1Kind::Seesaw, L1Kind::ViptBaseline}) {
+        for (const WorkloadSpec &spec : paperWorkloads()) {
+            System system(paranoidConfig(kind), shrunk(spec));
+            system.run(); // a violation would abort the process
+            ASSERT_NE(system.auditor(), nullptr);
+            EXPECT_GT(system.auditor()->auditsRun(), 0u)
+                << spec.name;
+            EXPECT_EQ(system.auditor()->violations(), 0u)
+                << spec.name;
+        }
+    }
+}
+
+TEST(AuditIntegrationTest, ParanoidRunsCleanWithAnInstructionCache)
+{
+    if constexpr (!check::kAuditCompiledIn)
+        GTEST_SKIP() << "audit layer compiled out";
+
+    SystemConfig cfg = paranoidConfig(L1Kind::Seesaw);
+    cfg.modelInstructionCache = true;
+    System system(cfg, shrunk(findWorkload("nutch")));
+    system.run();
+    ASSERT_NE(system.auditor(), nullptr);
+    EXPECT_EQ(system.auditor()->violations(), 0u);
+}
+
+TEST(AuditIntegrationTest, OffModeInstantiatesNoAuditor)
+{
+    SystemConfig cfg;
+    cfg.instructions = 1'000;
+    cfg.warmupInstructions = 0;
+    cfg.audit.mode = check::AuditMode::Off;
+    System system(cfg, shrunk(findWorkload("redis")));
+    EXPECT_EQ(system.auditor(), nullptr);
+    system.run();
+}
+
+TEST(AuditIntegrationTest, EndModeAuditsExactlyOnce)
+{
+    if constexpr (!check::kAuditCompiledIn)
+        GTEST_SKIP() << "audit layer compiled out";
+
+    SystemConfig cfg;
+    cfg.instructions = 5'000;
+    cfg.warmupInstructions = 1'000;
+    cfg.audit.mode = check::AuditMode::End;
+    System system(cfg, shrunk(findWorkload("mcf")));
+    system.run();
+    ASSERT_NE(system.auditor(), nullptr);
+    EXPECT_EQ(system.auditor()->auditsRun(), 1u);
+    EXPECT_EQ(system.auditor()->violations(), 0u);
+}
+
+TEST(AuditIntegrationTest, CatchesTftDesyncAfterHiddenSplinter)
+{
+    if constexpr (!check::kAuditCompiledIn)
+        GTEST_SKIP() << "audit layer compiled out";
+
+    SystemConfig cfg;
+    cfg.instructions = 20'000;
+    cfg.warmupInstructions = 5'000;
+    cfg.audit.mode = check::AuditMode::End;
+    System system(cfg, shrunk(findWorkload("redis")));
+    system.run();
+
+    SeesawCache *l1 = system.seesawL1();
+    ASSERT_NE(l1, nullptr);
+    const auto supers = system.os().superpageVas(system.asid());
+    ASSERT_FALSE(supers.empty());
+
+    // The issue's seeded corruption: splinter a superpage the TFT
+    // vouches for WITHOUT the invlpg applySplinter() would send — a
+    // later TFT hit would commit the L1 to a partition the (now
+    // base-paged) translation no longer guarantees.
+    const Addr victim = supers.front();
+    l1->tft().markRegion(victim);
+    ASSERT_TRUE(
+        system.os().splinter(system.asid(), victim).has_value());
+
+    std::vector<check::Violation> seen;
+    auto *auditor = system.auditor();
+    ASSERT_NE(auditor, nullptr);
+    auditor->setViolationHandler(
+        [&seen](const check::Violation &v) { seen.push_back(v); });
+    auditor->runAll(0);
+
+    bool tft_violation = false;
+    for (const auto &v : seen)
+        tft_violation |= v.check == "l1.tft";
+    EXPECT_TRUE(tft_violation);
+}
+
+TEST(AuditIntegrationTest, MultiCoreParanoidRunsClean)
+{
+    if constexpr (!check::kAuditCompiledIn)
+        GTEST_SKIP() << "audit layer compiled out";
+
+    MultiCoreConfig cfg;
+    cfg.cores = 2;
+    cfg.instructionsPerCore = 4'000;
+    cfg.warmupInstructionsPerCore = 1'000;
+    cfg.audit.mode = check::AuditMode::Paranoid;
+    MultiCoreSystem system(cfg, shrunk(findWorkload("cann")));
+    system.run();
+    ASSERT_NE(system.auditor(), nullptr);
+    EXPECT_GT(system.auditor()->auditsRun(), 0u);
+    EXPECT_EQ(system.auditor()->violations(), 0u);
+    EXPECT_TRUE(system.checkDirectoryInvariant());
+}
+
+TEST(AuditIntegrationTest, MultiCoreAuditCatchesSeededDirectoryDrift)
+{
+    if constexpr (!check::kAuditCompiledIn)
+        GTEST_SKIP() << "audit layer compiled out";
+
+    MultiCoreConfig cfg;
+    cfg.cores = 2;
+    cfg.instructionsPerCore = 4'000;
+    cfg.warmupInstructionsPerCore = 1'000;
+    cfg.audit.mode = check::AuditMode::End;
+    MultiCoreSystem system(cfg, shrunk(findWorkload("cann")));
+    system.run();
+    ASSERT_TRUE(system.checkDirectoryInvariant());
+
+    // Flip one sharer bit: pick any line core 0 holds and make the
+    // directory forget it.
+    Addr victim = 0;
+    bool found = false;
+    const SetAssocCache &tags = system.l1(0).tags();
+    unsigned line_bits = 0;
+    while ((1U << line_bits) < tags.lineBytes())
+        ++line_bits;
+    tags.forEachValidLine([&](const CacheLine &line) {
+        if (!found) {
+            victim = line.lineAddr << line_bits;
+            found = true;
+        }
+    });
+    ASSERT_TRUE(found);
+    system.directory().recordEviction(0, victim);
+    EXPECT_FALSE(system.checkDirectoryInvariant());
+}
+
+} // namespace
+} // namespace seesaw

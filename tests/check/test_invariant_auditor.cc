@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Engine tests for the InvariantAuditor: registration, cadence per
+ * mode, violation routing, and the abort-by-default contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.hh"
+
+namespace seesaw::check {
+namespace {
+
+TEST(InvariantAuditorTest, ParsesEveryModeAndRoundTripsNames)
+{
+    for (auto mode : {AuditMode::Off, AuditMode::End,
+                      AuditMode::Periodic, AuditMode::Paranoid}) {
+        EXPECT_EQ(parseAuditMode(auditModeName(mode)), mode);
+    }
+}
+
+TEST(InvariantAuditorDeathTest, UnknownModeIsFatal)
+{
+    EXPECT_EXIT((void)parseAuditMode("sometimes"),
+                ::testing::ExitedWithCode(1), "unknown audit mode");
+}
+
+TEST(InvariantAuditorTest, RegisteredChecksAreIntrospectable)
+{
+    InvariantAuditor auditor;
+    auditor.registerCheck("a", [](AuditContext &) {});
+    auditor.registerCheck("b", [](AuditContext &) {});
+    EXPECT_EQ(auditor.checkCount(), 2u);
+    EXPECT_EQ(auditor.checkNames(),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(InvariantAuditorDeathTest, DuplicateCheckNamePanics)
+{
+    InvariantAuditor auditor;
+    auditor.registerCheck("dup", [](AuditContext &) {});
+    EXPECT_DEATH(auditor.registerCheck("dup", [](AuditContext &) {}),
+                 "duplicate audit check name");
+}
+
+TEST(InvariantAuditorTest, OffModeNeverAudits)
+{
+    InvariantAuditor auditor(AuditOptions{AuditMode::Off, 1});
+    int runs = 0;
+    auditor.registerCheck("count",
+                          [&runs](AuditContext &) { ++runs; });
+    auditor.onEvent(1000, 1);
+    auditor.onCoherenceTransition(2);
+    auditor.onEndOfRun(3);
+    EXPECT_EQ(runs, 0);
+    EXPECT_FALSE(auditor.enabled());
+}
+
+TEST(InvariantAuditorTest, EndModeAuditsOnlyAtEndOfRun)
+{
+    InvariantAuditor auditor; // default: End
+    int runs = 0;
+    auditor.registerCheck("count",
+                          [&runs](AuditContext &) { ++runs; });
+    auditor.onEvent(1'000'000, 1);
+    auditor.onCoherenceTransition(2);
+    EXPECT_EQ(runs, 0);
+    auditor.onEndOfRun(3);
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(auditor.auditsRun(), 1u);
+}
+
+TEST(InvariantAuditorTest, PeriodicModeAuditsOncePerPeriod)
+{
+    InvariantAuditor auditor(AuditOptions{AuditMode::Periodic, 100});
+    int runs = 0;
+    auditor.registerCheck("count",
+                          [&runs](AuditContext &) { ++runs; });
+    for (int i = 0; i < 10; ++i)
+        auditor.onEvent(30, i); // 300 events = 3 full periods
+    EXPECT_EQ(runs, 3);
+    auditor.onCoherenceTransition(11); // not a paranoid trigger
+    EXPECT_EQ(runs, 3);
+    auditor.onEndOfRun(12);
+    EXPECT_EQ(runs, 4);
+}
+
+TEST(InvariantAuditorTest, ParanoidModeAuditsEverywhere)
+{
+    InvariantAuditor auditor(
+        AuditOptions{AuditMode::Paranoid, 1'000'000});
+    int runs = 0;
+    auditor.registerCheck("count",
+                          [&runs](AuditContext &) { ++runs; });
+    auditor.onEvent(1, 1);
+    auditor.onCoherenceTransition(2);
+    auditor.onEndOfRun(3);
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(InvariantAuditorTest, ViolationsRouteToTheHandlerWithContext)
+{
+    InvariantAuditor auditor;
+    std::vector<Violation> seen;
+    auditor.setViolationHandler(
+        [&seen](const Violation &v) { seen.push_back(v); });
+    auditor.registerCheck("demo", [](AuditContext &ctx) {
+        ctx.core = 3;
+        ctx.violation(0xdead40, "something is off");
+    });
+    auditor.runAll(77);
+
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].check, "demo");
+    EXPECT_EQ(seen[0].core, 3);
+    EXPECT_EQ(seen[0].addr, 0xdead40u);
+    EXPECT_EQ(seen[0].cycle, 77u);
+    EXPECT_EQ(seen[0].detail, "something is off");
+    EXPECT_EQ(auditor.violations(), 1u);
+
+    const std::string line = formatViolation(seen[0]);
+    EXPECT_NE(line.find("demo"), std::string::npos);
+    EXPECT_NE(line.find("core=3"), std::string::npos);
+    EXPECT_NE(line.find("0xdead40"), std::string::npos);
+    EXPECT_NE(line.find("cycle=77"), std::string::npos);
+}
+
+TEST(InvariantAuditorDeathTest, DefaultHandlerAborts)
+{
+    InvariantAuditor auditor;
+    auditor.registerCheck("fatal", [](AuditContext &ctx) {
+        ctx.violation(0x40, "corrupt");
+    });
+    EXPECT_DEATH(auditor.runAll(1), "invariant violated: fatal");
+}
+
+} // namespace
+} // namespace seesaw::check

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Mutation tests for the translation audits: TLB entries that drift
+ * from the page table and TFT regions whose superpage guarantee has
+ * been silently revoked must both be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.hh"
+#include "check/tlb_audits.hh"
+
+namespace seesaw::check {
+namespace {
+
+constexpr Asid kAsid = 1;
+constexpr Addr kBaseVa = 0x10000000;  // 4KB-mapped
+constexpr Addr kSuperVa = 0x40000000; // 2MB-mapped
+
+std::vector<Violation>
+collect(const std::function<void(AuditContext &)> &fn)
+{
+    InvariantAuditor auditor;
+    std::vector<Violation> seen;
+    auditor.setViolationHandler(
+        [&seen](const Violation &v) { seen.push_back(v); });
+    auditor.registerCheck("under-test", fn);
+    auditor.runAll(0);
+    return seen;
+}
+
+struct TlbAuditsTest : ::testing::Test
+{
+    PageTable pt;
+    TlbHierarchy tlb{TlbHierarchyParams::sandybridge(), pt};
+
+    TlbAuditsTest()
+    {
+        pt.map(kAsid, kBaseVa, 0x1000, PageSize::Base4KB);
+        pt.map(kAsid, kSuperVa, 0x200000, PageSize::Super2MB);
+    }
+
+    std::vector<Violation>
+    audit()
+    {
+        return collect([&](AuditContext &ctx) {
+            auditTlbAgainstPageTable(tlb, pt, ctx);
+        });
+    }
+};
+
+TEST_F(TlbAuditsTest, FilledHierarchyAuditsClean)
+{
+    EXPECT_TRUE(tlb.lookup(kAsid, kBaseVa + 0x10).walked);
+    EXPECT_TRUE(tlb.lookup(kAsid, kSuperVa + 0x12345).walked);
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(TlbAuditsTest, CatchesEntryStaleAfterUnmap)
+{
+    tlb.lookup(kAsid, kBaseVa);
+    // Unmap WITHOUT the invlpg the OS owes the TLB.
+    ASSERT_TRUE(pt.unmap(kAsid, kBaseVa, PageSize::Base4KB).has_value());
+    const auto seen = audit();
+    // The entry was filled into both TLB levels; each reports.
+    ASSERT_FALSE(seen.empty());
+    for (const auto &v : seen)
+        EXPECT_NE(v.detail.find("no page-table mapping"),
+                  std::string::npos);
+}
+
+TEST_F(TlbAuditsTest, CatchesSizeMismatchAfterRemap)
+{
+    tlb.lookup(kAsid, kSuperVa);
+    // Splinter the 2MB page into base pages behind the TLB's back.
+    ASSERT_TRUE(pt.unmap(kAsid, kSuperVa, PageSize::Super2MB).has_value());
+    for (unsigned i = 0; i < 512; ++i) {
+        ASSERT_TRUE(pt.map(kAsid, kSuperVa + i * 4096ULL,
+                           0x200000 + i * 4096ULL,
+                           PageSize::Base4KB));
+    }
+    const auto seen = audit();
+    ASSERT_FALSE(seen.empty());
+    EXPECT_NE(seen[0].detail.find("promotion/splinter"),
+              std::string::npos);
+}
+
+TEST_F(TlbAuditsTest, CatchesPhysicalBaseDrift)
+{
+    tlb.lookup(kAsid, kBaseVa);
+    // Remap the page to different frames without invalidating.
+    ASSERT_TRUE(pt.unmap(kAsid, kBaseVa, PageSize::Base4KB).has_value());
+    ASSERT_TRUE(pt.map(kAsid, kBaseVa, 0x7000, PageSize::Base4KB));
+    const auto seen = audit();
+    ASSERT_FALSE(seen.empty());
+    for (const auto &v : seen)
+        EXPECT_NE(v.detail.find("different physical base"),
+                  std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// TFT vs page table.
+
+struct TftAuditsTest : ::testing::Test
+{
+    PageTable pt;
+    Tft tft{16, 1};
+
+    TftAuditsTest()
+    {
+        pt.map(kAsid, kSuperVa, 0x200000, PageSize::Super2MB);
+        for (unsigned i = 0; i < 512; ++i) {
+            pt.map(kAsid, kBaseVa + i * 4096ULL, 0x1000000 + i * 4096ULL,
+                   PageSize::Base4KB);
+        }
+    }
+
+    std::vector<Violation>
+    audit()
+    {
+        return collect([&](AuditContext &ctx) {
+            auditTftAgainstPageTable(tft, pt, kAsid, ctx);
+        });
+    }
+};
+
+TEST_F(TftAuditsTest, SuperpageBackedRegionsAuditClean)
+{
+    tft.markRegion(kSuperVa + 0x54321);
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(TftAuditsTest, CatchesBasePageBackedRegion)
+{
+    // The issue's seeded corruption: mark a region that is only backed
+    // by 4KB pages — a TFT hit would commit the L1 to VA partition
+    // bits that are not PA bits.
+    tft.markRegion(kBaseVa);
+    const auto seen = audit();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].addr, kBaseVa);
+    EXPECT_NE(seen[0].detail.find("base-page-backed"),
+              std::string::npos);
+}
+
+TEST_F(TftAuditsTest, CatchesUnmappedRegion)
+{
+    tft.markRegion(kSuperVa);
+    ASSERT_TRUE(pt.unmap(kAsid, kSuperVa, PageSize::Super2MB).has_value());
+    const auto seen = audit();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("unmapped"), std::string::npos);
+}
+
+TEST_F(TftAuditsTest, InvalidatedRegionNoLongerAudited)
+{
+    tft.markRegion(kSuperVa);
+    ASSERT_TRUE(pt.unmap(kAsid, kSuperVa, PageSize::Super2MB).has_value());
+    EXPECT_TRUE(tft.invalidateRegion(kSuperVa)); // the owed invlpg
+    EXPECT_TRUE(audit().empty());
+}
+
+} // namespace
+} // namespace seesaw::check
