@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare two campaign JSON files, ignoring machine-dependent fields.
+
+The simulator is deterministic, so two runs of the same campaign on any
+machines must agree on every statistic; only wall times, job counts and
+the git revision may differ. The nightly workflow uses this to diff a
+fresh full campaign against the pinned golden under bench/golden/.
+
+Usage: campaign_diff.py CURRENT.json GOLDEN.json
+Exits 0 when statistically identical, 1 with a field-level report when
+not, 2 on usage errors.
+"""
+
+import json
+import sys
+
+# Machine- or invocation-dependent; everything else must match.
+IGNORED = {"wall_seconds", "git_describe", "jobs"}
+
+
+def scrub(node):
+    if isinstance(node, dict):
+        return {k: scrub(v) for k, v in node.items()
+                if k not in IGNORED}
+    if isinstance(node, list):
+        return [scrub(v) for v in node]
+    return node
+
+
+def report(a, b, path=""):
+    """Print differing leaves; return the number found."""
+    if type(a) is not type(b):
+        print(f"  {path}: type {type(a).__name__} vs "
+              f"{type(b).__name__}")
+        return 1
+    if isinstance(a, dict):
+        n = 0
+        for k in sorted(set(a) | set(b)):
+            if k not in a or k not in b:
+                print(f"  {path}/{k}: only in "
+                      f"{'golden' if k in b else 'current'}")
+                n += 1
+            else:
+                n += report(a[k], b[k], f"{path}/{k}")
+        return n
+    if isinstance(a, list):
+        if len(a) != len(b):
+            print(f"  {path}: {len(a)} vs {len(b)} elements")
+            return 1
+        return sum(report(x, y, f"{path}[{i}]")
+                   for i, (x, y) in enumerate(zip(a, b)))
+    if a != b:
+        print(f"  {path}: {a} vs {b}")
+        return 1
+    return 0
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = scrub(json.load(f))
+    with open(sys.argv[2]) as f:
+        golden = scrub(json.load(f))
+    if current == golden:
+        print("campaign_diff: statistically identical")
+        return 0
+    n = report(current, golden)
+    print(f"campaign_diff: {n} field(s) diverge from the golden",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@
 #              2-worker smoke campaign
 #   tidy       clang-tidy over the compilation database (skipped with a
 #              notice when clang-tidy is not installed)
+#   perf       perf-regression gate: 3-run median of the throughput
+#              suite vs bench/perf/BENCH_throughput.baseline.json
+#              (the local mirror of the CI perf-gate job)
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages)
 
@@ -16,7 +19,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(default audit-off asan-ubsan tsan tidy)
+[ ${#stages[@]} -eq 0 ] && \
+    stages=(default audit-off asan-ubsan tsan tidy perf)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -71,9 +75,15 @@ for stage in "${stages[@]}"; do
             clang-tidy -p "$repo/build" --quiet "${sources[@]}"
         fi
         ;;
+    perf)
+        banner "perf-regression gate"
+        cmake -S "$repo" -B "$repo/build" > /dev/null
+        cmake --build "$repo/build" -j "$jobs" --target perf_throughput
+        python3 "$repo/scripts/perf_gate.py"
+        ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "stages: default audit-off asan-ubsan tsan tidy" >&2
+        echo "stages: default audit-off asan-ubsan tsan tidy perf" >&2
         exit 1
         ;;
     esac

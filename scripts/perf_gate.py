@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the simulator-throughput suite.
+
+Runs ``build/bench/perf_throughput`` several times (default 3), takes
+the per-metric median of the *normalized* throughput figures (each
+metric divided by the run's integer-calibration score, so the numbers
+transfer across machines), and compares them against the checked-in
+baseline ``bench/perf/BENCH_throughput.baseline.json``.
+
+A metric more than ``--tolerance`` (default 10%) below its baseline
+fails the gate. Improvements never fail; run with ``--update-baseline``
+after an intentional speedup (or slowdown) to re-pin.
+
+Stdlib only; exits 0 on pass, 1 on regression, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def gated_metrics(doc):
+    """name -> normalized throughput, for every gated series."""
+    out = {}
+    for m in doc["micro"]:
+        out["micro/" + m["name"]] = m["normalized_ops"]
+    for m in doc["macro"]:
+        out["macro/" + m["name"]] = m["normalized_accesses"]
+    return out
+
+
+def run_suite(bench, results_dir, repeats_env):
+    env = dict(os.environ)
+    env.setdefault("SEESAW_PERF_REPEATS", repeats_env)
+    env["SEESAW_RESULTS_DIR"] = results_dir
+    subprocess.run([bench], check=True, env=env,
+                   stdout=subprocess.DEVNULL)
+    with open(os.path.join(results_dir, "BENCH_throughput.json")) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench",
+                    default=os.path.join(REPO, "build", "bench",
+                                         "perf_throughput"),
+                    help="perf_throughput binary (default: build/bench)")
+    ap.add_argument("--baseline",
+                    default=os.path.join(REPO, "bench", "perf",
+                                         "BENCH_throughput.baseline.json"))
+    ap.add_argument("--runs", type=int, default=3,
+                    help="suite invocations to median over (default 3)")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional loss vs baseline "
+                         "(default 0.10)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="write the measured medians as the new "
+                         "baseline instead of gating")
+    args = ap.parse_args()
+
+    if not os.access(args.bench, os.X_OK):
+        print(f"perf_gate: bench binary not found: {args.bench}",
+              file=sys.stderr)
+        return 2
+    if args.runs < 1:
+        print("perf_gate: --runs must be >= 1", file=sys.stderr)
+        return 2
+
+    results_dir = os.path.join(REPO, "build", "perf-gate")
+    shutil.rmtree(results_dir, ignore_errors=True)
+    os.makedirs(results_dir, exist_ok=True)
+
+    # The binary's internal repeat loop is redundant with our outer
+    # median, so default it to 1 (still overridable via the env).
+    docs = [run_suite(args.bench, results_dir, "1")
+            for _ in range(args.runs)]
+    series = [gated_metrics(d) for d in docs]
+    names = series[0].keys()
+    medians = {n: statistics.median(s[n] for s in series)
+               for n in names}
+
+    if args.update_baseline:
+        doc = docs[-1]
+        # Re-pin the normalized medians; keep the last run's raw
+        # figures as human-readable context.
+        for m in doc["micro"]:
+            m["normalized_ops"] = medians["micro/" + m["name"]]
+        for m in doc["macro"]:
+            m["normalized_accesses"] = medians["macro/" + m["name"]]
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"perf_gate: no baseline at {args.baseline}; "
+              "run with --update-baseline first", file=sys.stderr)
+        return 2
+    with open(args.baseline) as f:
+        base = gated_metrics(json.load(f))
+
+    width = max(len(n) for n in names)
+    failures = []
+    for n in sorted(names):
+        cur = medians[n]
+        ref = base.get(n)
+        if ref is None:
+            print(f"  {n:<{width}}  {cur:9.4f}  (new metric, "
+                  "not gated)")
+            continue
+        delta = (cur - ref) / ref
+        status = "ok"
+        if delta < -args.tolerance:
+            status = "REGRESSION"
+            failures.append((n, ref, cur, delta))
+        print(f"  {n:<{width}}  {cur:9.4f}  vs {ref:9.4f}  "
+              f"{delta:+7.1%}  {status}")
+
+    missing = sorted(set(base) - set(names))
+    for n in missing:
+        print(f"  {n:<{width}}  metric disappeared from the suite")
+    if missing:
+        failures.append(("missing-metrics", 0, 0, 0))
+
+    if failures:
+        print(f"\nperf_gate: FAIL — {len(failures)} metric(s) lost "
+              f">{args.tolerance:.0%} vs baseline "
+              f"({args.runs}-run median)", file=sys.stderr)
+        return 1
+    print(f"\nperf_gate: pass ({args.runs}-run median within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

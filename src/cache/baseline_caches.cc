@@ -11,7 +11,10 @@ ViptCache::ViptCache(const BaselineL1Config &config,
       hitCycles_(latency.basePageCycles(config.sizeBytes, config.assoc,
                                         config.freqGhz)),
       wpMispredictPenalty_(1),
-      stats_("vipt")
+      stats_("vipt"),
+      stAccesses_(&stats_.scalar("accesses")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses"))
 {
     if (config.wayPrediction) {
         predictor_ = std::make_unique<MruWayPredictor>(
@@ -23,7 +26,7 @@ L1AccessResult
 ViptCache::access(const L1Access &req)
 {
     L1AccessResult res;
-    ++stats_.scalar("accesses");
+    ++*stAccesses_;
 
     const unsigned set = tags_.setIndex(req.pa);
     unsigned predicted = 0;
@@ -60,7 +63,7 @@ ViptCache::access(const L1Access &req)
     }
 
     if (look.hit) {
-        ++stats_.scalar("hits");
+        ++*stHits_;
         CacheLine *line = tags_.findLine(req.pa);
         if (req.type == AccessType::Write)
             line->state = CoherenceState::Modified;
@@ -70,7 +73,7 @@ ViptCache::access(const L1Access &req)
     }
 
     // Miss: install with a set-wide LRU victim.
-    ++stats_.scalar("misses");
+    ++*stMisses_;
     const auto state = req.type == AccessType::Write
                            ? CoherenceState::Modified
                            : CoherenceState::Exclusive;
@@ -123,7 +126,10 @@ PiptCache::PiptCache(const BaselineL1Config &config,
       hitCycles_(latency.piptCycles(config.sizeBytes, config.assoc,
                                     config.freqGhz,
                                     tlb_latency_cycles)),
-      stats_("pipt")
+      stats_("pipt"),
+      stAccesses_(&stats_.scalar("accesses")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses"))
 {
     SEESAW_ASSERT(!config.wayPrediction,
                   "way prediction unsupported on the PIPT baseline");
@@ -133,7 +139,7 @@ L1AccessResult
 PiptCache::access(const L1Access &req)
 {
     L1AccessResult res;
-    ++stats_.scalar("accesses");
+    ++*stAccesses_;
 
     const TagLookup look = tags_.lookup(req.pa);
     res.hit = look.hit;
@@ -142,13 +148,13 @@ PiptCache::access(const L1Access &req)
     res.fastPath = look.hit;
 
     if (look.hit) {
-        ++stats_.scalar("hits");
+        ++*stHits_;
         if (req.type == AccessType::Write)
             tags_.findLine(req.pa)->state = CoherenceState::Modified;
         return res;
     }
 
-    ++stats_.scalar("misses");
+    ++*stMisses_;
     const auto state = req.type == AccessType::Write
                            ? CoherenceState::Modified
                            : CoherenceState::Exclusive;

@@ -30,7 +30,7 @@ struct BaselineL1Config
  * A traditional VIPT L1: every lookup reads all ways of the set, and
  * hit latency equals the paper's baseline (Table III).
  */
-class ViptCache : public L1Cache
+class ViptCache final : public L1Cache
 {
   public:
     ViptCache(const BaselineL1Config &config,
@@ -59,13 +59,18 @@ class ViptCache : public L1Cache
     unsigned wpMispredictPenalty_;
     std::unique_ptr<MruWayPredictor> predictor_;
     StatGroup stats_;
+
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stAccesses_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
 };
 
 /**
  * A PIPT L1: the TLB is serialised before the cache, but associativity
  * (and therefore array latency) can be chosen freely (Fig 14).
  */
-class PiptCache : public L1Cache
+class PiptCache final : public L1Cache
 {
   public:
     /**
@@ -91,6 +96,11 @@ class PiptCache : public L1Cache
     SetAssocCache tags_;
     unsigned hitCycles_; //!< includes the serial TLB lookup
     StatGroup stats_;
+
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stAccesses_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
 };
 
 } // namespace seesaw

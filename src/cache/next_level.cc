@@ -23,7 +23,13 @@ OuterHierarchy::OuterHierarchy(const OuterHierarchyParams &params,
       l2Cycles_(toCycles(params.l2LatencyNs, freq_ghz)),
       llcCycles_(toCycles(params.llcLatencyNs, freq_ghz)),
       dramCycles_(toCycles(params.dramLatencyNs, freq_ghz)),
-      stats_("outer")
+      stats_("outer"),
+      stL2Accesses_(&stats_.scalar("l2_accesses")),
+      stL2Hits_(&stats_.scalar("l2_hits")),
+      stLlcAccesses_(&stats_.scalar("llc_accesses")),
+      stLlcHits_(&stats_.scalar("llc_hits")),
+      stDramAccesses_(&stats_.scalar("dram_accesses")),
+      stL1Writebacks_(&stats_.scalar("l1_writebacks"))
 {
     SEESAW_ASSERT(freq_ghz > 0.0, "bad frequency");
 }
@@ -36,26 +42,26 @@ OuterHierarchy::access(Addr pa, AccessType type)
                                 ? CoherenceState::Modified
                                 : CoherenceState::Exclusive;
 
-    ++stats_.scalar("l2_accesses");
+    ++*stL2Accesses_;
     res.cycles = l2Cycles_;
     if (l2_.lookup(pa).hit) {
-        ++stats_.scalar("l2_hits");
+        ++*stL2Hits_;
         res.level = HitLevel::L2;
         return res;
     }
 
-    ++stats_.scalar("llc_accesses");
+    ++*stLlcAccesses_;
     res.llcAccessed = true;
     res.cycles += llcCycles_;
     if (llc_.lookup(pa).hit) {
-        ++stats_.scalar("llc_hits");
+        ++*stLlcHits_;
         res.level = HitLevel::LLC;
         l2_.insert(pa, SetAssocCache::InsertScope::FullSet, fill_state,
                    PageSize::Base4KB);
         return res;
     }
 
-    ++stats_.scalar("dram_accesses");
+    ++*stDramAccesses_;
     res.dramAccessed = true;
     res.cycles += dramCycles_;
     res.level = HitLevel::Dram;
@@ -78,7 +84,7 @@ OuterHierarchy::prefill(Addr pa)
 void
 OuterHierarchy::writeback(Addr pa)
 {
-    ++stats_.scalar("l1_writebacks");
+    ++*stL1Writebacks_;
     // Write-allocate into the L2; dirty data propagates lazily.
     if (!l2_.lookup(pa).hit) {
         l2_.insert(pa, SetAssocCache::InsertScope::FullSet,

@@ -76,6 +76,14 @@ class OuterHierarchy
     unsigned llcCycles_;
     unsigned dramCycles_;
     StatGroup stats_;
+
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stL2Accesses_;
+    StatScalar *stL2Hits_;
+    StatScalar *stLlcAccesses_;
+    StatScalar *stLlcHits_;
+    StatScalar *stDramAccesses_;
+    StatScalar *stL1Writebacks_;
 };
 
 } // namespace seesaw

@@ -12,7 +12,12 @@ SiptCache::SiptCache(const SiptConfig &config,
       hitCycles_(latency.sram().accessLatencyCycles(
           config.sizeBytes, config.assoc, config.freqGhz)),
       predictor_(config.predictorEntries),
-      stats_("sipt")
+      stats_("sipt"),
+      stAccesses_(&stats_.scalar("accesses")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses")),
+      stSpecCorrect_(&stats_.scalar("spec_correct")),
+      stSpecWrong_(&stats_.scalar("spec_wrong"))
 {
     // How many index bits exceed the 4KB page offset?
     const unsigned set_span_bits =
@@ -51,16 +56,16 @@ L1AccessResult
 SiptCache::access(const L1Access &req)
 {
     L1AccessResult res;
-    ++stats_.scalar("accesses");
+    ++*stAccesses_;
 
     // Speculate the index; the TLB reveals the truth in parallel.
     const unsigned predicted = predictBits(req.va);
     const unsigned actual = extraBitsOf(req.pa);
     const bool correct = predicted == actual;
     if (correct)
-        ++stats_.scalar("spec_correct");
+        ++*stSpecCorrect_;
     else
-        ++stats_.scalar("spec_wrong");
+        ++*stSpecWrong_;
     train(req.va, actual);
 
     // Lines live at their physical index; a wrong speculation reads
@@ -79,14 +84,14 @@ SiptCache::access(const L1Access &req)
     res.lateDiscovery = !correct;
 
     if (look.hit) {
-        ++stats_.scalar("hits");
+        ++*stHits_;
         CacheLine *line = tags_.findLine(req.pa);
         if (req.type == AccessType::Write)
             line->state = CoherenceState::Modified;
         return res;
     }
 
-    ++stats_.scalar("misses");
+    ++*stMisses_;
     const auto state = req.type == AccessType::Write
                            ? CoherenceState::Modified
                            : CoherenceState::Exclusive;

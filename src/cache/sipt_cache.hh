@@ -41,7 +41,7 @@ struct SiptConfig
 /**
  * The SIPT L1 data cache.
  */
-class SiptCache : public L1Cache
+class SiptCache final : public L1Cache
 {
   public:
     SiptCache(const SiptConfig &config, const LatencyTable &latency);
@@ -86,6 +86,13 @@ class SiptCache : public L1Cache
     unsigned specBits_; //!< index bits above bit 11
     std::vector<PredictorEntry> predictor_;
     StatGroup stats_;
+
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stAccesses_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
+    StatScalar *stSpecCorrect_;
+    StatScalar *stSpecWrong_;
 
     /** PA bits [11+specBits : 12]. */
     unsigned

@@ -1,0 +1,45 @@
+#include "check/mem_audits.hh"
+
+#include <string>
+
+namespace seesaw::check {
+
+void
+auditTranslationCacheAgainstPageTable(const PageTable &page_table,
+                                      AuditContext &ctx)
+{
+    page_table.translationCache().forEachValidEntry(
+        [&](const TranslationCacheEntry &e) {
+            const Addr va = e.vpn << 12;
+            const auto t = page_table.translateSlow(e.asid, va);
+            if (!t) {
+                ctx.violation(va,
+                              "translation cache holds va 0x" +
+                                  std::to_string(va) +
+                                  " but the page table has no mapping "
+                                  "(stale after unmap)");
+                return;
+            }
+            if (t->size != e.size || t->vaBase != e.vaBase) {
+                ctx.violation(
+                    va, "translation cache caches a " +
+                            std::to_string(pageBytes(e.size)) +
+                            "B page at va base 0x" +
+                            std::to_string(e.vaBase) +
+                            " but the page table maps " +
+                            std::to_string(pageBytes(t->size)) +
+                            "B at va base 0x" +
+                            std::to_string(t->vaBase) +
+                            " (stale after promotion/splinter)");
+                return;
+            }
+            if (t->paBase != e.paBase) {
+                ctx.violation(va,
+                              "translation cache translates to a "
+                              "different physical base than the page "
+                              "table");
+            }
+        });
+}
+
+} // namespace seesaw::check

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Invariant checks over the OS memory structures.
+ *
+ * auditTranslationCacheAgainstPageTable() asserts that the software
+ * translation cache fronting PageTable::translate() is a faithful
+ * memo of the hash tables: every live (current-generation) entry must
+ * be re-derivable from the slow path at the same virtual base, the
+ * same physical base and the same page size. A divergence means a
+ * mutation slipped past the generation invalidation and every
+ * translation the simulator performs is suspect.
+ */
+
+#ifndef SEESAW_CHECK_MEM_AUDITS_HH
+#define SEESAW_CHECK_MEM_AUDITS_HH
+
+#include "check/invariant_auditor.hh"
+#include "mem/page_table.hh"
+
+namespace seesaw::check {
+
+/** Every live translation-cache entry must match the slow path. */
+void auditTranslationCacheAgainstPageTable(const PageTable &page_table,
+                                           AuditContext &ctx);
+
+} // namespace seesaw::check
+
+#endif // SEESAW_CHECK_MEM_AUDITS_HH

@@ -6,7 +6,11 @@ ProbeEngine::ProbeEngine(const ProbeEngineParams &params, L1Cache &l1,
                          EnergyModel &energy)
     : params_(params), l1_(l1), energy_(energy),
       bus_(params.fabric, params.snoopAbsentFactor, params.seed),
-      stats_("probe_engine")
+      stats_("probe_engine"),
+      stProbes_(&stats_.scalar("probes")),
+      stProbeHits_(&stats_.scalar("probe_hits")),
+      stInvalidations_(&stats_.scalar("invalidations")),
+      stDirtySupplies_(&stats_.scalar("dirty_supplies"))
 {
     directedRate_ = params_.systemProbesPerKiloInstr +
                     params_.sharingProbesPerKiloInstrPerThread *
@@ -24,17 +28,17 @@ ProbeEngine::tick(std::uint64_t instructions)
     const auto due = static_cast<unsigned>(directedCarry_);
     directedCarry_ -= due;
 
-    const auto probes =
-        bus_.generate(due, params_.invalidatingFraction, resident_);
-    for (const auto &p : probes) {
+    bus_.generate(due, params_.invalidatingFraction, resident_,
+                  probeBuf_);
+    for (const auto &p : probeBuf_) {
         const L1ProbeResult res = l1_.probe(p.pa, p.invalidating);
-        ++stats_.scalar("probes");
+        ++*stProbes_;
         if (res.hit)
-            ++stats_.scalar("probe_hits");
+            ++*stProbeHits_;
         if (p.invalidating && res.hit)
-            ++stats_.scalar("invalidations");
+            ++*stInvalidations_;
         if (res.wasDirty)
-            ++stats_.scalar("dirty_supplies");
+            ++*stDirtySupplies_;
         energy_.addL1Lookup(l1_.tags().sizeBytes(), l1_.tags().assoc(),
                             res.waysRead, /*coherent=*/true);
     }

@@ -13,6 +13,8 @@
 #ifndef SEESAW_COHERENCE_PROBE_ENGINE_HH
 #define SEESAW_COHERENCE_PROBE_ENGINE_HH
 
+#include <vector>
+
 #include "cache/l1_cache.hh"
 #include "coherence/snoop_bus.hh"
 #include "common/stats.hh"
@@ -83,8 +85,14 @@ class ProbeEngine
     SnoopBus bus_;
     ResidentLineTracker resident_;
     StatGroup stats_;
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stProbes_;
+    StatScalar *stProbeHits_;
+    StatScalar *stInvalidations_;
+    StatScalar *stDirtySupplies_;
     double directedRate_;
     double directedCarry_ = 0.0;
+    std::vector<SnoopBus::ProbeRequest> probeBuf_; //!< reused per tick
 };
 
 } // namespace seesaw

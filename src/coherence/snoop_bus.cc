@@ -38,8 +38,18 @@ SnoopBus::generate(unsigned directed, double invalidating_fraction,
                    const ResidentLineTracker &resident)
 {
     std::vector<ProbeRequest> probes;
+    generate(directed, invalidating_fraction, resident, probes);
+    return probes;
+}
+
+void
+SnoopBus::generate(unsigned directed, double invalidating_fraction,
+                   const ResidentLineTracker &resident,
+                   std::vector<ProbeRequest> &probes)
+{
+    probes.clear();
     if (resident.empty())
-        return probes;
+        return;
 
     for (unsigned i = 0; i < directed; ++i) {
         ProbeRequest p;
@@ -64,7 +74,6 @@ SnoopBus::generate(unsigned directed, double invalidating_fraction,
             probes.push_back(p);
         }
     }
-    return probes;
 }
 
 } // namespace seesaw

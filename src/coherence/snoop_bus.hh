@@ -81,6 +81,12 @@ class SnoopBus
                                        double invalidating_fraction,
                                        const ResidentLineTracker &resident);
 
+    /** Same, appending into @p out (cleared first) so steady-state
+     *  callers reuse one buffer instead of allocating per window. */
+    void generate(unsigned directed, double invalidating_fraction,
+                  const ResidentLineTracker &resident,
+                  std::vector<ProbeRequest> &out);
+
     CoherenceKind kind() const { return kind_; }
 
   private:

@@ -1,5 +1,6 @@
 #include "common/random.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -88,6 +89,22 @@ Rng::buildZipf(std::uint64_t n, double alpha)
     }
     for (auto &v : zipfCdf_)
         v /= sum;
+
+    // Guide table: bucket b holds the first index whose CDF value can
+    // answer any u in [b/B, (b+1)/B); the next bucket's entry bounds
+    // the search from above. Search results are identical to a full
+    // binary search — the bounds merely start tighter.
+    const std::size_t buckets =
+        std::min<std::uint64_t>(4096, std::max<std::uint64_t>(1, n));
+    zipfGuide_.assign(buckets + 1, static_cast<std::uint32_t>(n - 1));
+    std::uint64_t idx = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const double lo_u =
+            static_cast<double>(b) / static_cast<double>(buckets);
+        while (idx < n - 1 && zipfCdf_[idx] < lo_u)
+            ++idx;
+        zipfGuide_[b] = static_cast<std::uint32_t>(idx);
+    }
 }
 
 std::uint64_t
@@ -97,8 +114,12 @@ Rng::nextZipf(std::uint64_t n, double alpha)
     if (n != zipfN_ || alpha != zipfAlpha_)
         buildZipf(n, alpha);
     const double u = nextDouble();
-    // Binary search for the first CDF entry >= u.
-    std::uint64_t lo = 0, hi = n - 1;
+    // Binary search for the first CDF entry >= u, started from the
+    // guide table's tight bounds for u's bucket.
+    const std::size_t buckets = zipfGuide_.size() - 1;
+    const auto b = static_cast<std::size_t>(
+        u * static_cast<double>(buckets));
+    std::uint64_t lo = zipfGuide_[b], hi = zipfGuide_[b + 1];
     while (lo < hi) {
         const std::uint64_t mid = lo + (hi - lo) / 2;
         if (zipfCdf_[mid] < u)

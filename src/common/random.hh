@@ -23,8 +23,11 @@ namespace seesaw {
 class Rng
 {
   public:
-    /** Construct from a 64-bit seed via splitmix64 expansion. */
-    explicit Rng(std::uint64_t seed = 0x5ee5a3d5eedULL);
+    /** Construct from a 64-bit seed via splitmix64 expansion. The
+     *  seed is mandatory: a default would let a bench or test pick up
+     *  an implicit stream and silently lose SEESAW_JOBS=1
+     *  reproducibility. */
+    explicit Rng(std::uint64_t seed);
 
     /** @return The next raw 64-bit value. */
     std::uint64_t next();
@@ -50,10 +53,13 @@ class Rng
   private:
     std::uint64_t s_[4];
 
-    // Cached Zipf CDF to avoid rebuilding per sample.
+    // Cached Zipf CDF to avoid rebuilding per sample, plus a guide
+    // table mapping the top bits of u to tight binary-search bounds
+    // (Chen's method): identical results, ~O(1) expected probes.
     std::uint64_t zipfN_ = 0;
     double zipfAlpha_ = -1.0;
     std::vector<double> zipfCdf_;
+    std::vector<std::uint32_t> zipfGuide_;
 
     void buildZipf(std::uint64_t n, double alpha);
 };

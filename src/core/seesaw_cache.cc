@@ -16,7 +16,18 @@ SeesawCache::SeesawCache(const SeesawConfig &config,
                                           config.partitionWays,
                                           config.freqGhz)),
       tftCycles_(latency.tftCycles(config.freqGhz)),
-      stats_("seesaw")
+      stats_("seesaw"),
+      stAccesses_(&stats_.scalar("accesses")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses")),
+      stSuperRefs_(&stats_.scalar("superpage_refs")),
+      stSuperRefsTftMiss_(&stats_.scalar("superpage_refs_tft_miss")),
+      stSuperRefsTftMissL1Hit_(
+          &stats_.scalar("superpage_refs_tft_miss_l1_hit")),
+      stSuperRefsTftMissL1Miss_(
+          &stats_.scalar("superpage_refs_tft_miss_l1_miss")),
+      stProbes_(&stats_.scalar("probes")),
+      stProbeHits_(&stats_.scalar("probe_hits"))
 {
     SEESAW_ASSERT(config.assoc % config.partitionWays == 0,
                   "partition width must divide associativity");
@@ -35,7 +46,7 @@ L1AccessResult
 SeesawCache::access(const L1Access &req)
 {
     L1AccessResult res;
-    ++stats_.scalar("accesses");
+    ++*stAccesses_;
 
     // The TFT is probed in parallel with set selection (and with the
     // TLB): honour a pre-TLB probe when the caller supplies one.
@@ -44,9 +55,9 @@ SeesawCache::access(const L1Access &req)
 
     const bool super_ref = isSuperpage(req.pageSize);
     if (super_ref) {
-        ++stats_.scalar("superpage_refs");
+        ++*stSuperRefs_;
         if (!res.tftHit)
-            ++stats_.scalar("superpage_refs_tft_miss");
+            ++*stSuperRefsTftMiss_;
     } else {
         // A TFT hit guarantees a superpage-backed region: entries are
         // only created from 2MB TLB fills and are invalidated on
@@ -108,9 +119,9 @@ SeesawCache::access(const L1Access &req)
 
     res.hit = look.hit;
     if (look.hit) {
-        ++stats_.scalar("hits");
+        ++*stHits_;
         if (super_ref && !res.tftHit)
-            ++stats_.scalar("superpage_refs_tft_miss_l1_hit");
+            ++*stSuperRefsTftMissL1Hit_;
         CacheLine *line = tags_.findLine(req.pa);
         if (req.type == AccessType::Write)
             line->state = CoherenceState::Modified;
@@ -120,9 +131,9 @@ SeesawCache::access(const L1Access &req)
     // Miss: install. Under the 4way policy the victim partition is
     // named by the *physical* address — maintaining the placement
     // invariant coherence relies on.
-    ++stats_.scalar("misses");
+    ++*stMisses_;
     if (super_ref && !res.tftHit)
-        ++stats_.scalar("superpage_refs_tft_miss_l1_miss");
+        ++*stSuperRefsTftMissL1Miss_;
 
     const auto scope = insertScopeFor(req.pageSize);
     const auto state = req.type == AccessType::Write
@@ -144,7 +155,7 @@ L1ProbeResult
 SeesawCache::probe(Addr pa, bool invalidating)
 {
     L1ProbeResult res;
-    ++stats_.scalar("probes");
+    ++*stProbes_;
 
     TagLookup look;
     if (config_.policy == InsertionPolicy::FourWay) {
@@ -162,7 +173,7 @@ SeesawCache::probe(Addr pa, bool invalidating)
     if (!look.hit)
         return res;
     res.hit = true;
-    ++stats_.scalar("probe_hits");
+    ++*stProbeHits_;
     CacheLine *line = tags_.findLine(pa);
     res.wasDirty = isDirtyState(line->state);
     if (invalidating) {

@@ -61,7 +61,7 @@ struct SeesawConfig
 /**
  * The SEESAW L1 data cache.
  */
-class SeesawCache : public L1Cache
+class SeesawCache final : public L1Cache
 {
   public:
     SeesawCache(const SeesawConfig &config, const LatencyTable &latency);
@@ -102,6 +102,19 @@ class SeesawCache : public L1Cache
     unsigned tftCycles_;
     std::unique_ptr<MruWayPredictor> predictor_;
     StatGroup stats_;
+
+    // Hot-path stat handles, registered once at construction: several
+    // of these names are long enough that building a std::string key
+    // per access would heap-allocate on the hot path.
+    StatScalar *stAccesses_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
+    StatScalar *stSuperRefs_;
+    StatScalar *stSuperRefsTftMiss_;
+    StatScalar *stSuperRefsTftMissL1Hit_;
+    StatScalar *stSuperRefsTftMissL1Miss_;
+    StatScalar *stProbes_;
+    StatScalar *stProbeHits_;
 
     SetAssocCache::InsertScope
     insertScopeFor(PageSize size) const

@@ -5,7 +5,12 @@
 namespace seesaw {
 
 Tft::Tft(unsigned entries, unsigned assoc)
-    : entries_(entries), assoc_(assoc), table_(entries), stats_("tft")
+    : entries_(entries), assoc_(assoc), table_(entries), stats_("tft"),
+      stLookups_(&stats_.scalar("lookups")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses")),
+      stFills_(&stats_.scalar("fills")),
+      stConflictEvictions_(&stats_.scalar("conflict_evictions"))
 {
     SEESAW_ASSERT(entries_ > 0, "TFT needs at least one entry");
     SEESAW_ASSERT(assoc_ >= 1 && entries_ % assoc_ == 0,
@@ -34,13 +39,13 @@ Tft::find(Addr region) const
 bool
 Tft::lookup(Addr va)
 {
-    ++stats_.scalar("lookups");
+    ++*stLookups_;
     if (Entry *e = find(regionOf(va))) {
         e->lastUse = ++useClock_;
-        ++stats_.scalar("hits");
+        ++*stHits_;
         return true;
     }
-    ++stats_.scalar("misses");
+    ++*stMisses_;
     return false;
 }
 
@@ -56,7 +61,7 @@ Tft::markRegion(Addr va)
     const Addr region = regionOf(va);
     if (Entry *e = find(region)) {
         e->lastUse = ++useClock_;
-        ++stats_.scalar("fills");
+        ++*stFills_;
         return;
     }
 
@@ -75,11 +80,11 @@ Tft::markRegion(Addr va)
             victim = &base[way];
     }
     if (victim->valid)
-        ++stats_.scalar("conflict_evictions");
+        ++*stConflictEvictions_;
     victim->valid = true;
     victim->regionTag = region;
     victim->lastUse = ++useClock_;
-    ++stats_.scalar("fills");
+    ++*stFills_;
 }
 
 bool

@@ -99,6 +99,13 @@ class Tft
     std::uint64_t useClock_ = 0;
     StatGroup stats_;
 
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stLookups_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
+    StatScalar *stFills_;
+    StatScalar *stConflictEvictions_;
+
     static Addr regionOf(Addr va) { return va >> 21; }
 
     unsigned

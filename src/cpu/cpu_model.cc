@@ -27,30 +27,13 @@ CpuParams::atom()
     return p;
 }
 
-CpuModel::CpuModel(const CpuParams &params, std::string name)
-    : params_(params), stats_(std::move(name))
+CpuModel::CpuModel(CoreKind kind, const CpuParams &params)
+    : kind_(kind), params_(params),
+      stats_(kind == CoreKind::InOrder ? "inorder" : "ooo"),
+      stMissStalls_(&stats_.scalar("miss_stalls")),
+      stSquashes_(&stats_.scalar("squashes")),
+      stRescheduleBubbles_(&stats_.scalar("reschedule_bubbles"))
 {
-}
-
-void
-CpuModel::chargeSquashIfNeeded(unsigned actual_cycles,
-                               unsigned assumed_cycles,
-                               bool late_discovery)
-{
-    if (actual_cycles <= assumed_cycles ||
-        params_.squashPenaltyCycles == 0) {
-        return;
-    }
-    if (late_discovery) {
-        cycles_ += params_.squashPenaltyCycles;
-        ++squashes_;
-        ++stats_.scalar("squashes");
-    } else {
-        // Early discovery (e.g., the TFT miss signal): the scheduler
-        // cancels the speculative wakeup and re-arbitrates.
-        cycles_ += 1;
-        ++stats_.scalar("reschedule_bubbles");
-    }
 }
 
 } // namespace seesaw

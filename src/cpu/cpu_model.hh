@@ -10,6 +10,11 @@
  * it, and (ii) speculative scheduling replays (squashes) when a
  * variable-latency L1 misses the latency the scheduler assumed
  * (Section IV-B3).
+ *
+ * CpuModel is concrete: the retire fast path branches on CoreKind
+ * instead of going through virtual dispatch, so the per-reference calls
+ * from System::runLoop inline. InOrderCore / OoOCore remain as thin
+ * preset subclasses for tests and direct construction.
  */
 
 #ifndef SEESAW_CPU_CPU_MODEL_HH
@@ -22,6 +27,13 @@
 #include "common/types.hh"
 
 namespace seesaw {
+
+/** Core kind (Table II). */
+enum class CoreKind : std::uint8_t
+{
+    InOrder,    //!< ~Intel Atom
+    OutOfOrder, //!< ~Intel Sandybridge
+};
 
 /** Timing of one memory access as seen by the core. */
 struct MemTiming
@@ -93,19 +105,41 @@ struct CpuParams
 };
 
 /**
- * Abstract core timing model.
+ * Concrete core timing model: in-order or out-of-order per CoreKind.
  */
 class CpuModel
 {
   public:
-    explicit CpuModel(const CpuParams &params, std::string name);
+    CpuModel(CoreKind kind, const CpuParams &params);
     virtual ~CpuModel() = default;
 
+    CoreKind kind() const { return kind_; }
+
     /** Charge @p count non-memory instructions. */
-    virtual void retireNonMemory(std::uint64_t count) = 0;
+    void
+    retireNonMemory(std::uint64_t count)
+    {
+        instructions_ += count;
+        if (kind_ == CoreKind::InOrder) {
+            // Dual-issue: non-memory work retires issueWidth per cycle.
+            cycles_ +=
+                (count + params_.issueWidth - 1) / params_.issueWidth;
+        } else {
+            fractionalCycles_ +=
+                static_cast<double>(count) / params_.issueWidth;
+            carryWholeCycles();
+        }
+    }
 
     /** Charge one memory access. */
-    virtual void retireMemory(const MemTiming &timing) = 0;
+    void
+    retireMemory(const MemTiming &timing)
+    {
+        if (kind_ == CoreKind::InOrder)
+            retireMemoryInOrder(timing);
+        else
+            retireMemoryOoO(timing);
+    }
 
     /** Add raw stall cycles (TLB shootdowns, cache sweeps, ...). */
     void
@@ -142,6 +176,7 @@ class CpuModel
     StatGroup &stats() { return stats_; }
 
   protected:
+    CoreKind kind_;
     CpuParams params_;
     Cycles cycles_ = 0;
     double fractionalCycles_ = 0.0;
@@ -149,37 +184,126 @@ class CpuModel
     std::uint64_t squashes_ = 0;
     StatGroup stats_;
 
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stMissStalls_;
+    StatScalar *stSquashes_;
+    StatScalar *stRescheduleBubbles_;
+
+    /** Fold accumulated fractional cycles into the whole-cycle count. */
+    void
+    carryWholeCycles()
+    {
+        const auto whole = static_cast<Cycles>(fractionalCycles_);
+        fractionalCycles_ -= static_cast<double>(whole);
+        cycles_ += whole;
+    }
+
     /** Charge for exceeding the scheduler's latency assumption: a
      *  full squash-and-replay when discovered late, a one-cycle
      *  re-arbitration bubble when discovered early. */
-    void chargeSquashIfNeeded(unsigned actual_cycles,
-                              unsigned assumed_cycles,
-                              bool late_discovery);
+    void
+    chargeSquashIfNeeded(unsigned actual_cycles,
+                         unsigned assumed_cycles, bool late_discovery)
+    {
+        if (actual_cycles <= assumed_cycles ||
+            params_.squashPenaltyCycles == 0) {
+            return;
+        }
+        if (late_discovery) {
+            cycles_ += params_.squashPenaltyCycles;
+            ++squashes_;
+            ++*stSquashes_;
+        } else {
+            // Early discovery (e.g., the TFT miss signal): the
+            // scheduler cancels the speculative wakeup and
+            // re-arbitrates.
+            cycles_ += 1;
+            ++*stRescheduleBubbles_;
+        }
+    }
+
+    void
+    retireMemoryInOrder(const MemTiming &timing)
+    {
+        ++instructions_;
+        // The in-order pipeline exposes much more of the load-to-use
+        // latency than an OoO window: only compiler scheduling and the
+        // second issue slot cover any of it.
+        const double exposed_hit =
+            1.0 +
+            CpuParams::exposedHitCycles(
+                timing.lookupCycles, params_.inorderL1ExposureFactor,
+                params_.inorderL1ExposureSaturation);
+        fractionalCycles_ += exposed_hit;
+        carryWholeCycles();
+        if (!timing.hit) {
+            const double exposed =
+                timing.missPenalty * (1.0 - params_.inorderMissOverlap);
+            cycles_ += static_cast<Cycles>(exposed);
+            ++*stMissStalls_;
+        }
+        // In-order issue has no speculative wakeup, hence no squashes —
+        // this is why SEESAW's latency benefit is larger here (Fig 9).
+    }
+
+    void
+    retireMemoryOoO(const MemTiming &timing)
+    {
+        ++instructions_;
+
+        // The scheduler speculatively wakes dependents at the assumed
+        // latency; arriving later than assumed forces a
+        // squash-and-replay (Section IV-B3). This applies to slow
+        // SEESAW hits under a fast assumption, to way-predictor
+        // mispredicts, and to plain misses.
+        const unsigned actual =
+            timing.lookupCycles + timing.missPenalty;
+        chargeSquashIfNeeded(actual, timing.assumedCycles,
+                             timing.lateDiscovery);
+
+        // Hit latency: the first cycle pipelines under issue; the
+        // window hides most of the remainder, sub-linearly in the
+        // latency.
+        fractionalCycles_ += CpuParams::exposedHitCycles(
+            timing.lookupCycles, params_.l1ExposureFactor,
+            params_.l1ExposureSaturation);
+
+        // Miss penalty: partially overlapped by MLP within the ROB
+        // window.
+        if (!timing.hit) {
+            fractionalCycles_ +=
+                timing.missPenalty *
+                (1.0 - params_.missOverlapFraction);
+            ++*stMissStalls_;
+        }
+
+        carryWholeCycles();
+    }
 };
 
 /**
  * Dual-issue in-order core: memory latency is exposed in full.
  */
-class InOrderCore : public CpuModel
+class InOrderCore final : public CpuModel
 {
   public:
-    explicit InOrderCore(const CpuParams &params = CpuParams::atom());
-
-    void retireNonMemory(std::uint64_t count) override;
-    void retireMemory(const MemTiming &timing) override;
+    explicit InOrderCore(const CpuParams &params = CpuParams::atom())
+        : CpuModel(CoreKind::InOrder, params)
+    {
+    }
 };
 
 /**
  * Out-of-order core: hides part of the hit latency and overlaps
  * misses, but pays replay penalties on mis-scheduled loads.
  */
-class OoOCore : public CpuModel
+class OoOCore final : public CpuModel
 {
   public:
-    explicit OoOCore(const CpuParams &params = CpuParams::sandybridge());
-
-    void retireNonMemory(std::uint64_t count) override;
-    void retireMemory(const MemTiming &timing) override;
+    explicit OoOCore(const CpuParams &params = CpuParams::sandybridge())
+        : CpuModel(CoreKind::OutOfOrder, params)
+    {
+    }
 };
 
 } // namespace seesaw

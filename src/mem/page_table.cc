@@ -77,6 +77,7 @@ PageTable::unmap(Asid asid, Addr va_base, PageSize size)
             return std::nullopt;
         Translation t{entry->second, va_base, size};
         table.erase(entry);
+        tcache_.invalidateAll();
         return t;
     };
 
@@ -89,7 +90,16 @@ PageTable::unmap(Asid asid, Addr va_base, PageSize size)
 }
 
 std::optional<Translation>
-PageTable::translate(Asid asid, Addr va) const
+PageTable::translateMissing(Asid asid, Addr va) const
+{
+    auto t = translateSlow(asid, va);
+    if (t)
+        tcache_.fill(asid, va, t->paBase, t->vaBase, t->size);
+    return t;
+}
+
+std::optional<Translation>
+PageTable::translateSlow(Asid asid, Addr va) const
 {
     const auto *as = space(asid);
     if (!as)
@@ -180,6 +190,7 @@ void
 PageTable::clearAsid(Asid asid)
 {
     spaces_.erase(asid);
+    tcache_.invalidateAll();
 }
 
 } // namespace seesaw

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/types.hh"
+#include "mem/translation_cache.hh"
 
 namespace seesaw {
 
@@ -52,8 +53,25 @@ class PageTable
     std::optional<Translation> unmap(Asid asid, Addr va_base,
                                      PageSize size);
 
-    /** Look up the translation covering @p va. */
-    std::optional<Translation> translate(Asid asid, Addr va) const;
+    /** Look up the translation covering @p va. Fast path: one probe
+     *  of the software translation cache; falls back to (and refills
+     *  from) the hash tables on a miss. */
+    std::optional<Translation>
+    translate(Asid asid, Addr va) const
+    {
+        if (const TranslationCacheEntry *e = tcache_.lookup(asid, va))
+            return Translation{e->paBase, e->vaBase, e->size};
+        return translateMissing(asid, va);
+    }
+
+    /** The uncached probe of the per-size hash tables. Authoritative;
+     *  the audit layer replays it against every live cache entry. */
+    std::optional<Translation> translateSlow(Asid asid, Addr va) const;
+
+    /** The software translation cache fronting translate() (audits,
+     *  tests; mutable so tests can seed corruption). */
+    const TranslationCache &translationCache() const { return tcache_; }
+    TranslationCache &translationCache() { return tcache_; }
 
     /** @return Number of radix levels an x86-64 walk touches for a leaf
      *  of @p size (4 for 4KB, 3 for 2MB, 2 for 1GB). */
@@ -87,6 +105,15 @@ class PageTable
     };
 
     std::unordered_map<Asid, AddressSpace> spaces_;
+
+    /** Flattens the triple-hash translate() probe to one array load;
+     *  invalidated by generation bump on unmap()/clearAsid(). Mutable:
+     *  it memoises const lookups. */
+    mutable TranslationCache tcache_;
+
+    /** Slow-path translate + cache refill (out of line). */
+    std::optional<Translation> translateMissing(Asid asid,
+                                                Addr va) const;
 
     const AddressSpace *space(Asid asid) const;
 

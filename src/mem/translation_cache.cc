@@ -1,0 +1,25 @@
+#include "mem/translation_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+TranslationCache::TranslationCache(unsigned entries)
+    : slots_(entries), mask_(entries - 1)
+{
+    SEESAW_ASSERT(entries > 0 && isPowerOfTwo(entries),
+                  "translation-cache entries must be a power of two");
+}
+
+void
+TranslationCache::forEachValidEntry(
+    const std::function<void(const TranslationCacheEntry &)> &fn) const
+{
+    for (const auto &e : slots_) {
+        if (e.gen == gen_)
+            fn(e);
+    }
+}
+
+} // namespace seesaw

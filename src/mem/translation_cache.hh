@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A software translation cache in front of PageTable's hash tables.
+ *
+ * PageTable::translate() is the simulator's hottest translation
+ * primitive: page walks, demand paging, warmup prefills and the
+ * invariant audits all funnel through it, and the slow path probes
+ * three std::unordered_maps (4KB, then 2MB, then 1GB) per call. This
+ * cache flattens the common case to one direct-mapped array probe,
+ * keyed by ASID and 4KB virtual page number, so repeated translations
+ * of hot pages cost a single predictable load.
+ *
+ * Correctness relies on two properties of PageTable:
+ *  - map() rejects overlapping ranges, so a cached positive entry can
+ *    never be contradicted by a later successful map(); and
+ *  - misses are never cached (no negative caching), so new mappings
+ *    become visible immediately.
+ * Unmaps and address-space teardown invalidate in O(1) by bumping a
+ * generation counter that every entry must match. The slow path stays
+ * authoritative and auditable: check::auditTranslationCacheAgainstPageTable
+ * re-derives every live entry from the hash tables.
+ */
+
+#ifndef SEESAW_MEM_TRANSLATION_CACHE_HH
+#define SEESAW_MEM_TRANSLATION_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace seesaw {
+
+struct Translation;
+
+/** One cached translation, tagged by ASID, 4KB VPN and generation. */
+struct TranslationCacheEntry
+{
+    Addr paBase = 0;   //!< physical base of the containing page
+    Addr vaBase = 0;   //!< virtual base of the containing page
+    PageSize size = PageSize::Base4KB;
+    Addr vpn = 0;      //!< va >> 12 (4KB granularity, all page sizes)
+    Asid asid = 0;
+    std::uint64_t gen = 0; //!< valid iff equal to the cache generation
+};
+
+/**
+ * Direct-mapped, generation-invalidated translation cache.
+ */
+class TranslationCache
+{
+  public:
+    /** @param entries Slot count; must be a power of two. */
+    explicit TranslationCache(unsigned entries = kDefaultEntries);
+
+    static constexpr unsigned kDefaultEntries = 4096;
+
+    /** Probe for the translation covering @p va; nullptr on miss. The
+     *  pointer is valid until the next fill or invalidation. */
+    const TranslationCacheEntry *
+    lookup(Asid asid, Addr va) const
+    {
+        const Addr vpn = va >> 12;
+        const TranslationCacheEntry &e = slots_[indexOf(asid, vpn)];
+        if (e.gen == gen_ && e.vpn == vpn && e.asid == asid)
+            return &e;
+        return nullptr;
+    }
+
+    /** Install the translation covering @p va (evicts the slot). */
+    void
+    fill(Asid asid, Addr va, Addr pa_base, Addr va_base, PageSize size)
+    {
+        const Addr vpn = va >> 12;
+        TranslationCacheEntry &e = slots_[indexOf(asid, vpn)];
+        e.paBase = pa_base;
+        e.vaBase = va_base;
+        e.size = size;
+        e.vpn = vpn;
+        e.asid = asid;
+        e.gen = gen_;
+    }
+
+    /** O(1) full invalidation: outdate every entry's generation. */
+    void invalidateAll() { ++gen_; }
+
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+    std::uint64_t generation() const { return gen_; }
+
+    /** Visit every live (current-generation) entry (audits, tests). */
+    void forEachValidEntry(
+        const std::function<void(const TranslationCacheEntry &)> &fn)
+        const;
+
+  private:
+    std::vector<TranslationCacheEntry> slots_;
+    Addr mask_;
+    std::uint64_t gen_ = 1; //!< slots start at gen 0 == invalid
+
+    std::size_t
+    indexOf(Asid asid, Addr vpn) const
+    {
+        // Spread consecutive VPNs across slots and displace ASIDs so
+        // two address spaces do not systematically collide.
+        return static_cast<std::size_t>(
+            (vpn ^ (static_cast<Addr>(asid) << 7)) & mask_);
+    }
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_MEM_TRANSLATION_CACHE_HH

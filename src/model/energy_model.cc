@@ -7,18 +7,51 @@ EnergyModel::EnergyModel(const SramModel &sram, EnergyParams params)
 {
 }
 
-void
-EnergyModel::addL1Lookup(std::uint64_t size_bytes, unsigned assoc,
-                         unsigned ways_read, bool coherent)
+double
+EnergyModel::l1LookupNj(std::uint64_t size_bytes, unsigned assoc,
+                        unsigned ways_read)
 {
+    L1LookupMemo *memo = nullptr;
+    for (auto &m : memo_) {
+        if (m.sizeBytes == size_bytes && m.assoc == assoc) {
+            memo = &m;
+            break;
+        }
+    }
+    if (!memo) {
+        // Claim a slot for this geometry (evicting the older one).
+        memo = &memo_[memo_[0].sizeBytes == 0 ? 0 : 1];
+        memo->sizeBytes = size_bytes;
+        memo->assoc = assoc;
+        // Lazily filled: not every ways_read value is legal for the
+        // SRAM model (partition slices must keep power-of-two ways),
+        // so only the values the simulation actually produces are
+        // ever evaluated.
+        memo->byWaysRead.assign(assoc + 1, -1.0);
+    }
     // ways_read beyond the associativity means repeated set accesses
     // (e.g., a SIPT mispeculation replaying at the correct index).
     double nj = 0.0;
     while (ways_read > assoc) {
-        nj += sram_.accessEnergyNj(size_bytes, assoc);
+        if (memo->byWaysRead[assoc] < 0.0) {
+            memo->byWaysRead[assoc] =
+                sram_.lookupEnergyNj(size_bytes, assoc, assoc);
+        }
+        nj += memo->byWaysRead[assoc];
         ways_read -= assoc;
     }
-    nj += sram_.lookupEnergyNj(size_bytes, assoc, ways_read);
+    if (memo->byWaysRead[ways_read] < 0.0) {
+        memo->byWaysRead[ways_read] =
+            sram_.lookupEnergyNj(size_bytes, assoc, ways_read);
+    }
+    return nj + memo->byWaysRead[ways_read];
+}
+
+void
+EnergyModel::addL1Lookup(std::uint64_t size_bytes, unsigned assoc,
+                         unsigned ways_read, bool coherent)
+{
+    const double nj = l1LookupNj(size_bytes, assoc, ways_read);
     if (coherent)
         l1CoherenceDynamicNj_ += nj;
     else

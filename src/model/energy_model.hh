@@ -14,6 +14,7 @@
 #define SEESAW_MODEL_ENERGY_MODEL_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hh"
 #include "model/sram_model.hh"
@@ -50,7 +51,9 @@ class EnergyModel
     EnergyModel(const SramModel &sram, EnergyParams params = {});
 
     /** L1 lookup reading @p ways_read of an (@p size, @p assoc) array,
-     *  attributed to the CPU-side or coherence bucket by @p coherent. */
+     *  attributed to the CPU-side or coherence bucket by @p coherent.
+     *  Energies are memoised per geometry: the SRAM model is a pure
+     *  function, and a system only ever has a couple of L1 arrays. */
     void addL1Lookup(std::uint64_t size_bytes, unsigned assoc,
                      unsigned ways_read, bool coherent);
 
@@ -95,6 +98,17 @@ class EnergyModel
   private:
     const SramModel &sram_;
     EnergyParams params_;
+
+    /** Memoised per-ways lookup energies of one L1 geometry. */
+    struct L1LookupMemo
+    {
+        std::uint64_t sizeBytes = 0;
+        unsigned assoc = 0;
+        std::vector<double> byWaysRead; //!< [0..assoc]
+    };
+    L1LookupMemo memo_[2];
+    double l1LookupNj(std::uint64_t size_bytes, unsigned assoc,
+                      unsigned ways_read);
 
     double l1CpuDynamicNj_ = 0.0;
     double l1CoherenceDynamicNj_ = 0.0;

@@ -6,6 +6,7 @@
 
 #include "check/cache_audits.hh"
 #include "check/invariant_auditor.hh"
+#include "check/mem_audits.hh"
 #include "check/tlb_audits.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -102,6 +103,7 @@ System::System(const SystemConfig &config, const WorkloadSpec &workload)
         c.wayPrediction =
             config_.l1Kind == L1Kind::SeesawWayPredicted;
         auto cache = std::make_unique<SeesawCache>(c, latency_);
+        seesawD_ = cache.get();
         // Wire the TFT into the TLB hierarchy: every 2MB L1 TLB fill
         // marks the region (Fig 5).
         Tft *tft = &cache->tft();
@@ -112,14 +114,19 @@ System::System(const SystemConfig &config, const WorkloadSpec &workload)
       }
     }
 
+    l1SizeBytes_ = l1_->tags().sizeBytes();
+    l1Assoc_ = l1_->tags().assoc();
+    l1LineBytes_ = l1_->tags().lineBytes();
+
     outer_ = std::make_unique<OuterHierarchy>(config_.outer,
                                               config_.freqGhz);
 
-    // --- Core model.
-    if (config_.coreKind == CoreKind::InOrder)
-        cpu_ = std::make_unique<InOrderCore>();
-    else
-        cpu_ = std::make_unique<OoOCore>();
+    // --- Core model (concrete CpuModel: the retire fast path branches
+    // on the kind instead of virtual-dispatching).
+    cpu_ = std::make_unique<CpuModel>(
+        config_.coreKind, config_.coreKind == CoreKind::InOrder
+                              ? CpuParams::atom()
+                              : CpuParams::sandybridge());
 
     // --- Coherence probe load.
     ProbeEngineParams pe;
@@ -172,6 +179,7 @@ System::System(const SystemConfig &config, const WorkloadSpec &workload)
             ic.tftEntries = config_.tftEntries;
             ic.tftAssoc = config_.tftAssoc;
             auto icache = std::make_unique<SeesawCache>(ic, latency_);
+            seesawI_ = icache.get();
             // One TLB hierarchy serves both sides here; chain the
             // superpage hook so both TFTs learn regions.
             // The single TLB hierarchy serves both sides; route the
@@ -179,10 +187,7 @@ System::System(const SystemConfig &config, const WorkloadSpec &workload)
             // belongs to (real split ITLB/DTLBs would do this
             // naturally).
             Tft *itft = &icache->tft();
-            Tft *dtft =
-                isSeesawKind()
-                    ? &static_cast<SeesawCache *>(l1_.get())->tft()
-                    : nullptr;
+            Tft *dtft = seesawD_ ? &seesawD_->tft() : nullptr;
             const Addr text_base = textBase_;
             tlb_->setOn2MBFill(
                 [itft, dtft, text_base](Asid, Addr va_base) {
@@ -200,8 +205,7 @@ System::System(const SystemConfig &config, const WorkloadSpec &workload)
             l1i_ = std::make_unique<ViptCache>(ic, latency_);
             if (isSeesawKind()) {
                 // Keep code regions out of the D-side TFT.
-                Tft *dtft =
-                    &static_cast<SeesawCache *>(l1_.get())->tft();
+                Tft *dtft = &seesawD_->tft();
                 const Addr text_base = textBase_;
                 tlb_->setOn2MBFill(
                     [dtft, text_base](Asid, Addr va_base) {
@@ -259,6 +263,11 @@ System::setupAuditor()
     auditor_->registerCheck("tlb", [this](check::AuditContext &ctx) {
         check::auditTlbAgainstPageTable(*tlb_, os_->pageTable(), ctx);
     });
+    auditor_->registerCheck(
+        "mem.tcache", [this](check::AuditContext &ctx) {
+            check::auditTranslationCacheAgainstPageTable(
+                os_->pageTable(), ctx);
+        });
     if (isSeesawKind()) {
         auditor_->registerCheck(
             "l1.partition", [this](check::AuditContext &ctx) {
@@ -277,7 +286,7 @@ System::setupAuditor()
                 check::auditTagStoreSanity(l1i_->tags(), ctx,
                                            allow_dup);
             });
-        if (auto *icache = dynamic_cast<SeesawCache *>(l1i_.get())) {
+        if (SeesawCache *icache = seesawI_) {
             auditor_->registerCheck(
                 "l1i.partition", [icache](check::AuditContext &ctx) {
                     check::auditSeesawPlacement(*icache, ctx);
@@ -293,14 +302,6 @@ System::setupAuditor()
 }
 
 System::~System() = default;
-
-SeesawCache *
-System::seesawL1()
-{
-    if (!isSeesawKind())
-        return nullptr;
-    return static_cast<SeesawCache *>(l1_.get());
-}
 
 void
 System::applyPromotion(const PromotionEvent &event)
@@ -369,8 +370,8 @@ System::doInstructionFetches(std::uint64_t instructions)
         const Addr va = code_->nextFetchLine();
 
         int tft_probe = -1;
-        if (auto *icache = dynamic_cast<SeesawCache *>(l1i_.get()))
-            tft_probe = icache->tft().lookup(va) ? 1 : 0;
+        if (seesawI_)
+            tft_probe = seesawI_->tft().lookup(va) ? 1 : 0;
 
         energy_->addL1TlbLookup();
         const TlbLookupResult tr = tlb_->lookup(asid_, va);
@@ -383,8 +384,9 @@ System::doInstructionFetches(std::uint64_t instructions)
         const Addr pa = tr.translation.translate(va);
         L1Access req{va, pa, tr.translation.size, AccessType::Read,
                      tft_probe};
-        const L1AccessResult res = l1i_->access(req);
-        if (l1i_.get() && dynamic_cast<SeesawCache *>(l1i_.get()))
+        const L1AccessResult res =
+            seesawI_ ? seesawI_->access(req) : l1i_->access(req);
+        if (seesawI_)
             energy_->addTftLookup();
         energy_->addL1Lookup(32 * 1024, 8, res.waysRead, false);
 
@@ -441,16 +443,18 @@ System::doMemoryAccess(const MemRef &ref)
     const Addr pa = tr.translation.translate(ref.va);
     const PageSize page_size = tr.translation.size;
 
-    // 2. L1 access.
+    // 2. L1 access (direct call into the final SeesawCache class when
+    // the design is SEESAW; virtual dispatch otherwise).
     L1Access req{ref.va, pa, page_size, ref.type, tft_probe};
-    const L1AccessResult res = l1_->access(req);
+    const L1AccessResult res =
+        seesawD_ ? seesawD_->access(req) : l1_->access(req);
 
-    if (isSeesawKind())
+    if (seesawD_)
         energy_->addTftLookup();
     if (res.wpUsed)
         energy_->addWayPredictorLookup();
-    energy_->addL1Lookup(l1_->tags().sizeBytes(), l1_->tags().assoc(),
-                         res.waysRead, /*coherent=*/false);
+    energy_->addL1Lookup(l1SizeBytes_, l1Assoc_, res.waysRead,
+                         /*coherent=*/false);
     probes_->noteResident(pa);
 
     // 3. Miss handling in the outer hierarchy.
@@ -465,8 +469,7 @@ System::doMemoryAccess(const MemRef &ref)
             energy_->addDramAccess();
         energy_->addLineInstall(res.installWays);
         if (res.eviction.valid && res.eviction.dirty) {
-            outer_->writeback(res.eviction.lineAddr *
-                              l1_->tags().lineBytes());
+            outer_->writeback(res.eviction.lineAddr * l1LineBytes_);
             energy_->addL2Access();
         }
     }

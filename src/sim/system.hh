@@ -45,13 +45,6 @@ enum class L1Kind : std::uint8_t
     Sipt,               //!< speculatively indexed (related work, §VII)
 };
 
-/** Core kind (Table II). */
-enum class CoreKind : std::uint8_t
-{
-    InOrder,    //!< ~Intel Atom
-    OutOfOrder, //!< ~Intel Sandybridge
-};
-
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -227,7 +220,8 @@ class System
     OsMemoryManager &os() { return *os_; }
     TlbHierarchy &tlb() { return *tlb_; }
     L1Cache &l1() { return *l1_; }
-    SeesawCache *seesawL1(); //!< nullptr unless an SEESAW kind
+    /** nullptr unless an SEESAW kind (cached; hot path). */
+    SeesawCache *seesawL1() { return seesawD_; }
     CpuModel &cpu() { return *cpu_; }
     EnergyModel &energy() { return *energy_; }
     const SystemConfig &config() const { return config_; }
@@ -260,6 +254,17 @@ class System
     // Optional L1I application (§V).
     std::unique_ptr<L1Cache> l1i_;
     std::unique_ptr<CodeStream> code_;
+
+    /** Cached downcasts of l1_/l1i_ when they are SEESAW caches, so
+     *  the per-access and per-fetch paths never pay a dynamic_cast. */
+    SeesawCache *seesawD_ = nullptr;
+    SeesawCache *seesawI_ = nullptr;
+
+    /** L1 tag-store geometry, cached so the per-access energy calls
+     *  skip the virtual tags() accessor. */
+    std::uint64_t l1SizeBytes_ = 0;
+    unsigned l1Assoc_ = 0;
+    unsigned l1LineBytes_ = 64;
     Addr textBase_ = 0;
     double fetchCarry_ = 0.0;
 

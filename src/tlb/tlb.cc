@@ -8,7 +8,13 @@ namespace seesaw {
 Tlb::Tlb(std::string name, unsigned entries, unsigned assoc,
          PageSize size)
     : name_(std::move(name)), entries_(entries), assoc_(assoc),
-      size_(size), slots_(entries), stats_(name_)
+      size_(size), slots_(entries), stats_(name_),
+      stLookups_(&stats_.scalar("lookups")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses")),
+      stFills_(&stats_.scalar("fills")),
+      stEvictions_(&stats_.scalar("evictions")),
+      stInvalidations_(&stats_.scalar("invalidations"))
 {
     SEESAW_ASSERT(entries_ > 0 && assoc_ > 0 && entries_ % assoc_ == 0,
                   "bad TLB geometry");
@@ -39,15 +45,24 @@ Tlb::find(Asid asid, Addr vpn) const
 std::optional<TlbEntry>
 Tlb::lookup(Asid asid, Addr va)
 {
-    ++stats_.scalar("lookups");
+    const TlbEntry *e = lookupEntry(asid, va);
+    if (!e)
+        return std::nullopt;
+    return *e;
+}
+
+const TlbEntry *
+Tlb::lookupEntry(Asid asid, Addr va)
+{
+    ++*stLookups_;
     TlbEntry *e = find(asid, vpnOf(va));
     if (!e) {
-        ++stats_.scalar("misses");
-        return std::nullopt;
+        ++*stMisses_;
+        return nullptr;
     }
-    ++stats_.scalar("hits");
+    ++*stHits_;
     e->lastUse = ++useClock_;
-    return *e;
+    return e;
 }
 
 std::optional<TlbEntry>
@@ -88,10 +103,12 @@ Tlb::insert(Asid asid, Addr va, Addr pa_base)
     }
 
     if (base[victim].valid)
-        ++stats_.scalar("evictions");
+        ++*stEvictions_;
+    else
+        ++validCount_;
     base[victim] = TlbEntry{true, asid, vpn, pa_base, size_,
                             ++useClock_};
-    ++stats_.scalar("fills");
+    ++*stFills_;
 }
 
 bool
@@ -101,7 +118,8 @@ Tlb::invalidatePage(Asid asid, Addr va)
     if (!e)
         return false;
     e->valid = false;
-    ++stats_.scalar("invalidations");
+    --validCount_;
+    ++*stInvalidations_;
     return true;
 }
 
@@ -109,8 +127,10 @@ void
 Tlb::flushAsid(Asid asid)
 {
     for (auto &e : slots_) {
-        if (e.valid && e.asid == asid)
+        if (e.valid && e.asid == asid) {
             e.valid = false;
+            --validCount_;
+        }
     }
 }
 
@@ -119,15 +139,13 @@ Tlb::flushAll()
 {
     for (auto &e : slots_)
         e.valid = false;
+    validCount_ = 0;
 }
 
 unsigned
 Tlb::validCount() const
 {
-    unsigned count = 0;
-    for (const auto &e : slots_)
-        count += e.valid ? 1 : 0;
-    return count;
+    return validCount_;
 }
 
 void

@@ -52,6 +52,11 @@ class Tlb
     /** Probe for the translation of @p va; LRU-touches on hit. */
     std::optional<TlbEntry> lookup(Asid asid, Addr va);
 
+    /** Hot-path probe: like lookup(), but returns a pointer into the
+     *  slot array (nullptr on miss) instead of copying the entry into
+     *  an optional. The pointer is valid until the next mutation. */
+    const TlbEntry *lookupEntry(Asid asid, Addr va);
+
     /** Non-mutating probe. */
     std::optional<TlbEntry> peek(Asid asid, Addr va) const;
 
@@ -91,7 +96,17 @@ class Tlb
     PageSize size_;
     std::vector<TlbEntry> slots_;
     std::uint64_t useClock_ = 0;
+    unsigned validCount_ = 0; //!< maintained incrementally (hot path)
     StatGroup stats_;
+
+    // Hot-path stat handles, registered once at construction so the
+    // per-access path never touches the string-keyed stat map.
+    StatScalar *stLookups_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
+    StatScalar *stFills_;
+    StatScalar *stEvictions_;
+    StatScalar *stInvalidations_;
 
     Addr vpnOf(Addr va) const { return va >> pageOffsetBits(size_); }
     unsigned setOf(Addr vpn) const

@@ -63,7 +63,13 @@ TlbHierarchy::TlbHierarchy(const TlbHierarchyParams &params,
             std::max(params.l2Assoc, params.l2Entries / 4),
             params.l2Assoc, PageSize::Super2MB),
       walker_(page_table, params.walkCyclesPerLevel),
-      stats_("tlb")
+      stats_("tlb"),
+      stLookups_(&stats_.scalar("lookups")),
+      stL1Hits_(&stats_.scalar("l1_hits")),
+      stL2Lookups_(&stats_.scalar("l2_lookups")),
+      stL2Hits_(&stats_.scalar("l2_hits")),
+      stWalks_(&stats_.scalar("walks")),
+      stFaults_(&stats_.scalar("faults"))
 {
     if (params_.unifiedL1) {
         unified_ = std::make_unique<UnifiedTlb>(
@@ -121,7 +127,7 @@ TlbLookupResult
 TlbHierarchy::lookup(Asid asid, Addr va)
 {
     TlbLookupResult res;
-    ++stats_.scalar("lookups");
+    ++*stLookups_;
 
     if (unified_) {
         if (auto e = unified_->lookup(asid, va)) {
@@ -129,7 +135,7 @@ TlbHierarchy::lookup(Asid asid, Addr va)
             res.translation =
                 Translation{e->paBase,
                             alignDown(va, pageBytes(e->size)), e->size};
-            ++stats_.scalar("l1_hits");
+            ++*stL1Hits_;
             if (params_.refreshOn2mHit && isSuperpage(e->size) &&
                 on2mFill_) {
                 on2mFill_(asid, alignDown(va, 2 * 1024 * 1024));
@@ -139,30 +145,30 @@ TlbHierarchy::lookup(Asid asid, Addr va)
     } else
     // All split L1 TLBs are probed in parallel, hidden under the L1
     // cache's set access.
-    if (auto e = l14k_.lookup(asid, va)) {
+    if (const TlbEntry *e = l14k_.lookupEntry(asid, va)) {
         res.l1Hit = true;
         res.translation = Translation{e->paBase,
                                       alignDown(va, pageBytes(e->size)),
                                       e->size};
-        ++stats_.scalar("l1_hits");
+        ++*stL1Hits_;
         return res;
     }
-    if (auto e = l12m_.lookup(asid, va)) {
+    if (const TlbEntry *e = l12m_.lookupEntry(asid, va)) {
         res.l1Hit = true;
         res.translation = Translation{e->paBase,
                                       alignDown(va, pageBytes(e->size)),
                                       e->size};
-        ++stats_.scalar("l1_hits");
+        ++*stL1Hits_;
         if (params_.refreshOn2mHit && on2mFill_)
             on2mFill_(asid, res.translation.vaBase);
         return res;
     }
-    if (auto e = l11g_.lookup(asid, va)) {
+    if (const TlbEntry *e = l11g_.lookupEntry(asid, va)) {
         res.l1Hit = true;
         res.translation = Translation{e->paBase,
                                       alignDown(va, pageBytes(e->size)),
                                       e->size};
-        ++stats_.scalar("l1_hits");
+        ++*stL1Hits_;
         if (params_.refreshOn2mHit && on2mFill_)
             on2mFill_(asid, alignDown(va, 2 * 1024 * 1024));
         return res;
@@ -170,23 +176,23 @@ TlbHierarchy::lookup(Asid asid, Addr va)
 
     // L2 TLB.
     res.penaltyCycles += params_.l2LatencyCycles;
-    ++stats_.scalar("l2_lookups");
-    if (auto e = l24k_.lookup(asid, va)) {
+    ++*stL2Lookups_;
+    if (const TlbEntry *e = l24k_.lookupEntry(asid, va)) {
         res.l2Hit = true;
         res.translation = Translation{e->paBase,
                                       alignDown(va, pageBytes(e->size)),
                                       e->size};
-        ++stats_.scalar("l2_hits");
+        ++*stL2Hits_;
         fillL1(asid, res.translation, va);
         return res;
     }
     if (params_.l2Holds2m) {
-        if (auto e = l22m_.lookup(asid, va)) {
+        if (const TlbEntry *e = l22m_.lookupEntry(asid, va)) {
             res.l2Hit = true;
             res.translation =
                 Translation{e->paBase,
                             alignDown(va, pageBytes(e->size)), e->size};
-            ++stats_.scalar("l2_hits");
+            ++*stL2Hits_;
             fillL1(asid, res.translation, va);
             return res;
         }
@@ -196,11 +202,11 @@ TlbHierarchy::lookup(Asid asid, Addr va)
     auto walk = walker_.walk(asid, va);
     if (!walk) {
         res.fault = true;
-        ++stats_.scalar("faults");
+        ++*stFaults_;
         return res;
     }
     res.walked = true;
-    ++stats_.scalar("walks");
+    ++*stWalks_;
     res.penaltyCycles += walk->cycles;
     res.translation = walk->translation;
     fillL2(asid, res.translation);

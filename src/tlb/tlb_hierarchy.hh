@@ -181,6 +181,14 @@ class TlbHierarchy
     std::function<void(Asid, Addr)> on2mFill_;
     StatGroup stats_;
 
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stLookups_;
+    StatScalar *stL1Hits_;
+    StatScalar *stL2Lookups_;
+    StatScalar *stL2Hits_;
+    StatScalar *stWalks_;
+    StatScalar *stFaults_;
+
     /** Fill the right L1 TLB (and maybe the TFT hook); @p va is the
      *  accessing address (needed to locate the 2MB region inside a
      *  1GB page). */

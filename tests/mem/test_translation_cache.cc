@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The software translation cache fronting PageTable::translate() must
+ * be invisible: under any history of map/unmap/promotion/splinter
+ * churn, the cached fast path and the authoritative slow path must
+ * agree on every address. Mutation tests then seed a corrupt entry
+ * directly and require the mem audit to catch each divergence class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "check/invariant_auditor.hh"
+#include "check/mem_audits.hh"
+#include "common/random.hh"
+#include "mem/os_memory_manager.hh"
+#include "mem/page_table.hh"
+#include "mem/translation_cache.hh"
+
+namespace seesaw {
+namespace {
+
+constexpr Addr kHeap = 0x10000000;
+constexpr std::uint64_t kHeapBytes = 16ULL << 20;
+
+/** Fast path vs slow path over a deterministic VA sample. */
+void
+expectFastMatchesSlow(const PageTable &pt, Asid asid,
+                      std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (int i = 0; i < 4000; ++i) {
+        const Addr va = kHeap + rng.next() % kHeapBytes;
+        const auto fast = pt.translate(asid, va);
+        const auto slow = pt.translateSlow(asid, va);
+        ASSERT_EQ(fast.has_value(), slow.has_value()) << "va " << va;
+        if (!fast)
+            continue;
+        EXPECT_EQ(fast->paBase, slow->paBase) << "va " << va;
+        EXPECT_EQ(fast->vaBase, slow->vaBase) << "va " << va;
+        EXPECT_EQ(fast->size, slow->size) << "va " << va;
+    }
+}
+
+TEST(TranslationCache, DirectFillAndGenerationInvalidation)
+{
+    TranslationCache tc;
+    EXPECT_EQ(tc.lookup(1, 0x5000), nullptr);
+
+    tc.fill(1, 0x5000, 0x90000, 0x5000, PageSize::Base4KB);
+    const TranslationCacheEntry *e = tc.lookup(1, 0x5123);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->paBase, 0x90000u);
+    EXPECT_EQ(e->vaBase, 0x5000u);
+    EXPECT_EQ(e->size, PageSize::Base4KB);
+
+    // Same VPN, different ASID: must not alias.
+    EXPECT_EQ(tc.lookup(2, 0x5123), nullptr);
+
+    tc.invalidateAll();
+    EXPECT_EQ(tc.lookup(1, 0x5123), nullptr);
+}
+
+TEST(TranslationCache, SuperpageEntryCoversOnlyItsVpn)
+{
+    TranslationCache tc;
+    // A 2MB mapping cached via the 4KB VPN of one access: a later
+    // access to a different 4KB VPN of the same superpage misses and
+    // must refill (correct, just slower).
+    tc.fill(1, 0x40000000, 0x200000, 0x40000000, PageSize::Super2MB);
+    EXPECT_NE(tc.lookup(1, 0x40000a00), nullptr);
+    EXPECT_EQ(tc.lookup(1, 0x40001a00), nullptr);
+}
+
+struct TranslationCacheChurnTest : ::testing::Test
+{
+    OsMemoryManager os{[] {
+        OsParams p;
+        p.memBytes = 256ULL << 20;
+        return p;
+    }()};
+    Asid asid{os.createProcess()};
+
+    const PageTable &
+    pt() const
+    {
+        return os.pageTable();
+    }
+};
+
+TEST_F(TranslationCacheChurnTest, EquivalentAfterInitialMapping)
+{
+    os.mapAnonymous(asid, kHeap, kHeapBytes, 0.5);
+    expectFastMatchesSlow(pt(), asid, 11);
+}
+
+TEST_F(TranslationCacheChurnTest, EquivalentAfterUnmapChurn)
+{
+    os.mapAnonymous(asid, kHeap, kHeapBytes, 0.5);
+    expectFastMatchesSlow(pt(), asid, 12); // populate the cache
+    Rng rng(13);
+    for (int round = 0; round < 16; ++round) {
+        // Punch a random 64KB hole, then remap it.
+        const Addr hole =
+            kHeap + (rng.next() % (kHeapBytes >> 16) << 16);
+        os.unmapRange(asid, hole, 64 * 1024);
+        expectFastMatchesSlow(pt(), asid, 100 + round);
+        os.mapAnonymous(asid, hole, 64 * 1024, 0.0);
+        expectFastMatchesSlow(pt(), asid, 200 + round);
+    }
+}
+
+TEST_F(TranslationCacheChurnTest, EquivalentAfterPromotionPasses)
+{
+    // Base pages only at first (THP off via eligibility 0), then
+    // khugepaged promotes regions while cached 4KB entries are live.
+    os.mapAnonymous(asid, kHeap, kHeapBytes, 0.0);
+    expectFastMatchesSlow(pt(), asid, 21);
+    for (int pass = 0; pass < 4; ++pass) {
+        os.runPromotionPass(asid, 2);
+        expectFastMatchesSlow(pt(), asid, 300 + pass);
+    }
+}
+
+TEST_F(TranslationCacheChurnTest, EquivalentAfterSplinterChurn)
+{
+    os.mapAnonymous(asid, kHeap, kHeapBytes, 1.0);
+    expectFastMatchesSlow(pt(), asid, 31); // cache superpage entries
+    Rng rng(32);
+    unsigned splintered = 0;
+    for (int i = 0; i < 8; ++i) {
+        const Addr va = kHeap + rng.next() % kHeapBytes;
+        if (os.splinter(asid, va))
+            ++splintered;
+        expectFastMatchesSlow(pt(), asid, 400 + i);
+    }
+    EXPECT_GT(splintered, 0u);
+}
+
+TEST_F(TranslationCacheChurnTest, EquivalentAfterProcessTeardown)
+{
+    os.mapAnonymous(asid, kHeap, kHeapBytes, 0.5);
+    expectFastMatchesSlow(pt(), asid, 41);
+    os.destroyProcess(asid);
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr va = kHeap + rng.next() % kHeapBytes;
+        EXPECT_FALSE(pt().translate(asid, va).has_value());
+    }
+}
+
+// --- Mutation tests: the audit must catch a corrupted cache. -------
+
+std::vector<check::Violation>
+collect(const std::function<void(check::AuditContext &)> &fn)
+{
+    check::InvariantAuditor auditor;
+    std::vector<check::Violation> seen;
+    auditor.setViolationHandler(
+        [&seen](const check::Violation &v) { seen.push_back(v); });
+    auditor.registerCheck("under-test", fn);
+    auditor.runAll(0);
+    return seen;
+}
+
+struct MemAuditMutationTest : ::testing::Test
+{
+    PageTable pt;
+    static constexpr Asid kAsid = 1;
+
+    MemAuditMutationTest()
+    {
+        pt.map(kAsid, 0x1000, 0x70000, PageSize::Base4KB);
+        pt.map(kAsid, 0x40000000, 0x200000, PageSize::Super2MB);
+    }
+
+    std::vector<check::Violation>
+    audit()
+    {
+        return collect([&](check::AuditContext &ctx) {
+            check::auditTranslationCacheAgainstPageTable(pt, ctx);
+        });
+    }
+};
+
+TEST_F(MemAuditMutationTest, WarmCacheAuditsClean)
+{
+    ASSERT_TRUE(pt.translate(kAsid, 0x1234));
+    ASSERT_TRUE(pt.translate(kAsid, 0x40000234));
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(MemAuditMutationTest, CatchesEntryForUnmappedPage)
+{
+    pt.translationCache().fill(kAsid, 0x9000, 0xdead000, 0x9000,
+                               PageSize::Base4KB);
+    const auto seen = audit();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("no mapping"), std::string::npos);
+}
+
+TEST_F(MemAuditMutationTest, CatchesWrongPhysicalBase)
+{
+    ASSERT_TRUE(pt.translate(kAsid, 0x1234));
+    pt.translationCache().fill(kAsid, 0x1000, 0xdead000, 0x1000,
+                               PageSize::Base4KB);
+    const auto seen = audit();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("different physical base"),
+              std::string::npos);
+}
+
+TEST_F(MemAuditMutationTest, CatchesStaleSizeAfterPromotion)
+{
+    // A 4KB-sized entry lingering inside what is now a 2MB mapping.
+    pt.translationCache().fill(kAsid, 0x40000000, 0x200000,
+                               0x40000000, PageSize::Base4KB);
+    const auto seen = audit();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("promotion/splinter"),
+              std::string::npos);
+}
+
+TEST_F(MemAuditMutationTest, GenerationBumpSilencesStaleEntries)
+{
+    pt.translationCache().fill(kAsid, 0x9000, 0xdead000, 0x9000,
+                               PageSize::Base4KB);
+    ASSERT_EQ(audit().size(), 1u);
+    pt.translationCache().invalidateAll();
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(MemAuditMutationTest, UnmapInvalidatesWithoutAuditNoise)
+{
+    // The real mutation path: translate (fills the cache), unmap
+    // (bumps the generation). The audit must see no live stale entry.
+    ASSERT_TRUE(pt.translate(kAsid, 0x1234));
+    pt.unmap(kAsid, 0x1000, PageSize::Base4KB);
+    EXPECT_TRUE(audit().empty());
+    EXPECT_FALSE(pt.translate(kAsid, 0x1234).has_value());
+}
+
+} // namespace
+} // namespace seesaw
