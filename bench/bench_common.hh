@@ -16,7 +16,7 @@
 #include "harness/runner.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
-#include "sim/system.hh"
+#include "sim/sim_engine.hh"
 
 namespace seesaw::bench {
 

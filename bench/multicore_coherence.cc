@@ -7,15 +7,15 @@
  * the per-probe energy gap (§IV-C1: 4-way vs full-set lookups) and
  * the share of SEESAW's L1 energy savings that coherence contributes.
  *
- * Runs as a parallel campaign of explicit cells — one MultiCoreSystem
- * per (workload, cores, design) — archiving every projected RunResult
- * to results/multicore_coherence.{json,csv}.
+ * Runs as a parallel campaign of explicit cells — one SimEngine per
+ * (workload, cores, design) — archiving every native RunResult to
+ * results/multicore_coherence.{json,csv}.
  */
 
 #include <cstdio>
 
 #include "bench_common.hh"
-#include "sim/multicore.hh"
+#include "sim/sim_engine.hh"
 
 int
 main()
@@ -34,12 +34,12 @@ main()
     for (const char *name : names) {
         const WorkloadSpec &w = findWorkload(name);
         for (unsigned cores : core_counts) {
-            MultiCoreConfig cfg;
+            SystemConfig cfg;
             cfg.cores = cores;
             cfg.l1SizeBytes = 64 * 1024;
             cfg.l1Assoc = 16;
-            cfg.instructionsPerCore = experimentInstructions(60'000);
-            cfg.warmupInstructionsPerCore = 30'000;
+            cfg.instructions = experimentInstructions(60'000);
+            cfg.warmupInstructions = 30'000;
             cfg.os.memBytes = experimentMemBytes(4ULL << 30);
             cfg.seed = 1;
 
@@ -51,10 +51,7 @@ main()
                     "/" + designLabel(kind);
                 spec.cell(
                     cell_name,
-                    [cfg, w] {
-                        return asRunResult(
-                            MultiCoreSystem(cfg, w).run(), w.name);
-                    },
+                    [cfg, w] { return SimEngine(cfg, w).run(); },
                     cfg.seed);
             }
         }

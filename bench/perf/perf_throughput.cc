@@ -41,7 +41,7 @@
 #include "mem/os_memory_manager.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
-#include "sim/system.hh"
+#include "sim/sim_engine.hh"
 #include "tlb/tlb.hh"
 
 namespace {

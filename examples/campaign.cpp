@@ -43,9 +43,16 @@ usage()
         "  --freq a,b,..       GHz list (default 1.33)\n"
         "  --memhog a,b,..     fragmentation fractions (default 0)\n"
         "  --seeds a,b,..      RNG seeds (default 1)\n"
-        "  --instructions N    per-cell instruction budget (default "
-        "300000;\n"
-        "                      SEESAW_INSTRUCTIONS also respected)\n"
+        "  --instructions N    per-cell instruction budget, per core "
+        "(default\n"
+        "                      300000; SEESAW_INSTRUCTIONS also "
+        "respected)\n"
+        "  --mc-cells W:C:D,.. explicit multi-core cells appended to "
+        "the grid,\n"
+        "                      e.g. tunk:4:seesaw runs workload tunk "
+        "on 4 cores\n"
+        "                      with directory coherence (labelled "
+        "tunk/c4/seesaw)\n"
         "  --jobs N            worker threads (default SEESAW_JOBS, "
         "else\n"
         "                      hardware_concurrency; 1 = serial)\n"
@@ -112,6 +119,44 @@ parseOrg(const std::string &size)
     std::exit(1);
 }
 
+/** One --mc-cells entry: workload : core count : L1 design. */
+struct McCellSpec
+{
+    std::string workload;
+    unsigned cores = 0;
+    L1Kind kind = L1Kind::ViptBaseline;
+    std::string kindName;
+};
+
+McCellSpec
+parseMcCell(const std::string &tok)
+{
+    const auto c1 = tok.find(':');
+    const auto c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : tok.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+        std::fprintf(stderr,
+                     "--mc-cells wants WORKLOAD:CORES:DESIGN, got %s\n",
+                     tok.c_str());
+        std::exit(1);
+    }
+    McCellSpec mc;
+    mc.workload = tok.substr(0, c1);
+    mc.cores = static_cast<unsigned>(std::strtoul(
+        tok.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr, 10));
+    mc.kindName = tok.substr(c2 + 1);
+    mc.kind = parseDesign(mc.kindName);
+    if (mc.cores < 2) {
+        std::fprintf(stderr,
+                     "--mc-cells needs >= 2 cores (got %s); use the "
+                     "regular grid for single-core cells\n",
+                     tok.c_str());
+        std::exit(1);
+    }
+    return mc;
+}
+
 } // namespace
 
 int
@@ -129,6 +174,7 @@ main(int argc, char **argv)
     std::vector<double> memhogs{0.0};
     std::vector<std::uint64_t> seeds{1};
     std::uint64_t instructions = experimentInstructions(300'000);
+    std::vector<McCellSpec> mc_cells;
     harness::RunnerOptions options;
     bool list_only = false;
     check::AuditOptions audit;
@@ -175,6 +221,9 @@ main(int argc, char **argv)
         } else if (arg == "--instructions") {
             instructions =
                 std::strtoull(need_value(i++), nullptr, 10);
+        } else if (arg == "--mc-cells") {
+            for (const auto &tok : splitList(need_value(i++)))
+                mc_cells.push_back(parseMcCell(tok));
         } else if (arg == "--jobs") {
             options.jobs = std::atoi(need_value(i++));
         } else if (arg == "--audit") {
@@ -241,6 +290,32 @@ main(int argc, char **argv)
         }
     }
     spec.seeds(seeds);
+
+    // Explicit multi-core cells ride along after the single-core grid;
+    // they run on the unified engine with directory coherence and the
+    // 64KB/16-way organisation the multicore bench evaluates.
+    for (const auto &mc : mc_cells) {
+        const WorkloadSpec w = findWorkload(mc.workload);
+        for (const std::uint64_t seed : seeds) {
+            SystemConfig cfg;
+            cfg.cores = mc.cores;
+            cfg.l1Kind = mc.kind;
+            cfg.l1SizeBytes = 64 * 1024;
+            cfg.l1Assoc = 16;
+            cfg.instructions = instructions;
+            cfg.os.memBytes = experimentMemBytes(1ULL << 30);
+            cfg.audit = audit;
+            cfg.seed = seed;
+            std::string name = mc.workload + "/c" +
+                               std::to_string(mc.cores) + "/" +
+                               mc.kindName;
+            if (seeds.size() > 1)
+                name += "/s" + std::to_string(seed);
+            spec.cell(
+                name, [cfg, w] { return SimEngine(cfg, w).run(); },
+                seed, harness::configHash(cfg));
+        }
+    }
 
     const auto cells = spec.cells();
     if (list_only) {

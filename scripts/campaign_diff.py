@@ -6,7 +6,10 @@ machines must agree on every statistic; only wall times, job counts and
 the git revision may differ. The nightly workflow uses this to diff a
 fresh full campaign against the pinned golden under bench/golden/.
 
-Usage: campaign_diff.py CURRENT.json GOLDEN.json
+Usage: campaign_diff.py CURRENT.json GOLDEN.json [--ignore FIELD]...
+--ignore adds FIELD to the ignored-key set anywhere in the document
+(repeatable) — e.g. --ignore config_hash when a hash-affecting config
+field was added but the statistics must still match.
 Exits 0 when statistically identical, 1 with a field-level report when
 not, 2 on usage errors.
 """
@@ -15,15 +18,17 @@ import json
 import sys
 
 # Machine- or invocation-dependent; everything else must match.
-IGNORED = {"wall_seconds", "git_describe", "jobs"}
+# "git" is the key emitCampaignJson() actually writes; "git_describe"
+# is kept for older documents.
+IGNORED = {"wall_seconds", "git", "git_describe", "jobs"}
 
 
-def scrub(node):
+def scrub(node, ignored):
     if isinstance(node, dict):
-        return {k: scrub(v) for k, v in node.items()
-                if k not in IGNORED}
+        return {k: scrub(v, ignored) for k, v in node.items()
+                if k not in ignored}
     if isinstance(node, list):
-        return [scrub(v) for v in node]
+        return [scrub(v, ignored) for v in node]
     return node
 
 
@@ -56,13 +61,27 @@ def report(a, b, path=""):
 
 
 def main():
-    if len(sys.argv) != 3:
+    files = []
+    ignored = set(IGNORED)
+    args = sys.argv[1:]
+    i = 0
+    while i < len(args):
+        if args[i] == "--ignore":
+            if i + 1 >= len(args):
+                print(__doc__, file=sys.stderr)
+                return 2
+            ignored.add(args[i + 1])
+            i += 2
+        else:
+            files.append(args[i])
+            i += 1
+    if len(files) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        current = scrub(json.load(f))
-    with open(sys.argv[2]) as f:
-        golden = scrub(json.load(f))
+    with open(files[0]) as f:
+        current = scrub(json.load(f), ignored)
+    with open(files[1]) as f:
+        golden = scrub(json.load(f), ignored)
     if current == golden:
         print("campaign_diff: statistically identical")
         return 0

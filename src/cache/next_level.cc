@@ -17,9 +17,11 @@ toCycles(double ns, double freq_ghz)
 } // namespace
 
 OuterHierarchy::OuterHierarchy(const OuterHierarchyParams &params,
-                               double freq_ghz)
+                               double freq_ghz,
+                               SetAssocCache *shared_llc)
     : l2_(params.l2SizeBytes, params.l2Assoc),
-      llc_(params.llcSizeBytes, params.llcAssoc),
+      ownLlc_(params.llcSizeBytes, params.llcAssoc),
+      llc_(shared_llc ? shared_llc : &ownLlc_),
       l2Cycles_(toCycles(params.l2LatencyNs, freq_ghz)),
       llcCycles_(toCycles(params.llcLatencyNs, freq_ghz)),
       dramCycles_(toCycles(params.dramLatencyNs, freq_ghz)),
@@ -53,7 +55,7 @@ OuterHierarchy::access(Addr pa, AccessType type)
     ++*stLlcAccesses_;
     res.llcAccessed = true;
     res.cycles += llcCycles_;
-    if (llc_.lookup(pa).hit) {
+    if (llc_->lookup(pa).hit) {
         ++*stLlcHits_;
         res.level = HitLevel::LLC;
         l2_.insert(pa, SetAssocCache::InsertScope::FullSet, fill_state,
@@ -65,7 +67,7 @@ OuterHierarchy::access(Addr pa, AccessType type)
     res.dramAccessed = true;
     res.cycles += dramCycles_;
     res.level = HitLevel::Dram;
-    llc_.insert(pa, SetAssocCache::InsertScope::FullSet, fill_state,
+    llc_->insert(pa, SetAssocCache::InsertScope::FullSet, fill_state,
                 PageSize::Base4KB);
     l2_.insert(pa, SetAssocCache::InsertScope::FullSet, fill_state,
                PageSize::Base4KB);
@@ -75,8 +77,8 @@ OuterHierarchy::access(Addr pa, AccessType type)
 void
 OuterHierarchy::prefill(Addr pa)
 {
-    if (!llc_.peek(pa).hit) {
-        llc_.insert(pa, SetAssocCache::InsertScope::FullSet,
+    if (!llc_->peek(pa).hit) {
+        llc_->insert(pa, SetAssocCache::InsertScope::FullSet,
                     CoherenceState::Exclusive, PageSize::Base4KB);
     }
 }

@@ -47,7 +47,14 @@ struct OuterAccessResult
 class OuterHierarchy
 {
   public:
-    OuterHierarchy(const OuterHierarchyParams &params, double freq_ghz);
+    /**
+     * @param shared_llc When non-null, use this externally owned LLC
+     *        tag store instead of a private one — multi-core systems
+     *        give every core its own OuterHierarchy (private L2 and
+     *        per-core stats) over one shared LLC.
+     */
+    OuterHierarchy(const OuterHierarchyParams &params, double freq_ghz,
+                   SetAssocCache *shared_llc = nullptr);
 
     /** Service an L1 miss for @p pa. Fills L2 and LLC on the way. */
     OuterAccessResult access(Addr pa, AccessType type);
@@ -67,11 +74,13 @@ class OuterHierarchy
     StatGroup &stats() { return stats_; }
 
     const SetAssocCache &l2() const { return l2_; }
-    const SetAssocCache &llc() const { return llc_; }
+    SetAssocCache &l2() { return l2_; }
+    const SetAssocCache &llc() const { return *llc_; }
 
   private:
     SetAssocCache l2_;
-    SetAssocCache llc_;
+    SetAssocCache ownLlc_;
+    SetAssocCache *llc_; //!< &ownLlc_, or the shared LLC
     unsigned l2Cycles_;
     unsigned llcCycles_;
     unsigned dramCycles_;

@@ -22,6 +22,9 @@ namespace seesaw {
 enum class CoherenceKind : std::uint8_t {
     Directory,
     Snoopy,
+    /** No coherence traffic at all: single-core runs skip the
+     *  synthetic probe load, multi-core runs share only the LLC. */
+    None,
 };
 
 /**

@@ -78,6 +78,7 @@ configHash(const SystemConfig &config)
     h.mix(config.outer.llcAssoc);
     h.mix(config.outer.llcLatencyNs);
     h.mix(config.outer.dramLatencyNs);
+    h.mix(config.cores);
     h.mix(config.fabric);
     h.mix(config.instructions);
     h.mix(config.warmupInstructions);

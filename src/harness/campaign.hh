@@ -3,7 +3,7 @@
  * Declarative experiment campaigns: a CampaignSpec describes a sweep
  * as the cross-product of workloads × named SystemConfig variants ×
  * seeds, expanded into uniquely-named Cells. Each cell owns everything
- * it needs to run (a fresh System is constructed inside the cell's
+ * it needs to run (a fresh SimEngine is constructed inside the cell's
  * thunk), so cells are independent and safe to execute in parallel in
  * any order with bit-identical results.
  */
@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/system.hh"
+#include "sim/sim_engine.hh"
 #include "workload/workload_spec.hh"
 
 namespace seesaw::harness {
@@ -52,7 +52,7 @@ std::uint64_t configHash(const SystemConfig &config);
 
 /**
  * Builder for a sweep. Axes (workloads, variants, seeds) expand as a
- * cross-product via cells(); custom cells (e.g. MultiCoreSystem runs)
+ * cross-product via cells(); custom cells (e.g. hand-built multi-core runs)
  * can be added explicitly and are appended after the cross-product in
  * insertion order.
  *

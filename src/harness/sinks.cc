@@ -144,6 +144,27 @@ emitCampaignJson(std::ostream &os, const CampaignMetadata &meta,
                 json.field(f.name, f.d);
         }
         json.endObject(); // stats
+        // Multi-core cells additionally record the per-core slices.
+        // Single-core cells omit them so existing goldens and tooling
+        // see byte-identical documents.
+        if (cell.result.cores > 1) {
+            json.field("cores", cell.result.cores);
+            json.key("per_core").beginArray();
+            for (const auto &pc : cell.result.perCore) {
+                json.beginObject()
+                    .field("instructions", pc.instructions)
+                    .field("cycles", pc.cycles)
+                    .field("ipc", pc.ipc)
+                    .field("l1_accesses", pc.l1Accesses)
+                    .field("l1_hits", pc.l1Hits)
+                    .field("l1_misses", pc.l1Misses)
+                    .field("tft_hits", pc.tftHits)
+                    .field("squashes", pc.squashes)
+                    .field("page_faults", pc.pageFaults)
+                    .endObject();
+            }
+            json.endArray();
+        }
         json.endObject(); // cell
     }
     json.endArray().endObject();

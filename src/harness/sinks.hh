@@ -6,6 +6,8 @@
  * serialized to JSON and CSV, alongside whatever tables the bench
  * prints. Downstream plotting/regression tooling consumes these files;
  * the field list and CSV header are append-only by convention.
+ * Multi-core cells additionally carry "cores" and a "per_core" array
+ * in the JSON sink only — single-core documents are unchanged.
  */
 
 #ifndef SEESAW_HARNESS_SINKS_HH

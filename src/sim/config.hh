@@ -1,36 +1,26 @@
 /**
  * @file
- * The full-system simulation harness: one core, its TLB hierarchy and
- * TFT, an L1 of the configured design, the outer memory hierarchy, the
- * coherence probe load, and the OS memory manager that backs the
- * workload's footprint with superpages when physical contiguity allows.
+ * Unified configuration and result types shared by every simulation:
+ * one SystemConfig describes a system of N identical CoreComplexes
+ * (core model, TLBs, TFT, L1D/L1I, private L2) over a coherence
+ * fabric and one shared LLC; one RunResult carries the aggregate and
+ * per-core statistics of a run. cores=1 is the paper's single-core
+ * system; higher counts add exact coherence (sim/sim_engine.hh).
  */
 
-#ifndef SEESAW_SIM_SYSTEM_HH
-#define SEESAW_SIM_SYSTEM_HH
+#ifndef SEESAW_SIM_CONFIG_HH
+#define SEESAW_SIM_CONFIG_HH
 
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "cache/baseline_caches.hh"
 #include "cache/next_level.hh"
 #include "check/audit.hh"
-#include "coherence/probe_engine.hh"
+#include "coherence/snoop_bus.hh"
 #include "core/seesaw_cache.hh"
 #include "cpu/cpu_model.hh"
 #include "mem/memhog.hh"
 #include "mem/os_memory_manager.hh"
-#include "model/energy_model.hh"
-#include "model/latency_table.hh"
-#include "tlb/tlb_hierarchy.hh"
-#include "workload/code_stream.hh"
-#include "workload/reference_stream.hh"
-#include "workload/trace.hh"
-#include "workload/workload_spec.hh"
-
-namespace seesaw::check {
-class InvariantAuditor;
-} // namespace seesaw::check
 
 namespace seesaw {
 
@@ -76,13 +66,28 @@ struct SystemConfig
     double memhogFraction = 0.0;
 
     OuterHierarchyParams outer;
+
+    /**
+     * Number of CoreComplexes the engine drives (1-64). cores=1
+     * reproduces the classic single-core system bit-for-bit and
+     * models coherence as the paper's stochastic probe load; cores>1
+     * runs one workload thread per core over a shared heap with exact
+     * coherence over `fabric`.
+     */
+    unsigned cores = 1;
+
+    /** Coherence fabric. At cores=1 this selects the synthetic probe
+     *  stream's shape (directory-filtered vs snoopy broadcast; None
+     *  disables probes); at cores>1 it selects the real fabric. */
     CoherenceKind fabric = CoherenceKind::Directory;
 
+    /** Instruction budget, per core. */
     std::uint64_t instructions = 2'000'000;
 
-    /** Instructions executed before measurement starts: warms caches,
-     *  TLBs and the TFT, and amortises cold (first-touch) misses that
-     *  the paper's 10-billion-instruction traces never see. */
+    /** Instructions executed per core before measurement starts:
+     *  warms caches, TLBs and the TFT, and amortises cold
+     *  (first-touch) misses that the paper's 10-billion-instruction
+     *  traces never see. */
     std::uint64_t warmupInstructions = 150'000;
 
     std::uint64_t seed = 1;
@@ -91,8 +96,8 @@ struct SystemConfig
      *  L1 TLB holds at least a quarter of its capacity. */
     bool schedulerCounterPolicy = true;
 
-    /** Context-switch interval (TFT flush; no ASID tags, §IV-C3).
-     *  0 disables. */
+    /** Context-switch interval (TFT flush; no ASID tags, §IV-C3),
+     *  per core. 0 disables. */
     std::uint64_t contextSwitchInterval = 1'000'000;
 
     /** khugepaged pass interval in instructions (0 disables). */
@@ -146,6 +151,22 @@ struct SystemConfig
     check::AuditOptions audit;
 };
 
+/** Per-core slice of a run (populated for every core). */
+struct PerCoreResult
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    double ipc = 0.0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t tftHits = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t pageFaults = 0;
+
+    bool operator==(const PerCoreResult &) const = default;
+};
+
 /** Everything a bench needs from one simulation. */
 struct RunResult
 {
@@ -188,126 +209,31 @@ struct RunResult
     std::uint64_t l1iMisses = 0;
 
     std::uint64_t squashes = 0;
+
+    /** @name Coherence. Synthetic probe load at cores=1; real fabric
+     *  probes (each a lookup in an actual remote L1) at cores>1. */
+    /// @{
     std::uint64_t probes = 0;
     std::uint64_t probeHits = 0;
+    std::uint64_t probeInvalidations = 0;
     std::uint64_t ownerSupplies = 0; //!< cache-to-cache transfers
                                      //!< (multi-core runs only)
+    /// @}
     double wpAccuracy = 0.0;
 
     std::uint64_t promotions = 0;
     std::uint64_t splinters = 0;
     std::uint64_t pageFaults = 0;
 
+    /** Core count of the run, and one slice per core. */
+    unsigned cores = 1;
+    std::vector<PerCoreResult> perCore;
+
     /** Field-wise equality, so the harness can assert that parallel
      *  and serial campaign executions are bit-identical. */
     bool operator==(const RunResult &) const = default;
 };
 
-/**
- * One simulated system instance. Construct, then run().
- */
-class System
-{
-  public:
-    System(const SystemConfig &config, const WorkloadSpec &workload);
-    ~System();
-
-    /** Execute the configured instruction budget. */
-    RunResult run();
-
-    /** @name Component access (tests / advanced drivers). */
-    /// @{
-    OsMemoryManager &os() { return *os_; }
-    TlbHierarchy &tlb() { return *tlb_; }
-    L1Cache &l1() { return *l1_; }
-    /** nullptr unless an SEESAW kind (cached; hot path). */
-    SeesawCache *seesawL1() { return seesawD_; }
-    CpuModel &cpu() { return *cpu_; }
-    EnergyModel &energy() { return *energy_; }
-    const SystemConfig &config() const { return config_; }
-    Asid asid() const { return asid_; }
-
-    /** The invariant auditor, or nullptr when audits are off or the
-     *  audit layer is compiled out. */
-    check::InvariantAuditor *auditor() { return auditor_.get(); }
-    /// @}
-
-  private:
-    SystemConfig config_;
-    WorkloadSpec workload_;
-
-    LatencyTable latency_;
-    std::unique_ptr<EnergyModel> energy_;
-    std::unique_ptr<OsMemoryManager> os_;
-    std::unique_ptr<Memhog> memhog_;
-    std::unique_ptr<TlbHierarchy> tlb_;
-    std::unique_ptr<L1Cache> l1_;
-    std::unique_ptr<OuterHierarchy> outer_;
-    std::unique_ptr<CpuModel> cpu_;
-    std::unique_ptr<ProbeEngine> probes_;
-    std::unique_ptr<ReferenceStream> stream_;
-    std::unique_ptr<TraceReader> trace_; //!< replaces stream_ if set
-
-    /** Next reference from the trace or the synthetic stream. */
-    MemRef nextRef();
-
-    // Optional L1I application (§V).
-    std::unique_ptr<L1Cache> l1i_;
-    std::unique_ptr<CodeStream> code_;
-
-    /** Cached downcasts of l1_/l1i_ when they are SEESAW caches, so
-     *  the per-access and per-fetch paths never pay a dynamic_cast. */
-    SeesawCache *seesawD_ = nullptr;
-    SeesawCache *seesawI_ = nullptr;
-
-    /** L1 tag-store geometry, cached so the per-access energy calls
-     *  skip the virtual tags() accessor. */
-    std::uint64_t l1SizeBytes_ = 0;
-    unsigned l1Assoc_ = 0;
-    unsigned l1LineBytes_ = 64;
-    Addr textBase_ = 0;
-    double fetchCarry_ = 0.0;
-
-    Asid asid_ = 0;
-    Addr heapBase_ = 0;
-    std::uint64_t pageFaults_ = 0;
-
-    /** Handle one memory reference end to end. */
-    void doMemoryAccess(const MemRef &ref);
-
-    /** Account instruction fetches for @p instructions committed. */
-    void doInstructionFetches(std::uint64_t instructions);
-
-    /** Execute @p budget instructions through the main loop. */
-    void runLoop(std::uint64_t budget);
-
-    /** Zero every measured counter (after warmup). */
-    void resetMeasurement();
-
-    std::uint64_t retiredBase_ = 0; //!< retirement offset for osTick
-
-    /** OS housekeeping hooks (promotion, splinter, context switch). */
-    void osTick(std::uint64_t retired);
-
-    void applyPromotion(const PromotionEvent &event);
-    void applySplinter(const SplinterEvent &event);
-
-    bool isSeesawKind() const
-    {
-        return config_.l1Kind == L1Kind::Seesaw ||
-               config_.l1Kind == L1Kind::SeesawWayPredicted;
-    }
-
-    std::uint64_t nextContextSwitch_ = 0;
-    std::uint64_t nextPromotion_ = 0;
-    std::uint64_t nextSplinter_ = 0;
-    Rng eventRng_;
-
-    /** Build the auditor and register the per-layer checks. */
-    void setupAuditor();
-    std::unique_ptr<check::InvariantAuditor> auditor_;
-};
-
 } // namespace seesaw
 
-#endif // SEESAW_SIM_SYSTEM_HH
+#endif // SEESAW_SIM_CONFIG_HH

@@ -1,0 +1,420 @@
+#include "sim/core_complex.hh"
+
+#include "cache/sipt_cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+CoreComplex::CoreComplex(const SystemConfig &config,
+                         const WorkloadSpec &workload,
+                         const LatencyTable &latency,
+                         OsMemoryManager &os, EnergyModel &energy,
+                         Asid asid, Addr heap_base, Addr text_base,
+                         CoreId core, std::uint64_t core_seed,
+                         SetAssocCache *shared_llc)
+    : config_(config), workload_(workload), os_(os), energy_(energy),
+      asid_(asid), core_(core)
+{
+    // --- TLBs (preset follows the core model, Table II; optionally a
+    // unified fully-associative L1, which SEESAW supports equally).
+    TlbHierarchyParams tlb_params =
+        config_.coreKind == CoreKind::InOrder
+            ? TlbHierarchyParams::atom()
+            : TlbHierarchyParams::sandybridge();
+    if (config_.unifiedL1Tlb) {
+        tlb_params.unifiedL1 = true;
+        tlb_params.unifiedL1Entries = config_.unifiedL1TlbEntries;
+    }
+    tlb_ = std::make_unique<TlbHierarchy>(tlb_params, os_.pageTable());
+
+    // --- L1 cache.
+    switch (config_.l1Kind) {
+      case L1Kind::ViptBaseline:
+      case L1Kind::ViptWayPredicted: {
+        BaselineL1Config c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.l1Assoc;
+        c.freqGhz = config_.freqGhz;
+        c.wayPrediction =
+            config_.l1Kind == L1Kind::ViptWayPredicted;
+        l1_ = std::make_unique<ViptCache>(c, latency);
+        break;
+      }
+      case L1Kind::Pipt: {
+        BaselineL1Config c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.l1Assoc;
+        c.freqGhz = config_.freqGhz;
+        l1_ = std::make_unique<PiptCache>(c, latency,
+                                          config_.piptTlbCycles);
+        break;
+      }
+      case L1Kind::Sipt: {
+        SiptConfig c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.siptAssoc;
+        c.freqGhz = config_.freqGhz;
+        l1_ = std::make_unique<SiptCache>(c, latency);
+        break;
+      }
+      case L1Kind::Seesaw:
+      case L1Kind::SeesawWayPredicted: {
+        SeesawConfig c;
+        c.sizeBytes = config_.l1SizeBytes;
+        c.assoc = config_.l1Assoc;
+        c.partitionWays = config_.partitionWays;
+        c.freqGhz = config_.freqGhz;
+        c.policy = config_.policy;
+        c.tftEntries = config_.tftEntries;
+        c.tftAssoc = config_.tftAssoc;
+        c.wayPrediction =
+            config_.l1Kind == L1Kind::SeesawWayPredicted;
+        auto cache = std::make_unique<SeesawCache>(c, latency);
+        seesawD_ = cache.get();
+        // Wire the TFT into the TLB hierarchy: every 2MB L1 TLB fill
+        // marks the region (Fig 5).
+        Tft *tft = &cache->tft();
+        tlb_->setOn2MBFill(
+            [tft](Asid, Addr va_base) { tft->markRegion(va_base); });
+        l1_ = std::move(cache);
+        break;
+      }
+    }
+
+    l1SizeBytes_ = l1_->tags().sizeBytes();
+    l1Assoc_ = l1_->tags().assoc();
+    l1LineBytes_ = l1_->tags().lineBytes();
+
+    outer_ = std::make_unique<OuterHierarchy>(config_.outer,
+                                              config_.freqGhz,
+                                              shared_llc);
+
+    // --- Core model (concrete CpuModel: the retire fast path branches
+    // on the kind instead of virtual-dispatching).
+    cpu_ = std::make_unique<CpuModel>(
+        config_.coreKind, config_.coreKind == CoreKind::InOrder
+                              ? CpuParams::atom()
+                              : CpuParams::sandybridge());
+
+    // --- Coherence probe load. Single-core runs model coherence as
+    // the paper's stochastic probe stream; multi-core runs get the
+    // real fabric (owned by the engine) instead.
+    if (config_.cores == 1 && config_.fabric != CoherenceKind::None) {
+        ProbeEngineParams pe;
+        pe.systemProbesPerKiloInstr =
+            workload_.systemProbesPerKiloInstr;
+        pe.remoteThreads =
+            workload_.threads > 0 ? workload_.threads - 1 : 0;
+        pe.sharedFraction = workload_.sharedFraction;
+        pe.fabric = config_.fabric;
+        pe.seed = core_seed ^ 0x9097eULL;
+        probes_ = std::make_unique<ProbeEngine>(pe, *l1_, energy_);
+    }
+
+    stream_ = std::make_unique<ReferenceStream>(
+        workload_, heap_base, core_seed ^ 0x57ea0ULL, core_);
+    if (!config_.tracePath.empty())
+        trace_ = std::make_unique<TraceReader>(config_.tracePath);
+
+    // --- Optional L1 instruction cache (§V). The engine maps the
+    // text segment (shared by all cores) before building complexes.
+    if (config_.modelInstructionCache) {
+        textBase_ = text_base;
+        CodeStreamParams code_params;
+        code_params.codeBytes = workload_.codeFootprintBytes;
+        code_ = std::make_unique<CodeStream>(
+            code_params, textBase_, core_seed ^ 0xc0deULL);
+
+        // Prefill the LLC with the hot-text prefix (hot/cold-split
+        // layout puts the hot functions at the front).
+        const Addr hot_text_end =
+            textBase_ + std::min<std::uint64_t>(
+                            workload_.codeFootprintBytes, 4ULL << 20);
+        for (Addr va = textBase_; va < hot_text_end; va += 64) {
+            if (auto t = os_.translate(asid_, va))
+                outer_->prefill(t->translate(va));
+        }
+
+        const bool seesaw_icache =
+            config_.icacheKind == SystemConfig::ICacheKind::Seesaw ||
+            (config_.icacheKind ==
+                 SystemConfig::ICacheKind::FollowL1 &&
+             isSeesawKind());
+        if (seesaw_icache) {
+            SeesawConfig ic;
+            ic.sizeBytes = 32 * 1024; // Table II: split 32KB L1I
+            ic.assoc = 8;
+            ic.partitionWays = config_.partitionWays;
+            ic.freqGhz = config_.freqGhz;
+            ic.policy = config_.policy;
+            ic.tftEntries = config_.tftEntries;
+            ic.tftAssoc = config_.tftAssoc;
+            auto icache = std::make_unique<SeesawCache>(ic, latency);
+            seesawI_ = icache.get();
+            // The single TLB hierarchy serves both sides; route the
+            // superpage hook to the TFT of the side the address
+            // belongs to (real split ITLB/DTLBs would do this
+            // naturally).
+            Tft *itft = &icache->tft();
+            Tft *dtft = seesawD_ ? &seesawD_->tft() : nullptr;
+            const Addr text_base_c = textBase_;
+            tlb_->setOn2MBFill(
+                [itft, dtft, text_base_c](Asid, Addr va_base) {
+                    if (va_base >= text_base_c)
+                        itft->markRegion(va_base);
+                    else if (dtft)
+                        dtft->markRegion(va_base);
+                });
+            l1i_ = std::move(icache);
+        } else {
+            BaselineL1Config ic;
+            ic.sizeBytes = 32 * 1024;
+            ic.assoc = 8;
+            ic.freqGhz = config_.freqGhz;
+            l1i_ = std::make_unique<ViptCache>(ic, latency);
+            if (isSeesawKind()) {
+                // Keep code regions out of the D-side TFT.
+                Tft *dtft = &seesawD_->tft();
+                const Addr text_base_c = textBase_;
+                tlb_->setOn2MBFill(
+                    [dtft, text_base_c](Asid, Addr va_base) {
+                        if (va_base < text_base_c)
+                            dtft->markRegion(va_base);
+                    });
+            }
+        }
+    }
+
+    // Steady-state warmup: prefill the LLC with the stream's hot
+    // ranges so measurement does not start from an unrealistically
+    // cold outer hierarchy (the paper's traces span 10B instructions).
+    for (const auto &[begin, end] : stream_->hotRanges()) {
+        for (Addr va = begin; va < end; va += 64) {
+            if (auto t = os_.translate(asid_, va))
+                outer_->prefill(t->translate(va));
+        }
+    }
+
+    nextContextSwitch_ = config_.contextSwitchInterval;
+}
+
+CoreComplex::~CoreComplex() = default;
+
+MemRef
+CoreComplex::nextRef()
+{
+    if (!trace_) {
+        return stream_->next();
+    }
+    if (auto ref = trace_->next())
+        return *ref;
+    // Loop the trace when it is shorter than the budget.
+    trace_ = std::make_unique<TraceReader>(config_.tracePath);
+    auto ref = trace_->next();
+    SEESAW_ASSERT(ref, "empty trace file: ", config_.tracePath);
+    return *ref;
+}
+
+void
+CoreComplex::doInstructionFetches(std::uint64_t instructions)
+{
+    if (!l1i_)
+        return;
+    // 16-byte fetch groups: one 64B line fetch per ~4 instructions.
+    fetchCarry_ += static_cast<double>(instructions) / 4.0;
+    auto fetches = static_cast<std::uint64_t>(fetchCarry_);
+    fetchCarry_ -= static_cast<double>(fetches);
+
+    while (fetches-- > 0) {
+        const Addr va = code_->nextFetchLine();
+
+        int tft_probe = -1;
+        if (seesawI_)
+            tft_probe = seesawI_->tft().lookup(va) ? 1 : 0;
+
+        energy_.addL1TlbLookup();
+        const TlbLookupResult tr = tlb_->lookup(asid_, va);
+        if (!tr.l1Hit)
+            energy_.addL2TlbLookup();
+        if (tr.walked)
+            energy_.addPageWalk();
+        SEESAW_ASSERT(!tr.fault, "text segment must be premapped");
+
+        const Addr pa = tr.translation.translate(va);
+        L1Access req{va, pa, tr.translation.size, AccessType::Read,
+                     tft_probe};
+        const L1AccessResult res =
+            seesawI_ ? seesawI_->access(req) : l1i_->access(req);
+        if (seesawI_)
+            energy_.addTftLookup();
+        energy_.addL1Lookup(32 * 1024, 8, res.waysRead, false);
+
+        if (!res.hit) {
+            const OuterAccessResult outer =
+                outer_->access(pa, AccessType::Read);
+            energy_.addL2Access();
+            if (outer.llcAccessed)
+                energy_.addLlcAccess();
+            if (outer.dramAccessed)
+                energy_.addDramAccess();
+            energy_.addLineInstall(res.installWays);
+            // Front-end refill: the decode queue hides part of it.
+            cpu_->addStallCycles(
+                static_cast<Cycles>(outer.cycles * 0.4));
+        }
+        if (tr.penaltyCycles)
+            cpu_->addStallCycles(tr.penaltyCycles / 2);
+    }
+}
+
+bool
+CoreComplex::doMemoryAccess(const MemRef &ref, CoherenceFabric *fabric)
+{
+    // 0. Probe the TFT with its pre-TLB state: hardware reads the TFT
+    //    and the L1 TLBs in parallel, and a 2MB TLB hit may refresh
+    //    the very entry being probed — the refresh must not be
+    //    visible to this access.
+    int tft_probe = -1;
+    if (SeesawCache *cache = seesawD_)
+        tft_probe = cache->tft().lookup(ref.va) ? 1 : 0;
+
+    // 1. Translate (the L1 TLB probe runs in parallel with L1 set
+    //    selection; only L2-TLB latency and walks are exposed).
+    energy_.addL1TlbLookup();
+    TlbLookupResult tr = tlb_->lookup(asid_, ref.va);
+    if (!tr.l1Hit)
+        energy_.addL2TlbLookup();
+    if (tr.walked)
+        energy_.addPageWalk();
+    if (tr.fault) {
+        // Demand-page and retry. Synthetic footprints are premapped so
+        // this is rare; trace replay relies on it. The whole 2MB chunk
+        // is populated so THP can back it (Linux fault-around).
+        ++pageFaults_;
+        os_.mapAnonymous(asid_, alignDown(ref.va, 2 * 1024 * 1024),
+                         2 * 1024 * 1024,
+                         workload_.thpEligibleFraction);
+        cpu_->addStallCycles(2000);
+        tr = tlb_->lookup(asid_, ref.va);
+        SEESAW_ASSERT(!tr.fault, "fault persists after demand paging");
+    }
+
+    const Addr pa = tr.translation.translate(ref.va);
+    const PageSize page_size = tr.translation.size;
+
+    // 2. Coherence ordering point: writes invalidate remote copies
+    //    before the local access; read misses may be owner-supplied.
+    FabricPreAccess pre;
+    if (fabric)
+        pre = fabric->preAccess(core_, pa, ref.type);
+
+    // 3. L1 access (direct call into the final SeesawCache class when
+    // the design is SEESAW; virtual dispatch otherwise).
+    L1Access req{ref.va, pa, page_size, ref.type, tft_probe};
+    const L1AccessResult res =
+        seesawD_ ? seesawD_->access(req) : l1_->access(req);
+
+    if (seesawD_)
+        energy_.addTftLookup();
+    if (res.wpUsed)
+        energy_.addWayPredictorLookup();
+    energy_.addL1Lookup(l1SizeBytes_, l1Assoc_, res.waysRead,
+                        /*coherent=*/false);
+    if (probes_)
+        probes_->noteResident(pa);
+
+    // 4. Miss handling in the outer hierarchy.
+    unsigned miss_penalty = pre.cycles;
+    if (!res.hit) {
+        if (pre.ownerSupplied) {
+            // Cache-to-cache transfer: a dirty remote owner forwards
+            // the line, so the LLC/DRAM data arrays are never read.
+            miss_penalty += outer_->l2Cycles() + outer_->llcCycles();
+            energy_.addL2Access();
+        } else {
+            const OuterAccessResult outer =
+                outer_->access(pa, ref.type);
+            miss_penalty += outer.cycles;
+            energy_.addL2Access();
+            if (outer.llcAccessed)
+                energy_.addLlcAccess();
+            if (outer.dramAccessed)
+                energy_.addDramAccess();
+        }
+        energy_.addLineInstall(res.installWays);
+        if (res.eviction.valid && res.eviction.dirty) {
+            outer_->writeback(res.eviction.lineAddr * l1LineBytes_);
+            energy_.addL2Access();
+        }
+    }
+
+    if (fabric)
+        fabric->postAccess(core_, pa, ref.type, res, pre);
+
+    // 5. Core timing.
+    MemTiming timing;
+    timing.hit = res.hit;
+    timing.missPenalty = miss_penalty;
+    timing.lateDiscovery = res.lateDiscovery || !res.hit;
+    if (config_.coreKind == CoreKind::InOrder) {
+        // In-order pipelines have no speculative wakeup: data is
+        // consumed whenever it arrives, so the L1's actual latency is
+        // the exposed latency (this is why SEESAW helps in-order cores
+        // more, Fig 9).
+        timing.lookupCycles = res.latencyCycles;
+        timing.assumedCycles = res.latencyCycles;
+    } else {
+        // The out-of-order scheduler speculatively wakes dependents at
+        // an assumed latency (§IV-B3): SEESAW assumes the fast hit
+        // unless the superpage-TLB occupancy counter says superpages
+        // are scarce; other designs assume their base hit time.
+        unsigned assumed = l1_->baseHitCycles();
+        if (isSeesawKind()) {
+            const bool assume_fast =
+                !config_.schedulerCounterPolicy ||
+                tlb_->superpagesAmple();
+            assumed = assume_fast ? l1_->fastHitCycles()
+                                  : l1_->baseHitCycles();
+        } else if (config_.l1Kind == L1Kind::Sipt) {
+            // SIPT is speculation-first by construction: the scheduler
+            // always assumes the speculative index was right and
+            // replays otherwise.
+            assumed = l1_->fastHitCycles();
+        }
+        // A hit that returns earlier than the scheduled wakeup cannot
+        // retire dependents early: the effective latency is the
+        // assumed one. A later return forces a squash (charged by the
+        // core model).
+        timing.lookupCycles = std::max(res.latencyCycles, assumed);
+        timing.assumedCycles = assumed;
+    }
+    cpu_->retireMemory(timing);
+
+    // 6. TLB miss penalties serialise before the tag check only beyond
+    //    the L1 TLB (VIPT hides the L1 probe).
+    if (tr.penaltyCycles)
+        cpu_->addStallCycles(tr.penaltyCycles);
+
+    return ref.type == AccessType::Write || !res.hit;
+}
+
+void
+CoreComplex::resetMeasurement()
+{
+    cpu_->resetCounters();
+    l1_->stats().resetAll();
+    if (l1i_)
+        l1i_->stats().resetAll();
+    outer_->stats().resetAll();
+    if (probes_)
+        probes_->stats().resetAll();
+    if (SeesawCache *cache = seesawD_)
+        cache->tft().stats().resetAll();
+    pageFaults_ = 0;
+}
+
+} // namespace seesaw

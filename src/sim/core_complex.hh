@@ -1,0 +1,136 @@
+/**
+ * @file
+ * One core's private slice of the simulated system: the core timing
+ * model, its TLB hierarchy and TFT, an L1D of the configured design,
+ * the optional L1I, the private L2 (plus an LLC reference — its own at
+ * cores=1, the engine's shared one otherwise) and the per-core
+ * reference/fetch streams. The SimEngine (sim/sim_engine.hh) drives N
+ * of these over a coherence fabric; every per-access path lives here
+ * so cores=1 executes exactly the classic single-core system.
+ */
+
+#ifndef SEESAW_SIM_CORE_COMPLEX_HH
+#define SEESAW_SIM_CORE_COMPLEX_HH
+
+#include <memory>
+
+#include "cache/baseline_caches.hh"
+#include "coherence/fabric.hh"
+#include "coherence/probe_engine.hh"
+#include "model/latency_table.hh"
+#include "sim/config.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "workload/code_stream.hh"
+#include "workload/reference_stream.hh"
+#include "workload/trace.hh"
+#include "workload/workload_spec.hh"
+
+namespace seesaw {
+
+/**
+ * Per-core unit of the SimEngine. Construction mirrors the original
+ * single-core System exactly (same component order, same RNG salts on
+ * the per-core seed) so that core 0 of a cores=1 engine is
+ * bit-identical to the pre-refactor System.
+ */
+class CoreComplex
+{
+  public:
+    /**
+     * @param core_seed This core's decorrelated seed
+     *        (SimEngine::coreSeed); equals config.seed for core 0.
+     * @param shared_llc Non-null at cores>1: the engine-owned LLC all
+     *        complexes share behind their private L2s.
+     */
+    CoreComplex(const SystemConfig &config, const WorkloadSpec &workload,
+                const LatencyTable &latency, OsMemoryManager &os,
+                EnergyModel &energy, Asid asid, Addr heap_base,
+                Addr text_base, CoreId core, std::uint64_t core_seed,
+                SetAssocCache *shared_llc);
+    ~CoreComplex();
+
+    /** Next reference from the trace or the synthetic stream. */
+    MemRef nextRef();
+
+    /**
+     * Handle one memory reference end to end. @p fabric is null for
+     * single-core runs (synthetic probe load instead).
+     * @return true when the access was a write or an L1 miss — the
+     *         events that can change global coherence state.
+     */
+    bool doMemoryAccess(const MemRef &ref, CoherenceFabric *fabric);
+
+    /** Account instruction fetches for @p instructions committed. */
+    void doInstructionFetches(std::uint64_t instructions);
+
+    /** Zero every measured per-core counter (after warmup). */
+    void resetMeasurement();
+
+    /** @name Component access. */
+    /// @{
+    TlbHierarchy &tlb() { return *tlb_; }
+    L1Cache &l1() { return *l1_; }
+    L1Cache *l1i() { return l1i_.get(); }
+    /** nullptr unless an SEESAW kind (cached; hot path). */
+    SeesawCache *seesawL1() { return seesawD_; }
+    SeesawCache *seesawL1i() { return seesawI_; }
+    CpuModel &cpu() { return *cpu_; }
+    OuterHierarchy &outer() { return *outer_; }
+    /** The synthetic probe engine (cores=1 only), or nullptr. */
+    ProbeEngine *probeEngine() { return probes_.get(); }
+    CoreId core() const { return core_; }
+    std::uint64_t pageFaults() const { return pageFaults_; }
+    /// @}
+
+    /** Instructions retired by this core, including warmup (drives the
+     *  per-core OS-event schedule). */
+    std::uint64_t retiredTotal_ = 0;
+
+    /** Next context-switch point in retiredTotal_ terms. */
+    std::uint64_t nextContextSwitch_ = 0;
+
+  private:
+    const SystemConfig &config_;
+    const WorkloadSpec &workload_;
+    OsMemoryManager &os_;
+    EnergyModel &energy_;
+
+    std::unique_ptr<TlbHierarchy> tlb_;
+    std::unique_ptr<L1Cache> l1_;
+    std::unique_ptr<OuterHierarchy> outer_;
+    std::unique_ptr<CpuModel> cpu_;
+    std::unique_ptr<ProbeEngine> probes_;
+    std::unique_ptr<ReferenceStream> stream_;
+    std::unique_ptr<TraceReader> trace_; //!< replaces stream_ if set
+
+    // Optional L1I application (§V).
+    std::unique_ptr<L1Cache> l1i_;
+    std::unique_ptr<CodeStream> code_;
+
+    /** Cached downcasts of l1_/l1i_ when they are SEESAW caches, so
+     *  the per-access and per-fetch paths never pay a dynamic_cast. */
+    SeesawCache *seesawD_ = nullptr;
+    SeesawCache *seesawI_ = nullptr;
+
+    /** L1 tag-store geometry, cached so the per-access energy calls
+     *  skip the virtual tags() accessor. */
+    std::uint64_t l1SizeBytes_ = 0;
+    unsigned l1Assoc_ = 0;
+    unsigned l1LineBytes_ = 64;
+    Addr textBase_ = 0;
+    double fetchCarry_ = 0.0;
+
+    Asid asid_ = 0;
+    CoreId core_ = 0;
+    std::uint64_t pageFaults_ = 0;
+
+    bool isSeesawKind() const
+    {
+        return config_.l1Kind == L1Kind::Seesaw ||
+               config_.l1Kind == L1Kind::SeesawWayPredicted;
+    }
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_SIM_CORE_COMPLEX_HH

@@ -10,7 +10,7 @@ namespace seesaw {
 RunResult
 simulate(const WorkloadSpec &workload, const SystemConfig &config)
 {
-    System system(config, workload);
+    SimEngine system(config, workload);
     return system.run();
 }
 

@@ -12,11 +12,11 @@
 #include <string>
 #include <vector>
 
-#include "sim/system.hh"
+#include "sim/sim_engine.hh"
 
 namespace seesaw {
 
-/** Simulate @p workload on @p config (constructs a fresh System). */
+/** Simulate @p workload on @p config (constructs a fresh SimEngine). */
 RunResult simulate(const WorkloadSpec &workload,
                    const SystemConfig &config);
 

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The unified simulation engine: N CoreComplexes (sim/core_complex.hh)
+ * over a shared OS memory manager, a shared LLC and a pluggable
+ * coherence fabric (coherence/fabric.hh).
+ *
+ * cores=1 reproduces the original single-core System bit-for-bit —
+ * same construction order, same RNG salts, same per-access sequence —
+ * with coherence modelled as the paper's stochastic probe load.
+ * cores>1 runs one workload thread per core over the shared heap with
+ * exact coherence (directory or snoopy broadcast), which is where
+ * SEESAW's cheap 4-way probes are measured rather than sampled.
+ */
+
+#ifndef SEESAW_SIM_SIM_ENGINE_HH
+#define SEESAW_SIM_SIM_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/fabric.hh"
+#include "sim/core_complex.hh"
+
+namespace seesaw::check {
+class InvariantAuditor;
+} // namespace seesaw::check
+
+namespace seesaw {
+
+/**
+ * One simulated system instance of config.cores cores. Construct,
+ * then run().
+ */
+class SimEngine
+{
+  public:
+    SimEngine(const SystemConfig &config, const WorkloadSpec &workload);
+    ~SimEngine();
+
+    /** Execute the configured per-core instruction budget. */
+    RunResult run();
+
+    /**
+     * This core's decorrelated RNG seed. Core 0 keeps the config seed
+     * unchanged (single-core bit-compatibility); other cores get a
+     * SplitMix64 finalizer over (seed, core) so adjacent cores'
+     * reference streams share no low-bit structure.
+     */
+    static std::uint64_t coreSeed(std::uint64_t seed, unsigned core);
+
+    /** @name Component access (tests / advanced drivers). */
+    /// @{
+    OsMemoryManager &os() { return *os_; }
+    TlbHierarchy &tlb(unsigned core = 0)
+    {
+        return complexes_[core]->tlb();
+    }
+    L1Cache &l1(unsigned core = 0) { return complexes_[core]->l1(); }
+    /** nullptr unless an SEESAW kind (cached; hot path). */
+    SeesawCache *seesawL1(unsigned core = 0)
+    {
+        return complexes_[core]->seesawL1();
+    }
+    CpuModel &cpu(unsigned core = 0) { return complexes_[core]->cpu(); }
+    EnergyModel &energy() { return *energy_; }
+    const SystemConfig &config() const { return config_; }
+    Asid asid() const { return asid_; }
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(complexes_.size());
+    }
+    CoreComplex &complex(unsigned core) { return *complexes_[core]; }
+
+    /** The coherence fabric (cores>1), or nullptr at cores=1. */
+    CoherenceFabric *fabric() { return fabric_.get(); }
+
+    /** The exact directory, or nullptr unless a cores>1 directory
+     *  fabric is active. */
+    ExactDirectory *directory() { return directory_; }
+
+    /**
+     * One-shot full bidirectional MOESI cross-check of the directory
+     * against every L1 (check/coherence_audits.hh). Always true when
+     * no directory fabric is active.
+     */
+    bool checkDirectoryInvariant() const;
+
+    /** The invariant auditor, or nullptr when audits are off or the
+     *  audit layer is compiled out. */
+    check::InvariantAuditor *auditor() { return auditor_.get(); }
+    /// @}
+
+  private:
+    SystemConfig config_;
+    WorkloadSpec workload_;
+
+    LatencyTable latency_;
+    std::unique_ptr<EnergyModel> energy_;
+    std::unique_ptr<OsMemoryManager> os_;
+    std::unique_ptr<Memhog> memhog_;
+
+    /** Shared LLC behind every core's private L2 (cores>1 only; a
+     *  single-core complex owns a private LLC inside its
+     *  OuterHierarchy, matching the original System). */
+    std::unique_ptr<SetAssocCache> sharedLlc_;
+    std::unique_ptr<CoherenceFabric> fabric_;
+    ExactDirectory *directory_ = nullptr; //!< cached fabric_ downcast
+
+    std::vector<std::unique_ptr<CoreComplex>> complexes_;
+
+    Asid asid_ = 0;
+    Addr heapBase_ = 0;
+    Addr textBase_ = 0;
+
+    /** Advance core @p c by one reference, retiring at most @p room
+     *  instructions. @return instructions retired. */
+    std::uint64_t step(CoreId c, std::uint64_t room);
+
+    /** Execute @p per_core_budget instructions on every core,
+     *  round-robin one reference at a time. */
+    void runLoop(std::uint64_t per_core_budget);
+
+    /** Zero every measured counter (after warmup). */
+    void resetMeasurement();
+
+    /** OS housekeeping hooks (promotion, splinter, context switch). */
+    void osTick(CoreId c);
+
+    void applyPromotion(const PromotionEvent &event);
+    void applySplinter(const SplinterEvent &event);
+
+    bool isSeesawKind() const
+    {
+        return config_.l1Kind == L1Kind::Seesaw ||
+               config_.l1Kind == L1Kind::SeesawWayPredicted;
+    }
+
+    std::uint64_t nextPromotion_ = 0;
+    std::uint64_t nextSplinter_ = 0;
+    Rng eventRng_;
+
+    /** Build the auditor and register the per-layer checks. */
+    void setupAuditor();
+    std::unique_ptr<check::InvariantAuditor> auditor_;
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_SIM_SIM_ENGINE_HH

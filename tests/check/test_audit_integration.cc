@@ -11,8 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "check/invariant_auditor.hh"
-#include "sim/multicore.hh"
-#include "sim/system.hh"
+#include "sim/sim_engine.hh"
 
 namespace seesaw {
 namespace {
@@ -48,7 +47,7 @@ TEST(AuditIntegrationTest, ParanoidRunsCleanOverAllPaperWorkloads)
 
     for (L1Kind kind : {L1Kind::Seesaw, L1Kind::ViptBaseline}) {
         for (const WorkloadSpec &spec : paperWorkloads()) {
-            System system(paranoidConfig(kind), shrunk(spec));
+            SimEngine system(paranoidConfig(kind), shrunk(spec));
             system.run(); // a violation would abort the process
             ASSERT_NE(system.auditor(), nullptr);
             EXPECT_GT(system.auditor()->auditsRun(), 0u)
@@ -66,7 +65,7 @@ TEST(AuditIntegrationTest, ParanoidRunsCleanWithAnInstructionCache)
 
     SystemConfig cfg = paranoidConfig(L1Kind::Seesaw);
     cfg.modelInstructionCache = true;
-    System system(cfg, shrunk(findWorkload("nutch")));
+    SimEngine system(cfg, shrunk(findWorkload("nutch")));
     system.run();
     ASSERT_NE(system.auditor(), nullptr);
     EXPECT_EQ(system.auditor()->violations(), 0u);
@@ -78,7 +77,7 @@ TEST(AuditIntegrationTest, OffModeInstantiatesNoAuditor)
     cfg.instructions = 1'000;
     cfg.warmupInstructions = 0;
     cfg.audit.mode = check::AuditMode::Off;
-    System system(cfg, shrunk(findWorkload("redis")));
+    SimEngine system(cfg, shrunk(findWorkload("redis")));
     EXPECT_EQ(system.auditor(), nullptr);
     system.run();
 }
@@ -92,7 +91,7 @@ TEST(AuditIntegrationTest, EndModeAuditsExactlyOnce)
     cfg.instructions = 5'000;
     cfg.warmupInstructions = 1'000;
     cfg.audit.mode = check::AuditMode::End;
-    System system(cfg, shrunk(findWorkload("mcf")));
+    SimEngine system(cfg, shrunk(findWorkload("mcf")));
     system.run();
     ASSERT_NE(system.auditor(), nullptr);
     EXPECT_EQ(system.auditor()->auditsRun(), 1u);
@@ -108,7 +107,7 @@ TEST(AuditIntegrationTest, CatchesTftDesyncAfterHiddenSplinter)
     cfg.instructions = 20'000;
     cfg.warmupInstructions = 5'000;
     cfg.audit.mode = check::AuditMode::End;
-    System system(cfg, shrunk(findWorkload("redis")));
+    SimEngine system(cfg, shrunk(findWorkload("redis")));
     system.run();
 
     SeesawCache *l1 = system.seesawL1();
@@ -143,12 +142,12 @@ TEST(AuditIntegrationTest, MultiCoreParanoidRunsClean)
     if constexpr (!check::kAuditCompiledIn)
         GTEST_SKIP() << "audit layer compiled out";
 
-    MultiCoreConfig cfg;
+    SystemConfig cfg;
     cfg.cores = 2;
-    cfg.instructionsPerCore = 4'000;
-    cfg.warmupInstructionsPerCore = 1'000;
+    cfg.instructions = 4'000;
+    cfg.warmupInstructions = 1'000;
     cfg.audit.mode = check::AuditMode::Paranoid;
-    MultiCoreSystem system(cfg, shrunk(findWorkload("cann")));
+    SimEngine system(cfg, shrunk(findWorkload("cann")));
     system.run();
     ASSERT_NE(system.auditor(), nullptr);
     EXPECT_GT(system.auditor()->auditsRun(), 0u);
@@ -161,12 +160,12 @@ TEST(AuditIntegrationTest, MultiCoreAuditCatchesSeededDirectoryDrift)
     if constexpr (!check::kAuditCompiledIn)
         GTEST_SKIP() << "audit layer compiled out";
 
-    MultiCoreConfig cfg;
+    SystemConfig cfg;
     cfg.cores = 2;
-    cfg.instructionsPerCore = 4'000;
-    cfg.warmupInstructionsPerCore = 1'000;
+    cfg.instructions = 4'000;
+    cfg.warmupInstructions = 1'000;
     cfg.audit.mode = check::AuditMode::End;
-    MultiCoreSystem system(cfg, shrunk(findWorkload("cann")));
+    SimEngine system(cfg, shrunk(findWorkload("cann")));
     system.run();
     ASSERT_TRUE(system.checkDirectoryInvariant());
 
@@ -185,7 +184,8 @@ TEST(AuditIntegrationTest, MultiCoreAuditCatchesSeededDirectoryDrift)
         }
     });
     ASSERT_TRUE(found);
-    system.directory().recordEviction(0, victim);
+    ASSERT_NE(system.directory(), nullptr);
+    system.directory()->recordEviction(0, victim);
     EXPECT_FALSE(system.checkDirectoryInvariant());
 }
 

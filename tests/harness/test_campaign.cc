@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "harness/runner.hh"
+#include "harness/sinks.hh"
+#include "sim/sim_engine.hh"
 #include "workload/workload_spec.hh"
 
 namespace seesaw::harness {
@@ -107,6 +110,55 @@ TEST(CampaignRunner, SerialAndParallelAreBitIdentical)
     }
     EXPECT_EQ(serial.meta.jobs, 1u);
     EXPECT_EQ(parallel.meta.jobs, 4u);
+}
+
+TEST(CampaignRunner, MultiCoreJsonIsByteIdenticalAcrossJobCounts)
+{
+    // A 4-core campaign must serialize to the same bytes no matter
+    // how the thread pool interleaves the cells. Wall-clock metadata
+    // is the one legitimately nondeterministic part, so it is pinned
+    // before serializing.
+    WorkloadSpec w = findWorkload("tunk");
+    w.footprintBytes = 16ULL << 20;
+    w.hotSetBytes = 1ULL << 20;
+    SystemConfig cfg;
+    cfg.cores = 4;
+    cfg.instructions = 8'000;
+    cfg.warmupInstructions = 2'000;
+    cfg.os.memBytes = 512ULL << 20;
+
+    CampaignSpec spec("mcdet");
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+        SystemConfig seeded = cfg;
+        seeded.seed = seed;
+        spec.cell(
+            "tunk/c4/s" + std::to_string(seed),
+            [seeded, w] { return SimEngine(seeded, w).run(); }, seed,
+            configHash(seeded));
+    }
+
+    const auto emit = [&spec](unsigned jobs) {
+        RunnerOptions o;
+        o.jobs = jobs;
+        o.progress = false;
+        auto outcome = CampaignRunner(o).run(spec);
+        CampaignMetadata meta;
+        meta.campaign = "mcdet";
+        meta.gitDescribe = "pinned";
+        meta.jobs = 1;
+        meta.wallSeconds = 0.0;
+        for (auto &cell : outcome.results)
+            cell.wallSeconds = 0.0;
+        std::ostringstream os;
+        emitCampaignJson(os, meta, outcome.results);
+        return os.str();
+    };
+
+    const std::string serial = emit(1);
+    const std::string parallel = emit(4);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("\"per_core\""), std::string::npos);
+    EXPECT_NE(serial.find("\"cores\":4"), std::string::npos);
 }
 
 TEST(CampaignRunner, FindResultLooksUpByName)

@@ -179,7 +179,7 @@ TEST(Extensions, TraceOutsideFootprintIsDemandPaged)
     cfg.instructions = 2'000;
     cfg.warmupInstructions = 0;
     cfg.tracePath = path;
-    System system(cfg, smallWorkload());
+    SimEngine system(cfg, smallWorkload());
     const RunResult r = system.run();
     EXPECT_GT(r.pageFaults, 0u);
     std::remove(path.c_str());

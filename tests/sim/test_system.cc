@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/experiment.hh"
-#include "sim/system.hh"
+#include "sim/sim_engine.hh"
 
 namespace seesaw {
 namespace {
@@ -31,7 +31,7 @@ smallConfig()
 
 TEST(System, RunProducesSaneResults)
 {
-    System system(smallConfig(), smallWorkload());
+    SimEngine system(smallConfig(), smallWorkload());
     const RunResult r = system.run();
 
     EXPECT_GE(r.instructions, smallConfig().instructions);
@@ -48,7 +48,7 @@ TEST(System, RunProducesSaneResults)
 
 TEST(System, EnergyBucketsSumToTotal)
 {
-    System system(smallConfig(), smallWorkload());
+    SimEngine system(smallConfig(), smallWorkload());
     const RunResult r = system.run();
     EXPECT_NEAR(r.energyTotalNj,
                 r.l1CpuDynamicNj + r.l1CoherenceDynamicNj +
@@ -58,7 +58,7 @@ TEST(System, EnergyBucketsSumToTotal)
 
 TEST(System, SeesawUsesTheTft)
 {
-    System system(smallConfig(), smallWorkload());
+    SimEngine system(smallConfig(), smallWorkload());
     const RunResult r = system.run();
     EXPECT_GT(r.tftLookups, 0u);
     EXPECT_GT(r.tftHits, 0u);
@@ -76,7 +76,7 @@ TEST(System, BaselineHasNoTftActivity)
 {
     SystemConfig cfg = smallConfig();
     cfg.l1Kind = L1Kind::ViptBaseline;
-    System system(cfg, smallWorkload());
+    SimEngine system(cfg, smallWorkload());
     const RunResult r = system.run();
     EXPECT_EQ(r.tftLookups, 0u);
     EXPECT_EQ(r.fastHits, 0u);
@@ -138,7 +138,7 @@ TEST(System, PromotionAndSplinterEventsFire)
     cfg.splinterInterval = 30'000;
     WorkloadSpec w = smallWorkload();
     w.thpEligibleFraction = 0.6; // leave base-page regions to promote
-    System system(cfg, w);
+    SimEngine system(cfg, w);
     const RunResult r = system.run();
     EXPECT_GT(r.splinters, 0u);
     // Splintered regions get repromoted by khugepaged.
@@ -180,7 +180,7 @@ TEST(System, WayPredictedVariantsReportAccuracy)
 
 TEST(System, CoherenceProbesAccountedSeparately)
 {
-    System system(smallConfig(), smallWorkload());
+    SimEngine system(smallConfig(), smallWorkload());
     const RunResult r = system.run();
     EXPECT_GT(r.probes, 0u);
     EXPECT_GT(r.l1CoherenceDynamicNj, 0.0);
