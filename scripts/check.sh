@@ -8,6 +8,12 @@
 #              2-worker smoke campaign
 #   tidy       clang-tidy over the compilation database (skipped with a
 #              notice when clang-tidy is not installed)
+#   lint       project-discipline checks: configHash drift, NOLINT
+#              justifications, the seesaw-tidy fixture suite
+#              (ctest -L lint; SKIPs when clang-tidy is absent), and
+#              — when the plugin built — seesaw-tidy over all of src/
+#   format     git clang-format --diff of changed lines vs the merge
+#              base (skipped with a notice when not installed)
 #   perf       perf-regression gate: 3-run median of the throughput
 #              suite vs bench/perf/BENCH_throughput.baseline.json
 #              (the local mirror of the CI perf-gate job)
@@ -20,7 +26,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 stages=("$@")
 [ ${#stages[@]} -eq 0 ] && \
-    stages=(default audit-off asan-ubsan tsan tidy perf)
+    stages=(default audit-off asan-ubsan tsan tidy lint format perf)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -75,6 +81,47 @@ for stage in "${stages[@]}"; do
             clang-tidy -p "$repo/build" --quiet "${sources[@]}"
         fi
         ;;
+    lint)
+        banner "project lint"
+        python3 "$repo/scripts/config_hash_drift.py"
+        python3 "$repo/scripts/check_nolint.py"
+        cmake -S "$repo" -B "$repo/build" > /dev/null
+        cmake --build "$repo/build" -j "$jobs"
+        # Fixture tests SKIP (exit 77) when clang-tidy or the plugin
+        # headers are missing; ctest reports that visibly.
+        ctest --test-dir "$repo/build" --output-on-failure -L lint
+        plugin="$repo/build/tools/tidy/libSeesawTidy.so"
+        if command -v clang-tidy > /dev/null && [ -f "$plugin" ]; then
+            mapfile -t sources < <(
+                find "$repo/src" -name '*.cc' | sort)
+            clang-tidy -p "$repo/build" --quiet -load "$plugin" \
+                -checks='-*,seesaw-*' --warnings-as-errors='seesaw-*' \
+                "${sources[@]}"
+            echo "seesaw-tidy: src/ is clean"
+        else
+            echo "seesaw-tidy plugin or clang-tidy unavailable;" \
+                "skipping whole-src sweep (CI runs it)"
+        fi
+        ;;
+    format)
+        banner "format gate (changed lines vs merge base)"
+        if ! command -v git-clang-format > /dev/null \
+            && ! git clang-format -h > /dev/null 2>&1; then
+            echo "git-clang-format not installed; skipping (CI runs it)"
+            continue
+        fi
+        base="$(git -C "$repo" merge-base HEAD origin/main \
+            2> /dev/null || git -C "$repo" rev-parse HEAD~1)"
+        out="$(git -C "$repo" clang-format --diff "$base" -- \
+            src tests tools bench examples || true)"
+        if [ -n "$out" ] && ! grep -q "did not modify" <<< "$out" \
+            && ! grep -q "no modified files" <<< "$out"; then
+            printf '%s\n' "$out"
+            echo "format gate FAILED: run 'git clang-format $base'" >&2
+            exit 1
+        fi
+        echo "changed lines are clang-format clean"
+        ;;
     perf)
         banner "perf-regression gate"
         cmake -S "$repo" -B "$repo/build" > /dev/null
@@ -83,7 +130,8 @@ for stage in "${stages[@]}"; do
         ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "stages: default audit-off asan-ubsan tsan tidy perf" >&2
+        echo "stages: default audit-off asan-ubsan tsan tidy lint" \
+            "format perf" >&2
         exit 1
         ;;
     esac

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Police NOLINT suppressions of seesaw-tidy checks.
+
+A suppression is an auditable decision, so the project requires the
+form
+
+    // NOLINT(seesaw-<check>): <justification>
+
+with a named seesaw check and a non-trivial justification after the
+colon.  This script fails on:
+
+  * bare ``NOLINT`` / ``NOLINTNEXTLINE`` without a check list -- they
+    would silently suppress seesaw checks along with everything else;
+  * seesaw suppressions without a justification, or with a throwaway
+    one (fewer than three words).
+
+Run as a ctest ("check_nolint") and in CI's lint job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+SKIP_DIRS = {os.path.join("tests", "lint", "fixtures")}
+EXTENSIONS = (".hh", ".cc", ".h", ".cpp")
+
+NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(\([^)]*\))?")
+JUSTIFIED_RE = re.compile(
+    r"NOLINT(?:NEXTLINE)?\(([^)]*)\)\s*:\s*(.*\S)")
+MIN_JUSTIFICATION_WORDS = 3
+
+
+def scan_file(path: str, rel: str) -> "list[str]":
+    problems = []
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for m in NOLINT_RE.finditer(line):
+                checks = m.group(1)
+                if checks is None:
+                    problems.append(
+                        f"{rel}:{lineno}: bare {m.group(0)} suppresses every "
+                        f"check; name the check: NOLINT(<check>): <reason>")
+                    continue
+                if "seesaw-" not in checks:
+                    continue  # other tools' suppressions are not ours
+                jm = JUSTIFIED_RE.search(line[m.start():])
+                words = jm.group(2).split() if jm else []
+                if len(words) < MIN_JUSTIFICATION_WORDS:
+                    problems.append(
+                        f"{rel}:{lineno}: NOLINT{checks} needs a "
+                        f"justification -- write "
+                        f"'// NOLINT{checks}: <why this is safe>' "
+                        f"({MIN_JUSTIFICATION_WORDS}+ words)")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+
+    problems = []
+    scanned = 0
+    for top in SCAN_DIRS:
+        root_dir = os.path.join(args.repo, top)
+        for dirpath, _, filenames in os.walk(root_dir):
+            rel_dir = os.path.relpath(dirpath, args.repo)
+            if any(rel_dir.startswith(skip) for skip in SKIP_DIRS):
+                continue
+            for name in sorted(filenames):
+                if not name.endswith(EXTENSIONS):
+                    continue
+                scanned += 1
+                path = os.path.join(dirpath, name)
+                problems.extend(scan_file(path, os.path.relpath(
+                    path, args.repo)))
+
+    for p in problems:
+        print(p)
+    if problems:
+        return 1
+    print(f"OK: no unjustified seesaw NOLINT suppressions "
+          f"({scanned} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Assert that configHash() covers every SystemConfig field.
+
+Campaign resume (harness/campaign.cc) keys cached results on
+configHash(SystemConfig).  A field added to SystemConfig but not mixed
+into the hash silently aliases distinct experiments onto one cache
+entry -- runs with different configs would reuse each other's results.
+This checker parses the SystemConfig struct (and its nested parameter
+structs) out of the headers, parses the ``h.mix(config.X)`` lines out
+of configHash(), and fails on any field that is declared but not mixed
+(drift) or mixed but no longer declared (stale).
+
+Run as a ctest ("config_hash_drift") and in CI's lint job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Nested structs whose every leaf must be mixed as config.<field>.<leaf>.
+NESTED_STRUCTS = {
+    "OsParams": "src/mem/os_memory_manager.hh",
+    "MemhogParams": "src/mem/memhog.hh",
+    "OuterHierarchyParams": "src/cache/next_level.hh",
+    "check::AuditOptions": "src/check/audit.hh",
+}
+
+CONFIG_HEADER = "src/sim/config.hh"
+HASH_SOURCE = "src/harness/campaign.cc"
+
+FIELD_RE = re.compile(
+    r"^\s*(?P<type>[A-Za-z_][\w:<>,\s*&]*?)\s+(?P<name>[A-Za-z_]\w*)"
+    r"\s*(?:=[^;]*)?;\s*$"
+)
+NON_FIELD_KEYWORDS = ("using", "typedef", "static", "friend", "return")
+
+
+def strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group()),
+                  text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def struct_body(text: str, struct_name: str, path: str) -> str:
+    bare = struct_name.split("::")[-1]
+    m = re.search(rf"\bstruct\s+{re.escape(bare)}\b", text)
+    if not m:
+        sys.exit(f"error: struct {struct_name} not found in {path}")
+    open_brace = text.index("{", m.end())
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace + 1:i]
+    sys.exit(f"error: unbalanced braces for struct {struct_name} in {path}")
+
+
+def parse_fields(body: str) -> "list[tuple[str, str]]":
+    """Return (type, name) for each depth-1 data member."""
+    fields = []
+    depth = 0
+    for line in body.splitlines():
+        at_depth = depth
+        depth += line.count("{") - line.count("}")
+        if at_depth != 0 or "(" in line:
+            continue
+        m = FIELD_RE.match(line)
+        if not m:
+            continue
+        type_ = " ".join(m.group("type").split())
+        if type_.split()[0] in NON_FIELD_KEYWORDS or type_.startswith("enum"):
+            continue
+        fields.append((type_, m.group("name")))
+    return fields
+
+
+def load_struct_fields(repo: str, struct_name: str,
+                       rel_path: str) -> "list[tuple[str, str]]":
+    path = os.path.join(repo, rel_path)
+    with open(path, encoding="utf-8") as fh:
+        text = strip_comments(fh.read())
+    return parse_fields(struct_body(text, struct_name, rel_path))
+
+
+def expected_paths(repo: str) -> "set[str]":
+    expected = set()
+    for type_, name in load_struct_fields(repo, "SystemConfig",
+                                          CONFIG_HEADER):
+        if type_ in NESTED_STRUCTS:
+            leaves = load_struct_fields(repo, type_, NESTED_STRUCTS[type_])
+            if not leaves:
+                sys.exit(f"error: parsed no fields from nested {type_}")
+            for _, leaf in leaves:
+                expected.add(f"{name}.{leaf}")
+        else:
+            expected.add(name)
+    return expected
+
+
+def mixed_paths(repo: str) -> "set[str]":
+    path = os.path.join(repo, HASH_SOURCE)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    fn = re.search(r"configHash\(const SystemConfig &config\)\s*\{", text)
+    if not fn:
+        sys.exit(f"error: configHash(const SystemConfig&) not found "
+                 f"in {HASH_SOURCE}")
+    body = text[fn.end():]
+    body = body[:body.index("\n}")]
+    return set(re.findall(r"h\.mix\(config\.([A-Za-z0-9_.]+)\)", body))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+
+    expected = expected_paths(args.repo)
+    mixed = mixed_paths(args.repo)
+
+    ok = True
+    for path in sorted(expected - mixed):
+        ok = False
+        print(f"DRIFT: SystemConfig field 'config.{path}' is not mixed "
+              f"into configHash() ({HASH_SOURCE})")
+    for path in sorted(mixed - expected):
+        ok = False
+        print(f"STALE: configHash() mixes 'config.{path}' but SystemConfig "
+              f"declares no such field ({CONFIG_HEADER})")
+
+    if ok:
+        print(f"OK: configHash() covers all {len(expected)} SystemConfig "
+              f"fields ({len(expected - {p for p in expected if '.' not in p})}"
+              f" nested)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,18 @@
 #include "coherence/exact_directory.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace seesaw {
 
 ExactDirectory::ExactDirectory(unsigned num_cores)
-    : numCores_(num_cores), stats_("directory")
+    : numCores_(num_cores), stats_("directory"),
+      stOwnerDowngrades_(&stats_.scalar("owner_downgrades")),
+      stExclusiveDowngrades_(&stats_.scalar("exclusive_downgrades")),
+      stWriteInvalidations_(&stats_.scalar("write_invalidations")),
+      stFills_(&stats_.scalar("fills")),
+      stEvictions_(&stats_.scalar("evictions"))
 {
     SEESAW_ASSERT(num_cores >= 1 && num_cores <= 64,
                   "directory supports 1-64 cores");
@@ -24,7 +31,7 @@ ExactDirectory::onReadMiss(CoreId core, Addr pa)
         // Downgrade the dirty owner; it supplies the data.
         probes.targets.push_back(static_cast<CoreId>(e.owner));
         probes.ownerSupplies = true;
-        ++stats_.scalar("owner_downgrades");
+        ++*stOwnerDowngrades_;
     } else if (e.exclusive) {
         // A sole clean sharer may hold the line Exclusive; E means
         // "only copy system-wide", so it must be downgraded to Shared
@@ -32,7 +39,7 @@ ExactDirectory::onReadMiss(CoreId core, Addr pa)
         for (CoreId c = 0; c < numCores_; ++c) {
             if (c != core && (e.sharers & (1ULL << c))) {
                 probes.targets.push_back(c);
-                ++stats_.scalar("exclusive_downgrades");
+                ++*stExclusiveDowngrades_;
             }
         }
     }
@@ -58,7 +65,7 @@ ExactDirectory::onWrite(CoreId core, Addr pa)
         }
     }
     if (!probes.targets.empty())
-        ++stats_.scalar("write_invalidations");
+        ++*stWriteInvalidations_;
 
     // The directory reflects the probes' effect immediately.
     e.sharers &= (1ULL << core);
@@ -85,7 +92,7 @@ ExactDirectory::recordFill(CoreId core, Addr pa, bool dirty)
         e.exclusive =
             e.owner < 0 && e.sharers == (1ULL << core);
     }
-    ++stats_.scalar("fills");
+    ++*stFills_;
 }
 
 void
@@ -100,7 +107,7 @@ ExactDirectory::recordEviction(CoreId core, Addr pa)
         e.owner = -1;
     if (e.sharers == 0)
         lines_.erase(it);
-    ++stats_.scalar("evictions");
+    ++*stEvictions_;
 }
 
 bool
@@ -135,8 +142,19 @@ ExactDirectory::forEachEntry(
     const std::function<void(Addr pa, std::uint64_t sharers,
                              int owner)> &fn) const
 {
+    // Visit in address order: lines_ is a hash map, and hash order
+    // would make audit-violation reports (which abort on the first
+    // hit) depend on the standard library's bucketing. Audits are a
+    // debug cadence, so the sort cost is acceptable.
+    std::vector<Addr> keys;
+    keys.reserve(lines_.size());
     for (const auto &[line, entry] : lines_)
+        keys.push_back(line);
+    std::sort(keys.begin(), keys.end());
+    for (Addr line : keys) {
+        const Entry &entry = lines_.at(line);
         fn(line << 6, entry.sharers, entry.owner);
+    }
 }
 
 } // namespace seesaw

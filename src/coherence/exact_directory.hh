@@ -100,6 +100,13 @@ class ExactDirectory
     std::unordered_map<Addr, Entry> lines_; //!< keyed by pa >> 6
     StatGroup stats_;
 
+    // Hot-path stat handles (registered once; see common/stats.hh).
+    StatScalar *stOwnerDowngrades_;
+    StatScalar *stExclusiveDowngrades_;
+    StatScalar *stWriteInvalidations_;
+    StatScalar *stFills_;
+    StatScalar *stEvictions_;
+
     static Addr lineOf(Addr pa) { return pa >> 6; }
 };
 

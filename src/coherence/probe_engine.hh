@@ -67,9 +67,15 @@ class ProbeEngine
     void tick(std::uint64_t instructions);
 
     /** Total probes issued. */
-    std::uint64_t probes() const
+    std::uint64_t probes() const { return stProbes_->count(); }
+
+    /** Probes that hit a resident line. */
+    std::uint64_t probeHits() const { return stProbeHits_->count(); }
+
+    /** Lines invalidated by write probes. */
+    std::uint64_t invalidations() const
     {
-        return static_cast<std::uint64_t>(stats_.get("probes"));
+        return stInvalidations_->count();
     }
 
     const StatGroup &stats() const { return stats_; }

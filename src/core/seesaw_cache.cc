@@ -27,7 +27,8 @@ SeesawCache::SeesawCache(const SeesawConfig &config,
       stSuperRefsTftMissL1Miss_(
           &stats_.scalar("superpage_refs_tft_miss_l1_miss")),
       stProbes_(&stats_.scalar("probes")),
-      stProbeHits_(&stats_.scalar("probe_hits"))
+      stProbeHits_(&stats_.scalar("probe_hits")),
+      stSweepEvictions_(&stats_.scalar("sweep_evictions"))
 {
     SEESAW_ASSERT(config.assoc % config.partitionWays == 0,
                   "partition width must divide associativity");
@@ -190,7 +191,7 @@ unsigned
 SeesawCache::sweepRegion(Addr pa_base, std::uint64_t bytes)
 {
     const unsigned evicted = tags_.sweepRegion(pa_base, bytes);
-    stats_.scalar("sweep_evictions") += evicted;
+    *stSweepEvictions_ += evicted;
     return evicted;
 }
 

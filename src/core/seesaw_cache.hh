@@ -115,6 +115,7 @@ class SeesawCache final : public L1Cache
     StatScalar *stSuperRefsTftMissL1Miss_;
     StatScalar *stProbes_;
     StatScalar *stProbeHits_;
+    StatScalar *stSweepEvictions_;
 
     SetAssocCache::InsertScope
     insertScopeFor(PageSize size) const

@@ -10,7 +10,9 @@ Tft::Tft(unsigned entries, unsigned assoc)
       stHits_(&stats_.scalar("hits")),
       stMisses_(&stats_.scalar("misses")),
       stFills_(&stats_.scalar("fills")),
-      stConflictEvictions_(&stats_.scalar("conflict_evictions"))
+      stConflictEvictions_(&stats_.scalar("conflict_evictions")),
+      stInvalidations_(&stats_.scalar("invalidations")),
+      stFlushes_(&stats_.scalar("flushes"))
 {
     SEESAW_ASSERT(entries_ > 0, "TFT needs at least one entry");
     SEESAW_ASSERT(assoc_ >= 1 && entries_ % assoc_ == 0,
@@ -92,7 +94,7 @@ Tft::invalidateRegion(Addr va)
 {
     if (Entry *e = find(regionOf(va))) {
         e->valid = false;
-        ++stats_.scalar("invalidations");
+        ++*stInvalidations_;
         return true;
     }
     return false;
@@ -103,7 +105,7 @@ Tft::flush()
 {
     for (auto &e : table_)
         e.valid = false;
-    ++stats_.scalar("flushes");
+    ++*stFlushes_;
 }
 
 unsigned

@@ -105,6 +105,8 @@ class Tft
     StatScalar *stMisses_;
     StatScalar *stFills_;
     StatScalar *stConflictEvictions_;
+    StatScalar *stInvalidations_;
+    StatScalar *stFlushes_;
 
     static Addr regionOf(Addr va) { return va >> 21; }
 

@@ -1,6 +1,7 @@
 #include "mem/os_memory_manager.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -69,6 +70,10 @@ OsMemoryManager::destroyProcess(Asid asid)
         if (rev.asid == asid)
             frames4k.push_back(frame);
     }
+    // Free in frame order, not hash order: the buddy free lists are
+    // order-confluent, but keeping every mutation sequence
+    // deterministic is a project invariant (seesaw-tidy enforces it).
+    std::sort(frames4k.begin(), frames4k.end());
     for (auto frame : frames4k) {
         reverse4k_.erase(frame);
         frameState_[frame] = FrameState::Free;
@@ -80,6 +85,7 @@ OsMemoryManager::destroyProcess(Asid asid)
         if (rev.asid == asid)
             frames2m.push_back(frame);
     }
+    std::sort(frames2m.begin(), frames2m.end());
     for (auto frame : frames2m) {
         reverse2m_.erase(frame);
         setFrames(frame, kFramesPerSuper, FrameState::Free);
@@ -91,6 +97,7 @@ OsMemoryManager::destroyProcess(Asid asid)
         if (rev.asid == asid)
             frames1g.push_back(frame);
     }
+    std::sort(frames1g.begin(), frames1g.end());
     for (auto frame : frames1g) {
         reverse1g_.erase(frame);
         setFrames(frame, kFramesPerGiga, FrameState::Free);
@@ -339,7 +346,10 @@ OsMemoryManager::runPromotionPass(Asid asid, unsigned max_promotions)
     // effect is the same for anonymous memory).
     std::vector<Addr> candidates;
     {
-        std::unordered_map<Addr, unsigned> population;
+        // Ordered by VA region so the candidate list — and therefore
+        // which regions win when the promotion budget or superpage
+        // pool runs out — never depends on hash iteration order.
+        std::map<Addr, unsigned> population;
         for (const auto &[frame, rev] : reverse4k_) {
             if (rev.asid == asid)
                 ++population[alignDown(rev.vaBase, super)];
@@ -348,7 +358,6 @@ OsMemoryManager::runPromotionPass(Asid asid, unsigned max_promotions)
             if (count == kFramesPerSuper)
                 candidates.push_back(region);
         }
-        std::sort(candidates.begin(), candidates.end());
     }
 
     for (Addr region : candidates) {

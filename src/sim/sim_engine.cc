@@ -413,7 +413,12 @@ SimEngine::run()
     }
     energy_->addBackground(max_cycles, config_.freqGhz);
 
-    // --- Collect results.
+    return collectResults(max_cycles);
+}
+
+RunResult
+SimEngine::collectResults(Cycles max_cycles)
+{
     RunResult r;
     r.workload = workload_.name;
     r.cores = config_.cores;
@@ -526,10 +531,8 @@ SimEngine::run()
         r.ownerSupplies = fabric_->ownerSupplies();
     } else if (ProbeEngine *probes = complexes_[0]->probeEngine()) {
         r.probes = probes->probes();
-        r.probeHits = static_cast<std::uint64_t>(
-            probes->stats().get("probe_hits"));
-        r.probeInvalidations = static_cast<std::uint64_t>(
-            probes->stats().get("invalidations"));
+        r.probeHits = probes->probeHits();
+        r.probeInvalidations = probes->invalidations();
     }
 
     r.promotions = os_->promotions();

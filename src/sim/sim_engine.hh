@@ -123,6 +123,10 @@ class SimEngine
     /** Zero every measured counter (after warmup). */
     void resetMeasurement();
 
+    /** Aggregate every core's stats into the RunResult (end of run —
+     *  the one place string-keyed stat reads are sanctioned). */
+    RunResult collectResults(Cycles max_cycles);
+
     /** OS housekeeping hooks (promotion, splinter, context switch). */
     void osTick(CoreId c);
 

@@ -3,24 +3,27 @@
 namespace seesaw {
 
 PageWalker::PageWalker(const PageTable &table, unsigned cycles_per_level)
-    : table_(table), cyclesPerLevel_(cycles_per_level), stats_("walker")
+    : table_(table), cyclesPerLevel_(cycles_per_level), stats_("walker"),
+      stWalks_(&stats_.scalar("walks")),
+      stFaults_(&stats_.scalar("faults")),
+      stWalkCycles_(&stats_.scalar("walk_cycles"))
 {
 }
 
 std::optional<WalkResult>
 PageWalker::walk(Asid asid, Addr va)
 {
-    ++stats_.scalar("walks");
+    ++*stWalks_;
     auto t = table_.translate(asid, va);
     if (!t) {
-        ++stats_.scalar("faults");
+        ++*stFaults_;
         return std::nullopt;
     }
     WalkResult res;
     res.translation = *t;
     res.levels = PageTable::walkLevels(t->size);
     res.cycles = res.levels * cyclesPerLevel_;
-    stats_.scalar("walk_cycles") += res.cycles;
+    *stWalkCycles_ += res.cycles;
     return res;
 }
 

@@ -53,6 +53,9 @@ class PageWalker
     const PageTable &table_;
     unsigned cyclesPerLevel_;
     StatGroup stats_;
+    StatScalar *stWalks_;
+    StatScalar *stFaults_;
+    StatScalar *stWalkCycles_;
 };
 
 } // namespace seesaw

@@ -69,7 +69,8 @@ TlbHierarchy::TlbHierarchy(const TlbHierarchyParams &params,
       stL2Lookups_(&stats_.scalar("l2_lookups")),
       stL2Hits_(&stats_.scalar("l2_hits")),
       stWalks_(&stats_.scalar("walks")),
-      stFaults_(&stats_.scalar("faults"))
+      stFaults_(&stats_.scalar("faults")),
+      stInvlpg_(&stats_.scalar("invlpg"))
 {
     if (params_.unifiedL1) {
         unified_ = std::make_unique<UnifiedTlb>(
@@ -224,7 +225,7 @@ TlbHierarchy::invalidatePage(Asid asid, Addr va)
     l11g_.invalidatePage(asid, va);
     l24k_.invalidatePage(asid, va);
     l22m_.invalidatePage(asid, va);
-    ++stats_.scalar("invlpg");
+    ++*stInvlpg_;
 }
 
 void

@@ -188,6 +188,7 @@ class TlbHierarchy
     StatScalar *stL2Hits_;
     StatScalar *stWalks_;
     StatScalar *stFaults_;
+    StatScalar *stInvlpg_;
 
     /** Fill the right L1 TLB (and maybe the TFT hook); @p va is the
      *  accessing address (needed to locate the 2MB region inside a

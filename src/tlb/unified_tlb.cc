@@ -6,7 +6,12 @@ namespace seesaw {
 
 UnifiedTlb::UnifiedTlb(std::string name, unsigned entries)
     : name_(std::move(name)), entries_(entries), slots_(entries),
-      stats_(name_)
+      stats_(name_), stLookups_(&stats_.scalar("lookups")),
+      stHits_(&stats_.scalar("hits")),
+      stMisses_(&stats_.scalar("misses")),
+      stEvictions_(&stats_.scalar("evictions")),
+      stFills_(&stats_.scalar("fills")),
+      stInvalidations_(&stats_.scalar("invalidations"))
 {
     SEESAW_ASSERT(entries_ > 0, "unified TLB needs entries");
 }
@@ -38,13 +43,13 @@ UnifiedTlb::find(Asid asid, Addr va) const
 std::optional<TlbEntry>
 UnifiedTlb::lookup(Asid asid, Addr va)
 {
-    ++stats_.scalar("lookups");
+    ++*stLookups_;
     if (TlbEntry *e = find(asid, va)) {
         e->lastUse = ++useClock_;
-        ++stats_.scalar("hits");
+        ++*stHits_;
         return *e;
     }
-    ++stats_.scalar("misses");
+    ++*stMisses_;
     return std::nullopt;
 }
 
@@ -82,10 +87,10 @@ UnifiedTlb::insert(Asid asid, Addr va_base, Addr pa_base, PageSize size)
             victim = &e;
     }
     if (victim->valid)
-        ++stats_.scalar("evictions");
+        ++*stEvictions_;
     *victim = TlbEntry{true, asid, va_base >> pageOffsetBits(size),
                        pa_base, size, ++useClock_};
-    ++stats_.scalar("fills");
+    ++*stFills_;
 }
 
 bool
@@ -93,7 +98,7 @@ UnifiedTlb::invalidatePage(Asid asid, Addr va)
 {
     if (TlbEntry *e = find(asid, va)) {
         e->valid = false;
-        ++stats_.scalar("invalidations");
+        ++*stInvalidations_;
         return true;
     }
     return false;

@@ -67,6 +67,12 @@ class UnifiedTlb
     std::vector<TlbEntry> slots_;
     std::uint64_t useClock_ = 0;
     StatGroup stats_;
+    StatScalar *stLookups_;
+    StatScalar *stHits_;
+    StatScalar *stMisses_;
+    StatScalar *stEvictions_;
+    StatScalar *stFills_;
+    StatScalar *stInvalidations_;
 
     /** @return The slot covering @p va, or nullptr. */
     TlbEntry *find(Asid asid, Addr va);

@@ -1,0 +1,30 @@
+// seesaw-audit-side-effect negative fixture: observer-only callbacks
+// — reading captured state, building local scratch, reporting via the
+// AuditContext — stay silent.
+
+#include <vector>
+
+#include "check/invariant_auditor.hh"
+
+class ToyCache
+{
+  public:
+    void
+    registerAudits(seesaw::check::InvariantAuditor &auditor)
+    {
+        auditor.registerCheck(
+            "toy.readonly",
+            [this](seesaw::check::AuditContext &ctx) {
+                // Local scratch is fine; it dies with the callback.
+                std::vector<int> copies;
+                for (int line : lines_)
+                    copies.push_back(line);
+                if (copies.size() > capacity_)
+                    ctx.violation(0, "cache over capacity");
+            });
+    }
+
+  private:
+    std::vector<int> lines_;
+    std::size_t capacity_ = 64;
+};

@@ -1,0 +1,42 @@
+// NOLINT-suppression fixture: each line below would be diagnosed by a
+// seesaw-tidy check, but carries a justified NOLINT in the project's
+// required form `// NOLINT(seesaw-<check>): <reason>`.  The driver runs
+// every check over this file and asserts zero diagnostics; the
+// justification text itself is policed by scripts/check_nolint.py.
+
+#include <algorithm>
+#include <cstdlib>
+#include <ctime>
+#include <vector>
+
+struct CacheLine
+{
+    int id = 0;
+};
+
+bool
+ptrBefore(const CacheLine *a, const CacheLine *b)
+{
+    // Tie-break inside a single process run; never persisted or logged.
+    return a < b; // NOLINT(seesaw-pointer-ordering): intra-run tie-break only, never observable in output
+}
+
+int
+harnessEntropy()
+{
+    return std::rand(); // NOLINT(seesaw-raw-random): fixture demonstrating the suppression convention
+}
+
+long
+stamp()
+{
+    return static_cast<long>(
+        std::time(nullptr)); // NOLINT(seesaw-wallclock-in-sim): wall time used only to name a log file
+}
+
+void
+sortLines(std::vector<CacheLine *> &lines)
+{
+    std::sort(lines.begin(),
+              lines.end()); // NOLINT(seesaw-pointer-ordering): order is re-normalised by id immediately after
+}

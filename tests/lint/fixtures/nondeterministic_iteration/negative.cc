@@ -1,0 +1,58 @@
+// seesaw-nondeterministic-iteration negative fixture: the sanctioned
+// patterns — ordered containers, collect-then-sort, order-independent
+// accumulation — stay silent.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+
+// Ordered container: iteration order is the key order.
+void
+emitOrdered(const std::map<int, long> &counts, seesaw::StatGroup &group)
+{
+    for (const auto &[key, value] : counts) {
+        group.scalar("bucket_" + std::to_string(key)) +=
+            static_cast<double>(value);
+    }
+}
+
+// Collect-then-sort: hash order is normalised before it can escape.
+std::vector<int>
+collectSorted(const std::unordered_map<int, long> &counts)
+{
+    std::vector<int> keys;
+    for (const auto &[key, value] : counts) {
+        if (value > 0)
+            keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+// Order-independent accumulation into a local.
+long
+total(const std::unordered_map<int, long> &counts)
+{
+    long sum = 0;
+    for (const auto &[key, value] : counts)
+        sum += value;
+    return sum;
+}
+
+// Scratch container declared inside the loop body is per-element.
+int
+longestRun(const std::unordered_map<int, std::string> &names)
+{
+    int longest = 0;
+    for (const auto &[key, name] : names) {
+        std::vector<char> scratch;
+        for (char c : name)
+            scratch.push_back(c);
+        longest = std::max(longest, static_cast<int>(scratch.size()));
+    }
+    return longest;
+}

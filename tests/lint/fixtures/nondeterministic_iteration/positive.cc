@@ -1,0 +1,39 @@
+// seesaw-nondeterministic-iteration positive fixture: hash-order
+// iteration that leaks into stats, streams, or unsorted result
+// containers must be diagnosed.
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+
+void
+emitPerKeyStats(const std::unordered_map<int, long> &counts,
+                seesaw::StatGroup &group)
+{
+    for (const auto &[key, value] : counts) {        // EXPECT-WARN
+        group.scalar("bucket_" + std::to_string(key)) +=
+            static_cast<double>(value);
+    }
+}
+
+void
+streamKeys(const std::unordered_set<int> &keys, std::ostream &os)
+{
+    for (int key : keys)                             // EXPECT-WARN
+        os << key << '\n';
+}
+
+std::vector<int>
+collectUnsorted(const std::unordered_map<int, long> &counts)
+{
+    std::vector<int> keys;
+    for (const auto &[key, value] : counts) {
+        if (value > 0)
+            keys.push_back(key);                     // EXPECT-WARN
+    }
+    return keys; // escapes in hash order: nothing ever sorts it
+}

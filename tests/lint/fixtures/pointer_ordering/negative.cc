@@ -1,0 +1,41 @@
+// seesaw-pointer-ordering negative fixture: ordering by stable
+// identities (ids, addresses) and pointer equality tests are fine.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct CacheLine
+{
+    int id = 0;
+    std::uint64_t addr = 0;
+};
+
+bool
+sameLine(const CacheLine *a, const CacheLine *b)
+{
+    return a == b; // equality does not order
+}
+
+void
+sortById(std::vector<CacheLine *> &lines)
+{
+    std::sort(lines.begin(), lines.end(),
+              [](const CacheLine *a, const CacheLine *b) {
+                  return a->id < b->id;
+              });
+}
+
+void
+sortValues(std::vector<std::uint64_t> &addrs)
+{
+    std::sort(addrs.begin(), addrs.end()); // values, not pointers
+}
+
+int
+lookupByAddr(const std::map<std::uint64_t, int> &index, std::uint64_t a)
+{
+    auto it = index.find(a);
+    return it == index.end() ? -1 : it->second;
+}

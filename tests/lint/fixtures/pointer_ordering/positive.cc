@@ -1,0 +1,34 @@
+// seesaw-pointer-ordering positive fixture: every way of deriving an
+// order from raw pointer values must be diagnosed.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct CacheLine
+{
+    int id = 0;
+};
+
+bool
+evictBefore(const CacheLine *a, const CacheLine *b)
+{
+    return a < b;                                    // EXPECT-WARN
+}
+
+int
+countBelow(CacheLine *line, CacheLine *fence)
+{
+    return line <= fence ? 1 : 0;                    // EXPECT-WARN
+}
+
+void
+buildStructures(std::vector<CacheLine *> &lines)
+{
+    std::map<CacheLine *, int> rank;                 // EXPECT-WARN
+    std::set<const CacheLine *> seen;                // EXPECT-WARN
+    rank[lines.front()] = 0;
+    seen.insert(lines.front());
+    std::sort(lines.begin(), lines.end());           // EXPECT-WARN
+}

@@ -1,0 +1,22 @@
+// seesaw-raw-random negative fixture: drawing from the project's
+// seeded Rng is the sanctioned way to be random. No diagnostics.
+
+#include "common/random.hh"
+
+std::uint64_t
+rollDice(seesaw::Rng &rng)
+{
+    return 1 + rng.nextBounded(6);
+}
+
+double
+sampleZipf(seesaw::Rng &rng)
+{
+    return static_cast<double>(rng.nextZipf(1024, 0.99));
+}
+
+bool
+flip(seesaw::Rng &rng)
+{
+    return rng.chance(0.5);
+}

@@ -1,0 +1,35 @@
+// seesaw-raw-random positive fixture: every flavour of randomness
+// that bypasses the seeded Rng streams must be diagnosed.
+// Lines tagged EXPECT-WARN must each carry at least one diagnostic.
+
+#include <cstdlib>
+#include <random>
+
+int
+rollDevice()
+{
+    std::random_device rd;                           // EXPECT-WARN
+    return static_cast<int>(rd());
+}
+
+int
+rollEngine()
+{
+    std::mt19937 gen(12345);                         // EXPECT-WARN
+    std::uniform_int_distribution<int> die(1, 6);    // EXPECT-WARN
+    return die(gen);
+}
+
+int
+rollLibc()
+{
+    return std::rand();                              // EXPECT-WARN
+}
+
+double
+rollDefaultEngine()
+{
+    std::default_random_engine engine;               // EXPECT-WARN
+    std::normal_distribution<double> gauss(0.0, 1.0); // EXPECT-WARN
+    return gauss(engine);
+}

@@ -1,0 +1,37 @@
+// seesaw-string-stat-lookup negative fixture: the PR 3 convention —
+// handles cached in the constructor, by-name lookups only in cold
+// collection functions — stays silent.
+
+#include "common/stats.hh"
+
+class ToyTlb
+{
+  public:
+    ToyTlb()
+        : stats_("toy"),
+          stLookups_(&stats_.scalar("lookups")), // ctor: caching is fine
+          stHits_(&stats_.scalar("hits"))
+    {
+    }
+
+    void
+    access(bool hit)
+    {
+        ++*stLookups_;
+        if (hit)
+            ++*stHits_;
+    }
+
+    /** Matches the collection allow-list: cold, by-name is fine. */
+    double
+    collectHitRate() const
+    {
+        const double lookups = stats_.get("lookups");
+        return lookups > 0.0 ? stats_.get("hits") / lookups : 0.0;
+    }
+
+  private:
+    seesaw::StatGroup stats_;
+    seesaw::StatScalar *stLookups_;
+    seesaw::StatScalar *stHits_;
+};

@@ -1,0 +1,28 @@
+// seesaw-string-stat-lookup positive fixture: by-name StatGroup
+// lookups on access paths (anything that is not a constructor or a
+// collection/reporting function) must be diagnosed.
+
+#include "common/stats.hh"
+
+class ToyTlb
+{
+  public:
+    ToyTlb() : stats_("toy") {}
+
+    void
+    access(bool hit)
+    {
+        ++stats_.scalar("lookups");                  // EXPECT-WARN
+        if (hit)
+            ++stats_.scalar("hits");                 // EXPECT-WARN
+    }
+
+    double
+    hitRate()
+    {
+        return stats_.get("hits");                   // EXPECT-WARN
+    }
+
+  private:
+    seesaw::StatGroup stats_;
+};

@@ -1,0 +1,24 @@
+// seesaw-wallclock-in-sim negative fixture, two halves:
+//  - simulated-looking code that never reads the wall clock;
+//  - the driver runs this file with AllowedPathPattern matching it,
+//    standing in for src/harness, where wall time is legitimate
+//    (progress meters, result timestamps).
+
+#include <chrono>
+#include <cstdint>
+
+// Simulated time lives in cycle counters, not the host clock.
+std::uint64_t
+advance(std::uint64_t now, std::uint64_t latency)
+{
+    return now + latency;
+}
+
+// Allowed-path half: a harness-style progress meter may read the
+// clock; the path allowance keeps it silent here.
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}

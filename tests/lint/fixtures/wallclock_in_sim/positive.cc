@@ -1,0 +1,27 @@
+// seesaw-wallclock-in-sim positive fixture: wall-clock reads inside a
+// simulated component. The test driver overrides AllowedPathPattern
+// so this file counts as simulated code.
+
+#include <chrono>
+#include <ctime>
+
+long
+cyclesSinceBoot()
+{
+    return static_cast<long>(
+        std::chrono::steady_clock::now()             // EXPECT-WARN
+            .time_since_epoch()
+            .count());
+}
+
+double
+seedFromClock()
+{
+    return static_cast<double>(std::time(nullptr));  // EXPECT-WARN
+}
+
+long
+hostTicks()
+{
+    return static_cast<long>(std::clock());          // EXPECT-WARN
+}

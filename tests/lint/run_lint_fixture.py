@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Run one seesaw-tidy check over one fixture and diff the diagnostics.
+
+Fixtures mark every line that must produce a warning with an
+``EXPECT-WARN`` comment; a fixture with no markers must produce zero
+diagnostics.  The driver runs ``clang-tidy -load <plugin>`` restricted
+to the requested checks, parses ``file:line:col: warning: ... [check]``
+lines, and compares the warned line set against the marker line set.
+
+Exit codes:
+  0   diagnostics match the markers exactly
+  1   mismatch (missing or unexpected diagnostics)
+  77  toolchain unavailable (no clang-tidy, no plugin, or the host
+      clang-tidy cannot load it) -- ctest maps this to SKIP via
+      SKIP_RETURN_CODE so absence is visible, never a silent pass
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+
+DIAG_RE = re.compile(
+    r"^(?P<file>.+?):(?P<line>\d+):\d+:\s+(?:warning|error):\s+"
+    r"(?P<msg>.*)\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+
+def skip(reason: str) -> "NoReturn":
+    print(f"SKIP: {reason}")
+    sys.exit(SKIP)
+
+
+def probe(clang_tidy: str, plugin: str) -> None:
+    """Exit 77 unless clang-tidy exists and can load the plugin."""
+    if not shutil.which(clang_tidy):
+        skip(f"clang-tidy binary not found: {clang_tidy}")
+    if not os.path.isfile(plugin):
+        skip(f"seesaw-tidy plugin not built: {plugin}")
+    # -list-checks needs an input file on some versions; feed a dummy.
+    with tempfile.TemporaryDirectory() as tmp:
+        dummy = os.path.join(tmp, "probe.cc")
+        with open(dummy, "w", encoding="utf-8") as fh:
+            fh.write("int seesaw_probe;\n")
+        proc = subprocess.run(
+            [
+                clang_tidy,
+                f"-load={plugin}",
+                "-checks=-*,seesaw-*",
+                "-list-checks",
+                dummy,
+                "--",
+            ],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    if proc.returncode != 0 or "seesaw-" not in proc.stdout:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        skip("host clang-tidy cannot load the seesaw-tidy plugin")
+
+
+def expected_lines(fixture: str) -> "set[int]":
+    marks = set()
+    with open(fixture, encoding="utf-8") as fh:
+        for lineno, text in enumerate(fh, start=1):
+            if "EXPECT-WARN" in text:
+                marks.add(lineno)
+    return marks
+
+
+def build_config(options: "list[str]") -> str:
+    entries = []
+    for opt in options:
+        key, _, value = opt.partition("=")
+        entries.append(f'{{key: "{key}", value: "{value}"}}')
+    return "{CheckOptions: [" + ", ".join(entries) + "]}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", default=os.environ.get(
+        "SEESAW_CLANG_TIDY", "clang-tidy"))
+    parser.add_argument("--plugin", required=True,
+                        help="path to libSeesawTidy.so")
+    parser.add_argument("--fixture", required=True)
+    parser.add_argument("--checks", required=True,
+                        help="comma-separated seesaw-* check names")
+    parser.add_argument("--option", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="CheckOptions override, e.g. "
+                             "seesaw-wallclock-in-sim.AllowedPathPattern=x")
+    parser.add_argument("compile_flags", nargs="*",
+                        help="flags after '--' passed to the compilation")
+    args = parser.parse_args()
+
+    probe(args.clang_tidy, args.plugin)
+
+    fixture = os.path.abspath(args.fixture)
+    cmd = [
+        args.clang_tidy,
+        f"-load={args.plugin}",
+        f"-checks=-*,{args.checks}",
+    ]
+    if args.option:
+        cmd.append(f"-config={build_config(args.option)}")
+    cmd.append(fixture)
+    cmd.append("--")
+    cmd.extend(args.compile_flags or ["-std=c++20"])
+
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+
+    got: "dict[int, list[str]]" = {}
+    compile_errors = []
+    for line in proc.stdout.splitlines() + proc.stderr.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        checks = m.group("check")
+        if "seesaw-" not in checks:
+            if "error:" in line:
+                compile_errors.append(line)
+            continue
+        if os.path.abspath(m.group("file")) != fixture:
+            continue
+        got.setdefault(int(m.group("line")), []).append(m.group("msg").strip())
+    for line in proc.stderr.splitlines():
+        # A fixture that fails to parse would vacuously "pass" its
+        # negative test; surface hard clang errors as failures.
+        if re.search(r":\s+error:", line) and "[clang-diagnostic" not in line:
+            compile_errors.append(line)
+
+    want = expected_lines(fixture)
+    have = set(got)
+
+    ok = True
+    if compile_errors:
+        ok = False
+        print("fixture failed to compile:")
+        for line in compile_errors[:20]:
+            print(f"  {line}")
+    for lineno in sorted(want - have):
+        ok = False
+        print(f"MISSING diagnostic at {fixture}:{lineno} (EXPECT-WARN)")
+    for lineno in sorted(have - want):
+        ok = False
+        for msg in got[lineno]:
+            print(f"UNEXPECTED diagnostic at {fixture}:{lineno}: {msg}")
+
+    if ok:
+        n = len(want)
+        print(f"OK: {args.checks} on {os.path.basename(fixture)} "
+              f"({n} expected warning{'s' if n != 1 else ''})")
+        return 0
+
+    print("--- clang-tidy stdout ---")
+    sys.stdout.write(proc.stdout)
+    print("--- clang-tidy stderr ---")
+    sys.stdout.write(proc.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

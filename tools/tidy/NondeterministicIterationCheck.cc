@@ -1,0 +1,170 @@
+#include "NondeterministicIterationCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::seesaw {
+
+NondeterministicIterationCheck::NondeterministicIterationCheck(
+    StringRef name, ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      containerPattern_(Options.get(
+          "ContainerPattern",
+          "unordered_(map|set|multimap|multiset)")),
+      emitterCallPattern_(Options.get(
+          "EmitterCallPattern",
+          "^(scalar|distribution|sample|field|column|write|print|dump|"
+          "emit)")),
+      emitterClassPattern_(Options.get(
+          "EmitterClassPattern",
+          "(Stat|Sink|Json|Csv|Writer|stream)"))
+{
+}
+
+void
+NondeterministicIterationCheck::storeOptions(
+    ClangTidyOptions::OptionMap &opts)
+{
+    Options.store(opts, "ContainerPattern", containerPattern_);
+    Options.store(opts, "EmitterCallPattern", emitterCallPattern_);
+    Options.store(opts, "EmitterClassPattern", emitterClassPattern_);
+}
+
+void
+NondeterministicIterationCheck::registerMatchers(
+    ast_matchers::MatchFinder *finder)
+{
+    finder->addMatcher(
+        cxxForRangeStmt(hasAncestor(functionDecl().bind("func")))
+            .bind("loop"),
+        this);
+}
+
+void
+NondeterministicIterationCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &result)
+{
+    const auto *loop = result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+    const auto *func = result.Nodes.getNodeAs<FunctionDecl>("func");
+    if (loop == nullptr || func == nullptr || loop->getBody() == nullptr)
+        return;
+
+    // Only loops whose range is an unordered container.
+    const Expr *range = loop->getRangeInit();
+    if (range == nullptr)
+        return;
+    const std::string range_type =
+        range->getType().getCanonicalType().getAsString();
+    if (!llvm::Regex(containerPattern_).match(range_type))
+        return;
+
+    ASTContext &ctx = *result.Context;
+    const SourceManager &sm = *result.SourceManager;
+    const SourceLocation loop_loc =
+        sm.getExpansionLoc(loop->getBeginLoc());
+    if (loop_loc.isInvalid() || sm.isInSystemHeader(loop_loc))
+        return;
+
+    const Stmt &body = *loop->getBody();
+    llvm::Regex emitter_call_re(emitterCallPattern_);
+    llvm::Regex emitter_class_re(emitterClassPattern_);
+
+    // (a) Emission inside the body: member calls on stat/sink/writer
+    // objects, or stream insertion.
+    for (const auto &m :
+         match(findAll(cxxMemberCallExpr().bind("c")), body, ctx)) {
+        const auto *c = m.getNodeAs<CXXMemberCallExpr>("c");
+        if (c == nullptr || c->getMethodDecl() == nullptr)
+            continue;
+        const std::string callee = c->getMethodDecl()->getNameAsString();
+        if (!emitter_call_re.match(callee))
+            continue;
+        const Expr *obj = c->getImplicitObjectArgument();
+        if (obj == nullptr)
+            continue;
+        const std::string obj_type =
+            obj->getType().getCanonicalType().getAsString();
+        if (!emitter_class_re.match(obj_type))
+            continue;
+        diag(loop_loc,
+             "iterating a hash container ('%0') while emitting via "
+             "'%1' makes output depend on hash order; emit from an "
+             "ordered container or sort first")
+            << range_type << callee;
+        return;
+    }
+    for (const auto &m : match(
+             findAll(cxxOperatorCallExpr(hasOverloadedOperatorName("<<"))
+                         .bind("op")),
+             body, ctx)) {
+        const auto *op = m.getNodeAs<CXXOperatorCallExpr>("op");
+        if (op == nullptr || op->getNumArgs() < 1)
+            continue;
+        const std::string lhs_type = op->getArg(0)
+                                         ->getType()
+                                         .getCanonicalType()
+                                         .getAsString();
+        if (!emitter_class_re.match(lhs_type))
+            continue;
+        diag(loop_loc,
+             "iterating a hash container ('%0') while streaming with "
+             "'operator<<' makes output depend on hash order; emit "
+             "from an ordered container or sort first")
+            << range_type;
+        return;
+    }
+
+    // (b) Appends to containers declared outside the loop that are
+    // never sorted later in the same function (collect-then-sort is
+    // the sanctioned remediation and stays silent).
+    for (const auto &m : match(
+             findAll(cxxMemberCallExpr(
+                         callee(cxxMethodDecl(hasAnyName(
+                             "push_back", "emplace_back", "append"))),
+                         on(ignoringParenImpCasts(
+                             declRefExpr(to(varDecl().bind("dest"))))))
+                         .bind("append")),
+             body, ctx)) {
+        const auto *dest = m.getNodeAs<VarDecl>("dest");
+        const auto *append = m.getNodeAs<CXXMemberCallExpr>("append");
+        if (dest == nullptr || append == nullptr)
+            continue;
+
+        // A container declared inside the loop body is per-element
+        // scratch; hash order cannot leak through it.
+        const SourceRange loop_range = loop->getSourceRange();
+        if (sm.isPointWithin(dest->getLocation(), loop_range.getBegin(),
+                             loop_range.getEnd()))
+            continue;
+
+        // Sorted afterwards (std::sort(dest.begin(), ...) anywhere in
+        // the enclosing function)? Then the collected order is
+        // normalised before it can be observed.
+        bool sorted_later = false;
+        if (const Stmt *fbody = func->getBody()) {
+            sorted_later =
+                !match(findAll(callExpr(
+                           callee(functionDecl(
+                               hasAnyName("sort", "stable_sort"))),
+                           hasAnyArgument(cxxMemberCallExpr(
+                               on(ignoringParenImpCasts(declRefExpr(
+                                   to(varDecl(equalsNode(dest)))))))))),
+                       *fbody, ctx)
+                     .empty();
+        }
+        if (sorted_later)
+            continue;
+
+        diag(sm.getExpansionLoc(append->getBeginLoc()),
+             "appending to '%0' while iterating a hash container "
+             "('%1') captures hash order; sort '%0' before use or "
+             "iterate an ordered container")
+            << dest->getName() << range_type;
+        return;
+    }
+}
+
+} // namespace clang::tidy::seesaw

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * seesaw-nondeterministic-iteration: flags range-for loops over
+ * std::unordered_{map,set,multimap,multiset} whose body emits
+ * (stats, sinks, JSON/CSV, streams) or appends to a result container
+ * that is never sorted afterwards.
+ *
+ * Rule: hash iteration order is an implementation detail of the
+ * standard library. Anything observable — an emitted stat, a sink
+ * row, the order results land in a vector that feeds output or
+ * further allocation decisions — must not depend on it, or the
+ * serial-vs-parallel and cross-platform bit-identical guarantees die.
+ * The sanctioned patterns are (a) ordered containers, and (b)
+ * collect-then-sort: appending to a local vector that the same
+ * function later passes to std::sort/std::stable_sort is recognised
+ * and not flagged.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_NONDETERMINISTIC_ITERATION_CHECK_HH
+#define SEESAW_TOOLS_TIDY_NONDETERMINISTIC_ITERATION_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class NondeterministicIterationCheck : public ClangTidyCheck
+{
+  public:
+    NondeterministicIterationCheck(StringRef name,
+                                   ClangTidyContext *context);
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(ClangTidyOptions::OptionMap &opts) override;
+
+  private:
+    /** Regex over the canonical range type naming unordered
+     *  containers. */
+    const std::string containerPattern_;
+    /** Regex over member-call names that count as emission. */
+    const std::string emitterCallPattern_;
+    /** Regex over receiver types that count as emitters/sinks. */
+    const std::string emitterClassPattern_;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_NONDETERMINISTIC_ITERATION_CHECK_HH

@@ -1,0 +1,139 @@
+#include "PointerOrderingCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::seesaw {
+
+namespace {
+
+/** The ClassTemplateSpecializationDecl behind @p type, if any. */
+const ClassTemplateSpecializationDecl *
+specializationOf(QualType type)
+{
+    const auto *record = type.getCanonicalType()->getAs<RecordType>();
+    if (record == nullptr)
+        return nullptr;
+    return dyn_cast<ClassTemplateSpecializationDecl>(record->getDecl());
+}
+
+/** True when @p spec is std::map/set/multimap/multiset keyed by a
+ *  pointer and ordered by the default std::less. */
+bool
+isPointerKeyedOrderedContainer(const ClassTemplateSpecializationDecl *spec)
+{
+    if (spec == nullptr)
+        return false;
+    const std::string name = spec->getQualifiedNameAsString();
+    unsigned comparator_index = 0;
+    if (name == "std::map" || name == "std::multimap")
+        comparator_index = 2;
+    else if (name == "std::set" || name == "std::multiset")
+        comparator_index = 1;
+    else
+        return false;
+
+    const TemplateArgumentList &args = spec->getTemplateArgs();
+    if (args.size() <= comparator_index)
+        return false;
+    if (args[0].getKind() != TemplateArgument::Type ||
+        !args[0].getAsType()->isPointerType())
+        return false;
+    if (args[comparator_index].getKind() != TemplateArgument::Type)
+        return false;
+    const auto *cmp = specializationOf(args[comparator_index].getAsType());
+    return cmp != nullptr &&
+           cmp->getQualifiedNameAsString() == "std::less";
+}
+
+/** Element type of the container @p call (a .begin()/.end() member
+ *  call) iterates, or a null type. */
+QualType
+containerElementType(const CXXMemberCallExpr *call)
+{
+    const auto *spec = specializationOf(
+        call->getImplicitObjectArgument()->getType());
+    if (spec == nullptr || spec->getTemplateArgs().size() == 0 ||
+        spec->getTemplateArgs()[0].getKind() != TemplateArgument::Type)
+        return {};
+    return spec->getTemplateArgs()[0].getAsType();
+}
+
+} // namespace
+
+void
+PointerOrderingCheck::registerMatchers(ast_matchers::MatchFinder *finder)
+{
+    // Relational comparison of two object pointers.
+    finder->addMatcher(
+        binaryOperator(hasAnyOperatorName("<", ">", "<=", ">="),
+                       hasLHS(expr(hasType(pointerType()))),
+                       hasRHS(expr(hasType(pointerType()))))
+            .bind("cmp"),
+        this);
+
+    // std::map/std::set declarations keyed by pointer.
+    finder->addMatcher(
+        valueDecl(hasType(qualType(hasDeclaration(
+                      classTemplateSpecializationDecl(hasAnyName(
+                          "::std::map", "::std::set", "::std::multimap",
+                          "::std::multiset"))))))
+            .bind("decl"),
+        this);
+
+    // Comparator-less std::sort over pointer elements.
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName("sort", "stable_sort"))),
+                 argumentCountIs(2))
+            .bind("sort"),
+        this);
+}
+
+void
+PointerOrderingCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &result)
+{
+    const SourceManager &sm = *result.SourceManager;
+
+    auto emit = [&](SourceLocation loc, StringRef what) {
+        loc = sm.getExpansionLoc(loc);
+        if (loc.isInvalid() || sm.isInSystemHeader(loc))
+            return;
+        diag(loc,
+             "%0 orders by raw pointer value, which varies run to run "
+             "(ASLR, allocator state); key or sort by a stable id "
+             "instead")
+            << what;
+    };
+
+    if (const auto *cmp =
+            result.Nodes.getNodeAs<BinaryOperator>("cmp")) {
+        emit(cmp->getOperatorLoc(), "relational pointer comparison");
+        return;
+    }
+
+    if (const auto *decl = result.Nodes.getNodeAs<ValueDecl>("decl")) {
+        if (isPointerKeyedOrderedContainer(
+                specializationOf(decl->getType())))
+            emit(decl->getLocation(),
+                 "pointer-keyed map/set with the default comparator");
+        return;
+    }
+
+    if (const auto *sort = result.Nodes.getNodeAs<CallExpr>("sort")) {
+        const auto *begin = dyn_cast<CXXMemberCallExpr>(
+            sort->getArg(0)->IgnoreParenImpCasts());
+        if (begin == nullptr || begin->getMethodDecl() == nullptr ||
+            begin->getMethodDecl()->getNameAsString() != "begin")
+            return;
+        const QualType elem = containerElementType(begin);
+        if (!elem.isNull() && elem->isPointerType())
+            emit(sort->getBeginLoc(),
+                 "comparator-less sort of pointer elements");
+    }
+}
+
+} // namespace clang::tidy::seesaw

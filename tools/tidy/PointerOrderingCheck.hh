@@ -1,0 +1,43 @@
+/**
+ * @file
+ * seesaw-pointer-ordering: flags sorting or keying by raw pointer
+ * value — relational comparisons between object pointers,
+ * std::map/std::set keyed by a pointer with the default comparator,
+ * and std::sort/std::stable_sort over pointer elements without a
+ * custom comparator.
+ *
+ * Rule: pointer values are allocation addresses; ASLR and allocator
+ * state change them run to run, so any order derived from them is
+ * nondeterministic. Key and sort by a stable identity (core id, set
+ * index, address, name) instead.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_POINTER_ORDERING_CHECK_HH
+#define SEESAW_TOOLS_TIDY_POINTER_ORDERING_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class PointerOrderingCheck : public ClangTidyCheck
+{
+  public:
+    PointerOrderingCheck(StringRef name, ClangTidyContext *context)
+        : ClangTidyCheck(name, context)
+    {
+    }
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_POINTER_ORDERING_CHECK_HH

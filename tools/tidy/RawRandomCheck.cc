@@ -1,0 +1,121 @@
+#include "RawRandomCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::seesaw {
+
+RawRandomCheck::RawRandomCheck(StringRef name, ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      allowedFilePattern_(
+          Options.get("AllowedFilePattern", "src/common/random\\.(hh|cc)"))
+{
+}
+
+void
+RawRandomCheck::storeOptions(ClangTidyOptions::OptionMap &opts)
+{
+    Options.store(opts, "AllowedFilePattern", allowedFilePattern_);
+}
+
+void
+RawRandomCheck::registerMatchers(ast_matchers::MatchFinder *finder)
+{
+    // C-library entropy sources.
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::rand", "::srand", "::random", "::srandom",
+                     "::rand_r", "::drand48", "::lrand48", "::mrand48",
+                     "::erand48", "::nrand48", "::jrand48",
+                     "::srand48"))))
+            .bind("call"),
+        this);
+
+    // Any mention of a <random> engine, adaptor, device or
+    // distribution: declarations, temporaries, template arguments
+    // spelled in source. Both the convenience typedefs and the
+    // underlying templates are listed so a match fires whichever
+    // spelling the code uses.
+    finder->addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(namedDecl(hasAnyName(
+                    "::std::random_device",
+                    "::std::default_random_engine",
+                    "::std::mt19937",
+                    "::std::mt19937_64",
+                    "::std::minstd_rand",
+                    "::std::minstd_rand0",
+                    "::std::knuth_b",
+                    "::std::ranlux24",
+                    "::std::ranlux48",
+                    "::std::ranlux24_base",
+                    "::std::ranlux48_base",
+                    "::std::mersenne_twister_engine",
+                    "::std::linear_congruential_engine",
+                    "::std::subtract_with_carry_engine",
+                    "::std::discard_block_engine",
+                    "::std::independent_bits_engine",
+                    "::std::shuffle_order_engine",
+                    "::std::uniform_int_distribution",
+                    "::std::uniform_real_distribution",
+                    "::std::bernoulli_distribution",
+                    "::std::binomial_distribution",
+                    "::std::geometric_distribution",
+                    "::std::negative_binomial_distribution",
+                    "::std::poisson_distribution",
+                    "::std::exponential_distribution",
+                    "::std::gamma_distribution",
+                    "::std::weibull_distribution",
+                    "::std::extreme_value_distribution",
+                    "::std::normal_distribution",
+                    "::std::lognormal_distribution",
+                    "::std::chi_squared_distribution",
+                    "::std::cauchy_distribution",
+                    "::std::fisher_f_distribution",
+                    "::std::student_t_distribution",
+                    "::std::discrete_distribution",
+                    "::std::piecewise_constant_distribution",
+                    "::std::piecewise_linear_distribution"))))))
+            .bind("type"),
+        this);
+}
+
+void
+RawRandomCheck::check(const ast_matchers::MatchFinder::MatchResult &result)
+{
+    SourceLocation loc;
+    std::string what;
+    if (const auto *call = result.Nodes.getNodeAs<CallExpr>("call")) {
+        loc = call->getBeginLoc();
+        if (const FunctionDecl *fd = call->getDirectCallee())
+            what = fd->getQualifiedNameAsString();
+        else
+            what = "C random function";
+    } else if (const auto *tl = result.Nodes.getNodeAs<TypeLoc>("type")) {
+        loc = tl->getBeginLoc();
+        what = tl->getType().getAsString();
+    } else {
+        return;
+    }
+
+    if (loc.isInvalid())
+        return;
+    const SourceManager &sm = *result.SourceManager;
+    loc = sm.getExpansionLoc(loc);
+    // Only diagnose project code, and skip the Rng implementation.
+    if (sm.isInSystemHeader(loc))
+        return;
+    const StringRef file = sm.getFilename(loc);
+    if (llvm::Regex(allowedFilePattern_).match(file))
+        return;
+
+    diag(loc,
+         "'%0' bypasses the seeded Rng streams; all randomness must "
+         "flow through seesaw::Rng (src/common/random.hh) so runs are "
+         "reproducible bit-for-bit")
+        << what;
+}
+
+} // namespace clang::tidy::seesaw

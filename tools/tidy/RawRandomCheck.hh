@@ -1,0 +1,47 @@
+/**
+ * @file
+ * seesaw-raw-random: flags randomness that bypasses the seeded
+ * seesaw::Rng streams — std::rand and friends, std::random_device,
+ * and any <random> engine or distribution — anywhere outside
+ * src/common/random.{hh,cc}.
+ *
+ * Rule: every stochastic decision in the simulator draws from an
+ * explicitly seeded Rng so that a (workload, config, seed) cell is
+ * reproducible bit-for-bit across runs, platforms and standard
+ * libraries. <random> distributions are implementation-defined, and
+ * default- or literal-seeded engines create hidden streams that break
+ * SEESAW_JOBS-independence.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_RAW_RANDOM_CHECK_HH
+#define SEESAW_TOOLS_TIDY_RAW_RANDOM_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class RawRandomCheck : public ClangTidyCheck
+{
+  public:
+    RawRandomCheck(StringRef name, ClangTidyContext *context);
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(ClangTidyOptions::OptionMap &opts) override;
+
+  private:
+    /** Files (regex over the diagnostic's path) where raw randomness
+     *  is allowed — the Rng implementation itself. */
+    const std::string allowedFilePattern_;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_RAW_RANDOM_CHECK_HH

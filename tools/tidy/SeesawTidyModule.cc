@@ -1,0 +1,62 @@
+/**
+ * @file
+ * seesaw-tidy: the project's clang-tidy module. Registers the six
+ * seesaw-* checks that machine-check the determinism and hot-path
+ * conventions every campaign-level guarantee rests on (bit-identical
+ * serial-vs-parallel runs, the cores=1 golden, the pinned nightly).
+ *
+ * Built as an out-of-tree plugin and loaded with
+ *   clang-tidy -load libSeesawTidy.so -checks='seesaw-*' ...
+ * See tools/tidy/CMakeLists.txt for the build gating and README.md
+ * ("Correctness tooling") for usage.
+ */
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "AuditSideEffectCheck.hh"
+#include "NondeterministicIterationCheck.hh"
+#include "PointerOrderingCheck.hh"
+#include "RawRandomCheck.hh"
+#include "StringStatLookupCheck.hh"
+#include "WallclockInSimCheck.hh"
+
+namespace clang::tidy::seesaw {
+
+class SeesawTidyModule : public ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(ClangTidyCheckFactories &factories) override
+    {
+        factories.registerCheck<RawRandomCheck>("seesaw-raw-random");
+        factories.registerCheck<NondeterministicIterationCheck>(
+            "seesaw-nondeterministic-iteration");
+        factories.registerCheck<WallclockInSimCheck>(
+            "seesaw-wallclock-in-sim");
+        factories.registerCheck<StringStatLookupCheck>(
+            "seesaw-string-stat-lookup");
+        factories.registerCheck<PointerOrderingCheck>(
+            "seesaw-pointer-ordering");
+        factories.registerCheck<AuditSideEffectCheck>(
+            "seesaw-audit-side-effect");
+    }
+};
+
+} // namespace clang::tidy::seesaw
+
+namespace clang::tidy {
+
+// Register the module with clang-tidy's global registry; the -load
+// mechanism picks it up when the shared object is dlopened.
+static ClangTidyModuleRegistry::Add<seesaw::SeesawTidyModule>
+    seesawTidyModuleInit("seesaw-tidy-module",
+                         "Determinism and hot-path discipline checks "
+                         "for the SEESAW simulator.");
+
+// Anchor so the registration is not optimised away when the object
+// file is placed in a static archive during development builds.
+volatile int seesawTidyModuleAnchorSource =
+    0; // NOLINT(misc-use-internal-linkage): anchor needs external linkage
+
+} // namespace clang::tidy

@@ -1,0 +1,76 @@
+#include "StringStatLookupCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::seesaw {
+
+StringStatLookupCheck::StringStatLookupCheck(StringRef name,
+                                             ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      allowedFunctionPattern_(Options.get(
+          "AllowedFunctionPattern",
+          "(collect|[Rr]esult|dump|report|finish|snapshot|coverage|"
+          "accuracy|summar)")),
+      statGroupClass_(
+          Options.get("StatGroupClass", "::seesaw::StatGroup"))
+{
+}
+
+void
+StringStatLookupCheck::storeOptions(ClangTidyOptions::OptionMap &opts)
+{
+    Options.store(opts, "AllowedFunctionPattern", allowedFunctionPattern_);
+    Options.store(opts, "StatGroupClass", statGroupClass_);
+}
+
+void
+StringStatLookupCheck::registerMatchers(ast_matchers::MatchFinder *finder)
+{
+    finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(
+                hasAnyName("scalar", "distribution", "get"),
+                ofClass(hasName(statGroupClass_)))),
+            hasAncestor(functionDecl().bind("func")))
+            .bind("call"),
+        this);
+}
+
+void
+StringStatLookupCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &result)
+{
+    const auto *call =
+        result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+    const auto *func = result.Nodes.getNodeAs<FunctionDecl>("func");
+    if (call == nullptr || func == nullptr)
+        return;
+
+    // Handle-caching happens in constructor init lists and bodies;
+    // both live inside the CXXConstructorDecl.
+    if (isa<CXXConstructorDecl>(func) || isa<CXXDestructorDecl>(func))
+        return;
+
+    // Cold collection/reporting paths may look up by name.
+    const std::string fname = func->getNameAsString();
+    if (llvm::Regex(allowedFunctionPattern_).match(fname))
+        return;
+
+    const SourceManager &sm = *result.SourceManager;
+    const SourceLocation loc = sm.getExpansionLoc(call->getBeginLoc());
+    if (loc.isInvalid() || sm.isInSystemHeader(loc))
+        return;
+
+    diag(loc,
+         "string-keyed stat lookup in '%0' runs a map lookup per call; "
+         "cache a StatScalar* handle at construction (hot-path "
+         "convention, PR 3) or do the lookup in a collection function")
+        << fname;
+}
+
+} // namespace clang::tidy::seesaw

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * seesaw-string-stat-lookup: flags string-keyed StatGroup lookups
+ * (scalar(), distribution(), get()) outside constructors and
+ * collection/reporting functions.
+ *
+ * Rule (PR 3): per-access paths update stats through StatScalar*
+ * handles cached at construction; a std::map<std::string, ...> lookup
+ * per simulated access was one of the dominant costs the hot-path
+ * overhaul removed, and this check keeps it from creeping back. Cold
+ * end-of-run collection (functions matching AllowedFunctionPattern)
+ * may look stats up by name.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_STRING_STAT_LOOKUP_CHECK_HH
+#define SEESAW_TOOLS_TIDY_STRING_STAT_LOOKUP_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class StringStatLookupCheck : public ClangTidyCheck
+{
+  public:
+    StringStatLookupCheck(StringRef name, ClangTidyContext *context);
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(ClangTidyOptions::OptionMap &opts) override;
+
+  private:
+    /** Functions (regex on the spelled name) that are cold collection
+     *  or reporting paths, where by-name lookups are fine. */
+    const std::string allowedFunctionPattern_;
+    /** Class whose by-name accessors are being guarded. */
+    const std::string statGroupClass_;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_STRING_STAT_LOOKUP_CHECK_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * seesaw-wallclock-in-sim: flags wall-clock reads (<chrono> clock
+ * now(), time(), clock(), gettimeofday, clock_gettime) inside
+ * simulated components (src/sim, cache, mem, tlb, coherence, cpu,
+ * core, model, workload, check, common).
+ *
+ * Rule: simulated time is Cycles, advanced only by the engine.
+ * Wall-clock values leaking into a simulated path make results depend
+ * on host load; the harness (src/harness) may measure wall time for
+ * progress meters and reports, but no model may.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_WALLCLOCK_IN_SIM_CHECK_HH
+#define SEESAW_TOOLS_TIDY_WALLCLOCK_IN_SIM_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class WallclockInSimCheck : public ClangTidyCheck
+{
+  public:
+    WallclockInSimCheck(StringRef name, ClangTidyContext *context);
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(ClangTidyOptions::OptionMap &opts) override;
+
+  private:
+    /** Paths (regex) where wall-clock reads are legitimate: the
+     *  campaign harness, benches, tests, examples and tools. */
+    const std::string allowedPathPattern_;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_WALLCLOCK_IN_SIM_CHECK_HH

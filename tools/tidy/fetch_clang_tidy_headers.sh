@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Fetch the clang-tidy plugin headers that distro packages omit.
+#
+# Out-of-tree clang-tidy plugins compile against the top-level headers
+# of clang-tools-extra/clang-tidy, which Debian/Ubuntu do not ship in
+# any -dev package. This grabs just those headers (a dozen small
+# files, Apache-2.0 WITH LLVM-exception) for the installed clang-tidy
+# version so tools/tidy can build.
+#
+# Usage: fetch_clang_tidy_headers.sh <dest-dir> [version]
+#   dest-dir  headers land in <dest-dir>/clang-tidy/
+#   version   LLVM release tag (default: major of `clang-tidy
+#             --version`, resolved to its .0.0 tag; e.g. 14 ->
+#             llvmorg-14.0.0)
+
+set -euo pipefail
+
+dest="${1:?usage: fetch_clang_tidy_headers.sh <dest-dir> [version]}"
+version="${2:-}"
+
+if [ -z "$version" ]; then
+    if ! command -v clang-tidy > /dev/null; then
+        echo "clang-tidy not installed and no version given" >&2
+        exit 1
+    fi
+    version="$(clang-tidy --version |
+        sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' | head -n1)"
+fi
+case "$version" in
+    *.*) tag="llvmorg-${version}" ;;
+    *)   tag="llvmorg-${version}.0.0" ;;
+esac
+
+base="https://raw.githubusercontent.com/llvm/llvm-project/${tag}/clang-tools-extra/clang-tidy"
+mkdir -p "${dest}/clang-tidy"
+
+# Headers ClangTidy{Module,ModuleRegistry,Check}.h pull in. Some only
+# exist in newer releases; 404s on those are fine.
+headers=(
+    ClangTidy.h
+    ClangTidyCheck.h
+    ClangTidyDiagnosticConsumer.h
+    ClangTidyModule.h
+    ClangTidyModuleRegistry.h
+    ClangTidyOptions.h
+    ClangTidyProfiling.h
+    ClangTidyForceLinker.h
+    GlobList.h
+    FileExtensionsSet.h
+    NoLintDirectiveHandler.h
+)
+
+fetched=0
+for h in "${headers[@]}"; do
+    if curl -fsSL "${base}/${h}" -o "${dest}/clang-tidy/${h}"; then
+        fetched=$((fetched + 1))
+    else
+        rm -f "${dest}/clang-tidy/${h}"
+        echo "  (skipped ${h}: not in ${tag})"
+    fi
+done
+
+if [ ! -f "${dest}/clang-tidy/ClangTidyModule.h" ]; then
+    echo "failed to fetch ClangTidyModule.h for ${tag}" >&2
+    exit 1
+fi
+echo "fetched ${fetched} clang-tidy headers (${tag}) into ${dest}/clang-tidy"
