@@ -13,7 +13,21 @@
  *
  * Outputs results/<campaign>.json and results/<campaign>.csv
  * (SEESAW_RESULTS_DIR overrides the directory).
+ *
+ * With --store DIR results additionally land in a durable result
+ * store as each cell finishes, which makes the campaign resumable:
+ *
+ *   $ ./build/examples/campaign --store results/store --jobs 4
+ *   ^C                                  # finish in-flight cells, exit
+ *   $ ./build/examples/campaign --store results/store --jobs 4 --resume
+ *                                       # only the missing cells run
+ *
+ * --workers N switches execution from threads to N seesaw_worker
+ * processes coordinated through a lease queue inside the store; a
+ * killed worker's cells are re-issued to the survivors.
  */
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +35,10 @@
 #include <string>
 #include <vector>
 
-#include "bench_common.hh"
+#include "campaign_grid.hh"
+#include "service/broker.hh"
+#include "store/result_store.hh"
+#include "store/store_sink.hh"
 
 namespace {
 
@@ -63,276 +80,39 @@ usage()
         "  --audit-period N    events between periodic audits "
         "(default 65536)\n"
         "  --out DIR           results directory (default results/)\n"
+        "  --store DIR         also record every finished cell in a "
+        "durable\n"
+        "                      result store (enables --resume)\n"
+        "  --resume            skip cells whose (workload, config, "
+        "seed) the\n"
+        "                      store already holds\n"
+        "  --workers N         run cells in N seesaw_worker processes "
+        "over\n"
+        "                      the store's lease queue (needs --store)\n"
+        "  --lease SECONDS     lease expiry for dead-worker recovery "
+        "(default 30)\n"
         "  --list              print the expanded cells and exit\n"
         "  --quiet             suppress stderr progress\n");
 }
 
-std::vector<std::string>
-splitList(const std::string &arg)
+/** Directory of this executable (worker binary lives beside it). */
+std::string
+selfDirectory()
 {
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= arg.size()) {
-        const auto comma = arg.find(',', start);
-        const auto end =
-            comma == std::string::npos ? arg.size() : comma;
-        if (end > start)
-            out.push_back(arg.substr(start, end - start));
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return out;
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return ".";
+    buf[n] = '\0';
+    const std::string path(buf);
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? "." : path.substr(0, slash);
 }
 
-L1Kind
-parseDesign(const std::string &kind)
+void
+printRecap(const harness::CampaignOutcome &outcome)
 {
-    if (kind == "vipt")
-        return L1Kind::ViptBaseline;
-    if (kind == "pipt")
-        return L1Kind::Pipt;
-    if (kind == "sipt")
-        return L1Kind::Sipt;
-    if (kind == "seesaw")
-        return L1Kind::Seesaw;
-    if (kind == "wp")
-        return L1Kind::ViptWayPredicted;
-    if (kind == "wpseesaw")
-        return L1Kind::SeesawWayPredicted;
-    std::fprintf(stderr, "unknown design %s\n", kind.c_str());
-    std::exit(1);
-}
-
-seesaw::bench::CacheOrg
-parseOrg(const std::string &size)
-{
-    for (const auto &org : seesaw::bench::kCacheOrgs) {
-        if (size == org.label ||
-            (size.size() > 1 && size.substr(0, size.size() - 1) ==
-                                    std::string(org.label).substr(
-                                        0, size.size() - 1)))
-            return org;
-    }
-    std::fprintf(stderr, "unknown L1 size %s (use 32K|64K|128K)\n",
-                 size.c_str());
-    std::exit(1);
-}
-
-/** One --mc-cells entry: workload : core count : L1 design. */
-struct McCellSpec
-{
-    std::string workload;
-    unsigned cores = 0;
-    L1Kind kind = L1Kind::ViptBaseline;
-    std::string kindName;
-};
-
-McCellSpec
-parseMcCell(const std::string &tok)
-{
-    const auto c1 = tok.find(':');
-    const auto c2 =
-        c1 == std::string::npos ? std::string::npos
-                                : tok.find(':', c1 + 1);
-    if (c1 == std::string::npos || c2 == std::string::npos) {
-        std::fprintf(stderr,
-                     "--mc-cells wants WORKLOAD:CORES:DESIGN, got %s\n",
-                     tok.c_str());
-        std::exit(1);
-    }
-    McCellSpec mc;
-    mc.workload = tok.substr(0, c1);
-    mc.cores = static_cast<unsigned>(std::strtoul(
-        tok.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr, 10));
-    mc.kindName = tok.substr(c2 + 1);
-    mc.kind = parseDesign(mc.kindName);
-    if (mc.cores < 2) {
-        std::fprintf(stderr,
-                     "--mc-cells needs >= 2 cores (got %s); use the "
-                     "regular grid for single-core cells\n",
-                     tok.c_str());
-        std::exit(1);
-    }
-    return mc;
-}
-
-} // namespace
-
-int
-main(int argc, char **argv)
-{
-    using namespace seesaw::bench;
-
-    std::string campaign_name = "campaign";
-    std::string out_dir;
-    std::vector<std::string> workload_names;
-    std::vector<L1Kind> designs{L1Kind::ViptBaseline, L1Kind::Seesaw};
-    std::vector<CacheOrg> orgs(std::begin(kCacheOrgs),
-                               std::end(kCacheOrgs));
-    std::vector<double> freqs{1.33};
-    std::vector<double> memhogs{0.0};
-    std::vector<std::uint64_t> seeds{1};
-    std::uint64_t instructions = experimentInstructions(300'000);
-    std::vector<McCellSpec> mc_cells;
-    harness::RunnerOptions options;
-    bool list_only = false;
-    check::AuditOptions audit;
-    audit.mode = check::AuditMode::Off;
-
-    auto need_value = [&](int i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            std::exit(1);
-        }
-        return argv[i + 1];
-    };
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (arg == "--campaign") {
-            campaign_name = need_value(i++);
-        } else if (arg == "--workloads") {
-            workload_names = splitList(need_value(i++));
-        } else if (arg == "--designs") {
-            designs.clear();
-            for (const auto &kind : splitList(need_value(i++)))
-                designs.push_back(parseDesign(kind));
-        } else if (arg == "--l1") {
-            orgs.clear();
-            for (const auto &size : splitList(need_value(i++)))
-                orgs.push_back(parseOrg(size));
-        } else if (arg == "--freq") {
-            freqs.clear();
-            for (const auto &f : splitList(need_value(i++)))
-                freqs.push_back(std::atof(f.c_str()));
-        } else if (arg == "--memhog") {
-            memhogs.clear();
-            for (const auto &f : splitList(need_value(i++)))
-                memhogs.push_back(std::atof(f.c_str()));
-        } else if (arg == "--seeds") {
-            seeds.clear();
-            for (const auto &s : splitList(need_value(i++)))
-                seeds.push_back(
-                    std::strtoull(s.c_str(), nullptr, 10));
-        } else if (arg == "--instructions") {
-            instructions =
-                std::strtoull(need_value(i++), nullptr, 10);
-        } else if (arg == "--mc-cells") {
-            for (const auto &tok : splitList(need_value(i++)))
-                mc_cells.push_back(parseMcCell(tok));
-        } else if (arg == "--jobs") {
-            options.jobs = std::atoi(need_value(i++));
-        } else if (arg == "--audit") {
-            audit.mode = check::parseAuditMode(need_value(i++));
-        } else if (arg == "--audit-period") {
-            audit.periodEvents =
-                std::strtoull(need_value(i++), nullptr, 10);
-        } else if (arg == "--out") {
-            out_dir = need_value(i++);
-        } else if (arg == "--list") {
-            list_only = true;
-        } else if (arg == "--quiet") {
-            options.progress = false;
-        } else {
-            std::fprintf(stderr, "unknown option %s (try --help)\n",
-                         arg.c_str());
-            return 1;
-        }
-    }
-
-    harness::CampaignSpec spec(campaign_name);
-    if (workload_names.empty()) {
-        spec.workloads(paperWorkloads());
-    } else {
-        for (const auto &name : workload_names)
-            spec.workload(findWorkload(name));
-    }
-    for (const auto &org : orgs) {
-        for (const double freq : freqs) {
-            for (const double memhog : memhogs) {
-                SystemConfig cfg = makeConfig(org, freq);
-                cfg.instructions = instructions;
-                cfg.memhogFraction = memhog;
-                cfg.audit = audit;
-                for (const L1Kind kind : designs) {
-                    std::string label = std::string(org.label) + "/" +
-                                        TableReporter::fmt(freq, 2) +
-                                        "GHz";
-                    if (memhogs.size() > 1 || memhog > 0.0) {
-                        label += "/mh" + std::to_string(static_cast<int>(
-                                             memhog * 100));
-                    }
-                    label += std::string("/") + designLabel(kind);
-                    if (kind != L1Kind::ViptBaseline &&
-                        kind != L1Kind::Seesaw) {
-                        // designLabel only distinguishes the two
-                        // paper designs; spell the rest out.
-                        label = label.substr(0, label.rfind('/') + 1);
-                        switch (kind) {
-                          case L1Kind::Pipt: label += "pipt"; break;
-                          case L1Kind::Sipt: label += "sipt"; break;
-                          case L1Kind::ViptWayPredicted:
-                            label += "wp";
-                            break;
-                          case L1Kind::SeesawWayPredicted:
-                            label += "wpseesaw";
-                            break;
-                          default: break;
-                        }
-                    }
-                    spec.variant(label, withDesign(cfg, kind));
-                }
-            }
-        }
-    }
-    spec.seeds(seeds);
-
-    // Explicit multi-core cells ride along after the single-core grid;
-    // they run on the unified engine with directory coherence and the
-    // 64KB/16-way organisation the multicore bench evaluates.
-    for (const auto &mc : mc_cells) {
-        const WorkloadSpec w = findWorkload(mc.workload);
-        for (const std::uint64_t seed : seeds) {
-            SystemConfig cfg;
-            cfg.cores = mc.cores;
-            cfg.l1Kind = mc.kind;
-            cfg.l1SizeBytes = 64 * 1024;
-            cfg.l1Assoc = 16;
-            cfg.instructions = instructions;
-            cfg.os.memBytes = experimentMemBytes(1ULL << 30);
-            cfg.audit = audit;
-            cfg.seed = seed;
-            std::string name = mc.workload + "/c" +
-                               std::to_string(mc.cores) + "/" +
-                               mc.kindName;
-            if (seeds.size() > 1)
-                name += "/s" + std::to_string(seed);
-            spec.cell(
-                name, [cfg, w] { return SimEngine(cfg, w).run(); },
-                seed, harness::configHash(cfg));
-        }
-    }
-
-    const auto cells = spec.cells();
-    if (list_only) {
-        for (const auto &cell : cells)
-            std::printf("%s\n", cell.name.c_str());
-        std::printf("%zu cells\n", cells.size());
-        return 0;
-    }
-
-    harness::CampaignRunner runner(options);
-    std::fprintf(stderr, "[%s] %zu cells on %u worker%s\n",
-                 campaign_name.c_str(), cells.size(),
-                 runner.effectiveJobs(),
-                 runner.effectiveJobs() == 1 ? "" : "s");
-    const auto outcome = runner.runAndWrite(spec, out_dir);
-
-    // Human-readable recap: one row per cell.
     TableReporter table({"cell", "ipc", "l1 mpki", "cover",
                          "energy uJ", "wall s"});
     for (const auto &cell : outcome.results) {
@@ -345,9 +125,208 @@ main(int argc, char **argv)
              TableReporter::fmt(cell.wallSeconds, 2)});
     }
     table.print();
-    std::printf("\n%zu cells in %.1fs on %u worker%s (git %s)\n",
-                outcome.results.size(), outcome.meta.wallSeconds,
-                outcome.meta.jobs, outcome.meta.jobs == 1 ? "" : "s",
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    grid::GridOptions gridOptions;
+    harness::RunnerOptions options;
+    std::string out_dir;
+    std::string store_dir;
+    unsigned workers = 0;
+    double lease_seconds = 30.0;
+    bool resume = false;
+    bool list_only = false;
+
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(1);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        if (gridOptions.parseArg(argc, argv, i))
+            continue;
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--jobs") {
+            options.jobs = std::atoi(need_value(i++));
+        } else if (arg == "--out") {
+            out_dir = need_value(i++);
+        } else if (arg == "--store") {
+            store_dir = need_value(i++);
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--workers") {
+            workers = std::atoi(need_value(i++));
+        } else if (arg == "--lease") {
+            lease_seconds = std::atof(need_value(i++));
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--quiet") {
+            options.progress = false;
+        } else {
+            std::fprintf(stderr, "unknown option %s (try --help)\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if ((resume || workers > 0) && store_dir.empty()) {
+        std::fprintf(stderr,
+                     "--resume/--workers need --store DIR\n");
+        return 1;
+    }
+
+    const harness::CampaignSpec spec = gridOptions.buildSpec();
+    const std::string campaign_name = spec.name();
+    const auto cells = spec.cells();
+    if (list_only) {
+        for (const auto &cell : cells)
+            std::printf("%s\n", cell.name.c_str());
+        std::printf("%zu cells\n", cells.size());
+        return 0;
+    }
+
+    harness::installStopSignalHandlers();
+    harness::CampaignRunner runner(options);
+    harness::CampaignOutcome outcome;
+    int rc = 0;
+
+    if (store_dir.empty()) {
+        // Classic one-shot path: threads + JSON/CSV sinks only.
+        std::fprintf(stderr, "[%s] %zu cells on %u worker%s\n",
+                     campaign_name.c_str(), cells.size(),
+                     runner.effectiveJobs(),
+                     runner.effectiveJobs() == 1 ? "" : "s");
+        outcome = runner.runAndWrite(spec, out_dir);
+        rc = outcome.interrupted ? 130 : 0;
+    } else if (workers == 0) {
+        // Store-backed threads: skip cells the store already holds
+        // (--resume), run the rest, upserting as each cell finishes.
+        std::size_t skipped = 0;
+        std::vector<harness::Cell> toRun;
+        if (resume) {
+            store::StoreSnapshot snapshot;
+            if (std::string error = store::initStore(store_dir);
+                error.empty())
+                error = store::loadStore(store_dir, snapshot);
+            else {
+                std::fprintf(stderr, "campaign: %s\n", error.c_str());
+                return 1;
+            }
+            for (const auto &cell : cells) {
+                if (snapshot.contains(store::keyOf(cell)))
+                    ++skipped;
+                else
+                    toRun.push_back(cell);
+            }
+        } else {
+            toRun = cells;
+        }
+
+        harness::CampaignMetadata meta;
+        meta.campaign = campaign_name;
+        meta.gitDescribe = harness::gitDescribe();
+        meta.jobs = runner.effectiveJobs();
+        store::StoreSink sink(store_dir, meta, "driver");
+        options.onCellDone = sink.hook();
+        harness::CampaignRunner storeRunner(options);
+
+        std::fprintf(stderr,
+                     "[%s] %zu cells (%zu already in store) on %u "
+                     "thread%s\n",
+                     campaign_name.c_str(), toRun.size(), skipped,
+                     storeRunner.effectiveJobs(),
+                     storeRunner.effectiveJobs() == 1 ? "" : "s");
+        const auto partial =
+            storeRunner.runCells(campaign_name, toRun);
+
+        // The sinks and recap come from the store so they cover both
+        // freshly-run and previously-stored cells.
+        if (std::string error = service::collectOutcome(
+                store_dir, campaign_name, cells, outcome);
+            !error.empty()) {
+            std::fprintf(stderr, "campaign: %s\n", error.c_str());
+            return 1;
+        }
+        outcome.meta.jobs = meta.jobs;
+        outcome.meta.wallSeconds = partial.meta.wallSeconds;
+        writeCampaignSinks(outcome.meta, outcome.results, out_dir);
+        if (partial.interrupted) {
+            std::fprintf(stderr,
+                         "[%s] interrupted after %zu/%zu cells; "
+                         "rerun with --resume to finish\n",
+                         campaign_name.c_str(),
+                         partial.results.size() + skipped,
+                         cells.size());
+            rc = 130;
+        }
+    } else {
+        // Process path: a lease queue inside the store feeds N
+        // seesaw_worker processes; kill any of them (or this broker)
+        // and a later --resume converges on the same store.
+        service::PreparedQueue queue;
+        if (std::string error =
+                service::prepareQueue(store_dir, campaign_name, cells,
+                                      resume, queue);
+            !error.empty()) {
+            std::fprintf(stderr, "campaign: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "[%s] %zu cells (%zu already in store) on %u "
+                     "worker process%s\n",
+                     campaign_name.c_str(), queue.total - queue.preDone,
+                     queue.preDone, workers,
+                     workers == 1 ? "" : "es");
+
+        service::WorkerProcessOptions processes;
+        const char *env = std::getenv("SEESAW_WORKER_BIN");
+        processes.workerBinary = env != nullptr && *env != '\0'
+                                     ? env
+                                     : selfDirectory() +
+                                           "/seesaw_worker";
+        processes.workers = workers;
+        processes.progress = options.progress;
+        processes.args = gridOptions.toArgs();
+        processes.args.insert(processes.args.end(),
+                              {"--store", store_dir, "--lease",
+                               std::to_string(lease_seconds)});
+        if (!options.progress)
+            processes.args.push_back("--quiet");
+        rc = service::runWorkerProcesses(processes);
+
+        if (std::string error = service::collectOutcome(
+                store_dir, campaign_name, cells, outcome);
+            !error.empty()) {
+            std::fprintf(stderr, "campaign: %s\n", error.c_str());
+            return 1;
+        }
+        outcome.meta.jobs = workers;
+        writeCampaignSinks(outcome.meta, outcome.results, out_dir);
+        if (outcome.interrupted) {
+            std::fprintf(stderr,
+                         "[%s] interrupted after %zu/%zu cells; "
+                         "rerun with --resume to finish\n",
+                         campaign_name.c_str(),
+                         outcome.results.size(), cells.size());
+            if (rc == 0)
+                rc = 130;
+        }
+    }
+
+    printRecap(outcome);
+    std::printf("\n%zu/%zu cells in %.1fs on %u worker%s (git %s)\n",
+                outcome.results.size(), cells.size(),
+                outcome.meta.wallSeconds, outcome.meta.jobs,
+                outcome.meta.jobs == 1 ? "" : "s",
                 outcome.meta.gitDescribe.c_str());
-    return 0;
+    return rc;
 }

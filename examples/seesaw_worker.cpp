@@ -1,0 +1,84 @@
+/**
+ * @file
+ * One campaign-service worker process. Spawned by
+ * `campaign --store DIR --workers N` (one per worker slot), but also
+ * runnable by hand against any prepared queue — e.g. from another
+ * machine sharing the store's filesystem:
+ *
+ *   $ ./build/examples/seesaw_worker --campaign smoke \
+ *         --workloads redis,mcf --l1 32K --instructions 50000 \
+ *         --store results/store --worker-id w7
+ *
+ * The grid options must match the driver's exactly: the worker
+ * rebuilds the cell list from them and claims cells by index from
+ * the store's lease queue. Exit status: 0 = queue drained (or cell
+ * budget reached), 3 = stopped by SIGINT/SIGTERM, anything else =
+ * error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign_grid.hh"
+#include "service/worker.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace seesaw;
+
+    grid::GridOptions gridOptions;
+    service::WorkerOptions options;
+
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(1);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        if (gridOptions.parseArg(argc, argv, i))
+            continue;
+        const std::string arg = argv[i];
+        if (arg == "--store") {
+            options.storeDir = need_value(i++);
+        } else if (arg == "--worker-id") {
+            options.workerId = need_value(i++);
+        } else if (arg == "--lease") {
+            options.leaseSeconds = std::atof(need_value(i++));
+        } else if (arg == "--max-cells") {
+            options.maxCells = std::strtoull(need_value(i++), nullptr,
+                                             10);
+        } else if (arg == "--quiet") {
+            options.progress = false;
+        } else {
+            std::fprintf(stderr,
+                         "seesaw_worker: unknown option %s\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (options.storeDir.empty() || options.workerId.empty()) {
+        std::fprintf(stderr,
+                     "seesaw_worker: --store DIR and --worker-id ID "
+                     "are required\n");
+        return 1;
+    }
+    options.campaign = gridOptions.campaign;
+
+    harness::installStopSignalHandlers();
+    const harness::CampaignSpec spec = gridOptions.buildSpec();
+    const service::WorkerReport report =
+        service::runWorker(spec, options);
+
+    // One machine-greppable summary line; tests assert these counters.
+    std::printf("worker %s: ran=%zu skipped=%zu stopped=%d\n",
+                options.workerId.c_str(), report.ran,
+                report.skippedPresent, report.stopped ? 1 : 0);
+    std::fflush(stdout);
+    return report.stopped ? 3 : 0;
+}

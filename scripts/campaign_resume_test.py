@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Kill-and-resume convergence test for the campaign service.
+
+Runs the same smoke campaign three ways and requires the result
+stores to agree bit-for-bit in cell statistics:
+
+  1. an uninterrupted serial reference (--store A --jobs 2),
+  2. a 2-worker-process run (--store B --workers 2) SIGKILLed as soon
+     as the first cell lands in the store,
+  3. the same store resumed (--resume) with 2 worker processes.
+
+Also asserts that the resume provably skipped the cells the killed
+run completed: the broker pre-marks them done and the worker summary
+counters must add up to exactly the missing cells.
+
+Usage: campaign_resume_test.py --campaign-bin PATH --store-cli PATH
+Exits 0 on success, 1 on any divergence, 2 on usage/setup errors.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+GRID = [
+    "--campaign", "resume-smoke",
+    "--workloads", "redis,mcf,gups,tunk",
+    "--designs", "vipt,seesaw",
+    "--l1", "32K",
+    "--instructions", "60000",
+]
+CELLS = 8  # 4 workloads x 2 designs
+
+
+def run(cmd, **kwargs):
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          **kwargs)
+    if proc.returncode != 0:
+        print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+    return proc
+
+
+def store_records(store):
+    """Completed (newline-terminated) records across all segments."""
+    records = 0
+    segdir = os.path.join(store, "segments")
+    if not os.path.isdir(segdir):
+        return 0
+    for name in os.listdir(segdir):
+        if not name.endswith(".jsonl"):
+            continue
+        with open(os.path.join(segdir, name), "rb") as f:
+            records += f.read().count(b"\n")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--campaign-bin", required=True)
+    parser.add_argument("--store-cli", required=True)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="seesaw-resume-") as tmp:
+        store_a = os.path.join(tmp, "store-serial")
+        store_b = os.path.join(tmp, "store-killed")
+        out = os.path.join(tmp, "results")
+
+        # 1. Uninterrupted serial reference.
+        run([args.campaign_bin, *GRID, "--jobs", "2", "--quiet",
+             "--store", store_a, "--out", out])
+
+        # 2. Two worker processes, SIGKILLed (the whole process
+        # group, brokers and workers alike) once the store holds at
+        # least one completed cell but before it can hold all of
+        # them. A hard kill, not SIGTERM: this is the crash path.
+        proc = subprocess.Popen(
+            [args.campaign_bin, *GRID, "--workers", "2", "--lease",
+             "2", "--quiet", "--store", store_b, "--out", out],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            start_new_session=True)
+        deadline = time.monotonic() + 120
+        while (store_records(store_b) < 1
+               and time.monotonic() < deadline
+               and proc.poll() is None):
+            time.sleep(0.01)
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass  # finished before the kill landed; resume skips all
+        proc.wait()
+
+        done = store_records(store_b)
+        print(f"killed after {done} completed cell(s)")
+        if done < 1:
+            print("FAIL: campaign died before completing any cell")
+            return 1
+
+        # 3. Resume with two fresh worker processes.
+        resumed = run([args.campaign_bin, *GRID, "--workers", "2",
+                       "--resume", "--quiet", "--store", store_b,
+                       "--out", out])
+
+        # The broker must pre-mark every already-stored cell...
+        match = re.search(r"\((\d+) already in store\)",
+                          resumed.stderr)
+        if not match:
+            print("FAIL: broker did not report pre-marked cells")
+            sys.stderr.write(resumed.stderr)
+            return 1
+        pre_done = int(match.group(1))
+        if pre_done < 1:
+            print("FAIL: resume re-ran every cell "
+                  f"(pre-marked {pre_done})")
+            return 1
+
+        # ...and the workers must run exactly the missing ones: the
+        # per-worker counters prove completed cells were skipped,
+        # not silently re-executed.
+        ran = sum(int(m) for m in
+                  re.findall(r"ran=(\d+)", resumed.stdout))
+        if pre_done + ran != CELLS:
+            print(f"FAIL: {pre_done} pre-marked + {ran} run != "
+                  f"{CELLS} cells")
+            sys.stdout.write(resumed.stdout)
+            return 1
+        print(f"resume skipped {pre_done} cells, ran {ran}")
+
+        # Convergence: the killed-and-resumed store must match the
+        # uninterrupted serial store bit-for-bit in cell stats.
+        run([args.store_cli, "diff", store_a, store_b])
+        dump_a = run([args.store_cli, "dump", store_a]).stdout
+        dump_b = run([args.store_cli, "dump", store_b]).stdout
+        if dump_a != dump_b:
+            print("FAIL: canonical dumps differ")
+            return 1
+        if not dump_a.strip():
+            print("FAIL: canonical dumps are empty")
+            return 1
+        print(f"stores converged on {CELLS} cells; "
+              "canonical dumps byte-identical")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

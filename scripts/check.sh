@@ -17,6 +17,12 @@
 #   perf       perf-regression gate: 3-run median of the throughput
 #              suite vs bench/perf/BENCH_throughput.baseline.json
 #              (the local mirror of the CI perf-gate job)
+#   service    campaign-service gate: store/service unit tests, then
+#              the kill-and-resume convergence script (a 2-worker
+#              campaign SIGKILLed partway must resume, skip finished
+#              cells, and match an uninterrupted serial store
+#              bit-for-bit — the local mirror of the CI
+#              campaign-resume job)
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages)
 
@@ -26,7 +32,8 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 stages=("$@")
 [ ${#stages[@]} -eq 0 ] && \
-    stages=(default audit-off asan-ubsan tsan tidy lint format perf)
+    stages=(default audit-off asan-ubsan tsan tidy lint format perf
+        service)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -128,10 +135,22 @@ for stage in "${stages[@]}"; do
         cmake --build "$repo/build" -j "$jobs" --target perf_throughput
         python3 "$repo/scripts/perf_gate.py"
         ;;
+    service)
+        banner "campaign service (kill/resume convergence)"
+        cmake -S "$repo" -B "$repo/build" > /dev/null
+        cmake --build "$repo/build" -j "$jobs" \
+            --target seesaw_tests campaign seesaw_worker \
+            seesaw_store_cli
+        ctest --test-dir "$repo/build" --output-on-failure \
+            -R 'ResultStore|JsonValue|LeaseQueue|Service\.'
+        python3 "$repo/scripts/campaign_resume_test.py" \
+            --campaign-bin "$repo/build/examples/campaign" \
+            --store-cli "$repo/build/tools/seesaw_store"
+        ;;
     *)
         echo "unknown stage: $stage" >&2
         echo "stages: default audit-off asan-ubsan tsan tidy lint" \
-            "format perf" >&2
+            "format perf service" >&2
         exit 1
         ;;
     esac

@@ -135,11 +135,13 @@ CampaignSpec::seeds(std::vector<std::uint64_t> seeds)
 
 CampaignSpec &
 CampaignSpec::cell(std::string name, std::function<RunResult()> run,
-                   std::uint64_t seed, std::uint64_t config_hash)
+                   std::uint64_t seed, std::uint64_t config_hash,
+                   std::string workload)
 {
     SEESAW_ASSERT(run, "explicit cell needs a runner");
     Cell c;
     c.name = std::move(name);
+    c.workload = std::move(workload);
     c.seed = seed;
     c.configHash = config_hash;
     c.run = std::move(run);
@@ -160,6 +162,7 @@ CampaignSpec::cells() const
                 c.name = w.name + "/" + label;
                 if (seeds_.size() > 1)
                     c.name += "/s" + std::to_string(seed);
+                c.workload = w.name;
                 c.seed = seed;
                 SystemConfig seeded = config;
                 seeded.seed = seed;

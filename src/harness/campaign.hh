@@ -24,7 +24,8 @@ namespace seesaw::harness {
 /** One runnable unit of a campaign. */
 struct Cell
 {
-    std::string name;   //!< unique within the campaign
+    std::string name;     //!< unique within the campaign
+    std::string workload; //!< workload name, known before running
     std::uint64_t seed = 0;
     std::uint64_t configHash = 0;
 
@@ -37,6 +38,7 @@ struct Cell
 struct CellResult
 {
     std::string name;
+    std::string workload;
     std::uint64_t seed = 0;
     std::uint64_t configHash = 0;
     double wallSeconds = 0.0;
@@ -83,7 +85,8 @@ class CampaignSpec
     /** Add an explicit cell with a custom runner thunk. */
     CampaignSpec &cell(std::string name, std::function<RunResult()> run,
                        std::uint64_t seed = 0,
-                       std::uint64_t config_hash = 0);
+                       std::uint64_t config_hash = 0,
+                       std::string workload = {});
 
     /** Expand the axes (then append explicit cells). Names are
      *  guaranteed unique (fatal otherwise). */

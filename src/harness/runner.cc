@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <mutex>
 
@@ -13,6 +14,8 @@ namespace seesaw::harness {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_stopRequested{false};
 
 double
 secondsSince(Clock::time_point start)
@@ -56,24 +59,67 @@ class Progress
     std::mutex mutex_; //!< keeps stderr lines whole across workers
 };
 
+/** Per-run shared state for the completion callback. */
+struct CellHooks
+{
+    const std::function<void(const CellResult &)> *onCellDone;
+    std::mutex mutex; //!< serializes the callback across workers
+};
+
 CellResult
-runCell(const Cell &cell, Progress &progress)
+runCell(const Cell &cell, Progress &progress, CellHooks &hooks)
 {
     CellResult out;
     out.name = cell.name;
+    out.workload = cell.workload;
     out.seed = cell.seed;
     out.configHash = cell.configHash;
     const auto start = Clock::now();
     out.result = cell.run();
     out.wallSeconds = secondsSince(start);
+    if (out.workload.empty())
+        out.workload = out.result.workload;
     progress.cellDone(cell.name, out.wallSeconds);
+    if (hooks.onCellDone != nullptr && *hooks.onCellDone) {
+        std::lock_guard lock(hooks.mutex);
+        (*hooks.onCellDone)(out);
+    }
     return out;
 }
 
 } // namespace
 
+void
+requestStop()
+{
+    g_stopRequested.store(true, std::memory_order_relaxed);
+}
+
+bool
+stopRequested()
+{
+    return g_stopRequested.load(std::memory_order_relaxed);
+}
+
+void
+clearStopRequest()
+{
+    g_stopRequested.store(false, std::memory_order_relaxed);
+}
+
+void
+installStopSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) { requestStop(); };
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: let waitpid/sleep see EINTR
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 CampaignRunner::CampaignRunner(RunnerOptions options)
-    : options_(options)
+    : options_(std::move(options))
 {
 }
 
@@ -86,33 +132,57 @@ CampaignRunner::effectiveJobs() const
 CampaignOutcome
 CampaignRunner::run(const CampaignSpec &spec) const
 {
-    const std::vector<Cell> cells = spec.cells();
+    return runCells(spec.name(), spec.cells());
+}
+
+CampaignOutcome
+CampaignRunner::runCells(const std::string &name,
+                         const std::vector<Cell> &cells) const
+{
     const unsigned jobs = effectiveJobs();
 
     CampaignOutcome outcome;
-    outcome.meta.campaign = spec.name();
+    outcome.meta.campaign = name;
     outcome.meta.gitDescribe = gitDescribe();
     outcome.meta.jobs = jobs;
-    outcome.results.resize(cells.size());
+    outcome.totalCells = cells.size();
+
+    std::vector<CellResult> slots(cells.size());
+    std::vector<char> ran(cells.size(), 0);
 
     const auto start = Clock::now();
-    Progress progress(spec.name(), cells.size(), options_.progress);
+    Progress progress(name, cells.size(), options_.progress);
+    CellHooks hooks{&options_.onCellDone, {}};
 
     if (jobs <= 1 || cells.size() <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            outcome.results[i] = runCell(cells[i], progress);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (stopRequested())
+                break;
+            slots[i] = runCell(cells[i], progress, hooks);
+            ran[i] = 1;
+        }
     } else {
         ThreadPool pool(jobs);
         // Each task writes only its own pre-sized slot, so result
-        // order is the cell order no matter who finishes when.
+        // order is the cell order no matter who finishes when. A
+        // stop request makes not-yet-started tasks no-ops while
+        // in-flight cells run to completion.
         for (std::size_t i = 0; i < cells.size(); ++i) {
             pool.submit([&, i] {
-                outcome.results[i] = runCell(cells[i], progress);
+                if (stopRequested())
+                    return;
+                slots[i] = runCell(cells[i], progress, hooks);
+                ran[i] = 1;
             });
         }
         pool.wait();
     }
 
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (ran[i])
+            outcome.results.push_back(std::move(slots[i]));
+    }
+    outcome.interrupted = outcome.results.size() < cells.size();
     outcome.meta.wallSeconds = secondsSince(start);
     return outcome;
 }
@@ -129,6 +199,14 @@ CampaignRunner::runAndWrite(const CampaignSpec &spec,
         for (const auto &path : paths)
             std::fprintf(stderr, "[%s] wrote %s\n",
                          spec.name().c_str(), path.c_str());
+    }
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "[%s] interrupted after %zu/%zu cells; partial "
+                     "sinks flushed (a store-backed campaign is "
+                     "resumable with --store DIR --resume)\n",
+                     spec.name().c_str(), outcome.results.size(),
+                     outcome.totalCells);
     }
     return outcome;
 }

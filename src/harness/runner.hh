@@ -5,11 +5,18 @@
  * fresh, self-contained simulation, so a parallel run is bit-identical
  * to a serial one. Progress (cells done/total, per-cell wall time,
  * ETA) goes to stderr under a mutex.
+ *
+ * Interruption is cooperative: requestStop() (or the SIGINT/SIGTERM
+ * handlers installed by installStopSignalHandlers()) lets in-flight
+ * cells finish, skips cells that have not started, and marks the
+ * outcome interrupted so callers can flush partial sinks and point the
+ * user at --resume instead of aborting mid-write.
  */
 
 #ifndef SEESAW_HARNESS_RUNNER_HH
 #define SEESAW_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <vector>
 
 #include "harness/campaign.hh"
@@ -26,13 +33,23 @@ struct RunnerOptions
 
     /** Emit per-cell progress lines to stderr. */
     bool progress = true;
+
+    /**
+     * Called once per completed cell, from whichever worker thread
+     * finished it, serialized under a runner-internal mutex. Durable
+     * sinks (store::StoreSink) hook in here so every finished cell
+     * survives a later crash.
+     */
+    std::function<void(const CellResult &)> onCellDone;
 };
 
 /** What a campaign run produced, plus how it was produced. */
 struct CampaignOutcome
 {
     CampaignMetadata meta;           //!< ready for the sinks
-    std::vector<CellResult> results; //!< in cell order
+    std::vector<CellResult> results; //!< completed cells, cell order
+    std::size_t totalCells = 0;      //!< cells the campaign asked for
+    bool interrupted = false;        //!< stopped before all cells ran
 };
 
 class CampaignRunner
@@ -42,6 +59,14 @@ class CampaignRunner
 
     /** Run every cell of @p spec; blocks until all complete. */
     CampaignOutcome run(const CampaignSpec &spec) const;
+
+    /**
+     * Run an explicit cell list under campaign @p name — the resume
+     * path hands in spec.cells() minus the cells a durable store
+     * already holds.
+     */
+    CampaignOutcome runCells(const std::string &name,
+                             const std::vector<Cell> &cells) const;
 
     /** Run @p spec, write JSON+CSV sinks, return the outcome. */
     CampaignOutcome runAndWrite(const CampaignSpec &spec,
@@ -60,6 +85,27 @@ class CampaignRunner
  */
 const RunResult &findResult(const std::vector<CellResult> &results,
                             const std::string &name);
+
+/** @name Cooperative shutdown. */
+/// @{
+
+/** Ask every CampaignRunner and service worker in this process to
+ *  finish in-flight cells and stop claiming new ones.
+ *  Async-signal-safe. */
+void requestStop();
+
+/** Whether requestStop() has been called. */
+bool stopRequested();
+
+/** Reset the stop flag (tests; a fresh campaign after an interrupt). */
+void clearStopRequest();
+
+/** Route SIGINT/SIGTERM to requestStop(). Handlers are installed
+ *  without SA_RESTART so blocking waits (waitpid) see EINTR and can
+ *  re-check the flag. */
+void installStopSignalHandlers();
+
+/// @}
 
 } // namespace seesaw::harness
 

@@ -13,16 +13,16 @@ namespace seesaw::harness {
 
 namespace {
 
-ResultField
-fieldU(const char *name, std::uint64_t v)
+MutableResultField
+fieldU(const char *name, std::uint64_t &v)
 {
-    return ResultField{name, true, v, 0.0};
+    return MutableResultField{name, true, &v, nullptr};
 }
 
-ResultField
-fieldD(const char *name, double v)
+MutableResultField
+fieldD(const char *name, double &v)
 {
-    return ResultField{name, false, 0, v};
+    return MutableResultField{name, false, nullptr, &v};
 }
 
 /** Hex-format a config hash the way both sinks record it. */
@@ -52,8 +52,8 @@ csvField(const std::string &s)
 
 } // namespace
 
-std::vector<ResultField>
-resultFields(const RunResult &r)
+std::vector<MutableResultField>
+mutableResultFields(RunResult &r)
 {
     return {
         fieldU("instructions", r.instructions),
@@ -97,6 +97,38 @@ resultFields(const RunResult &r)
         fieldU("splinters", r.splinters),
         fieldU("page_faults", r.pageFaults),
     };
+}
+
+std::vector<MutableResultField>
+perCoreFields(PerCoreResult &p)
+{
+    return {
+        fieldU("instructions", p.instructions),
+        fieldU("cycles", p.cycles),
+        fieldD("ipc", p.ipc),
+        fieldU("l1_accesses", p.l1Accesses),
+        fieldU("l1_hits", p.l1Hits),
+        fieldU("l1_misses", p.l1Misses),
+        fieldU("tft_hits", p.tftHits),
+        fieldU("squashes", p.squashes),
+        fieldU("page_faults", p.pageFaults),
+    };
+}
+
+std::vector<ResultField>
+resultFields(const RunResult &r)
+{
+    // Snapshot the single authoritative pointer list; const_cast is
+    // sound because the fields are only read here.
+    std::vector<ResultField> out;
+    for (const auto &f :
+         mutableResultFields(const_cast<RunResult &>(r))) {
+        if (f.integral)
+            out.push_back(ResultField{f.name, true, *f.u, 0.0});
+        else
+            out.push_back(ResultField{f.name, false, 0, *f.d});
+    }
+    return out;
 }
 
 std::string
@@ -151,17 +183,15 @@ emitCampaignJson(std::ostream &os, const CampaignMetadata &meta,
             json.field("cores", cell.result.cores);
             json.key("per_core").beginArray();
             for (const auto &pc : cell.result.perCore) {
-                json.beginObject()
-                    .field("instructions", pc.instructions)
-                    .field("cycles", pc.cycles)
-                    .field("ipc", pc.ipc)
-                    .field("l1_accesses", pc.l1Accesses)
-                    .field("l1_hits", pc.l1Hits)
-                    .field("l1_misses", pc.l1Misses)
-                    .field("tft_hits", pc.tftHits)
-                    .field("squashes", pc.squashes)
-                    .field("page_faults", pc.pageFaults)
-                    .endObject();
+                json.beginObject();
+                for (const auto &f : perCoreFields(
+                         const_cast<PerCoreResult &>(pc))) {
+                    if (f.integral)
+                        json.field(f.name, *f.u);
+                    else
+                        json.field(f.name, *f.d);
+                }
+                json.endObject();
             }
             json.endArray();
         }
@@ -225,16 +255,27 @@ writeCampaignSinks(const CampaignMetadata &meta,
     std::vector<std::string> paths;
     for (const char *ext : {".json", ".csv"}) {
         const std::string path = dir + "/" + meta.campaign + ext;
-        std::ofstream os(path, std::ios::trunc);
-        if (!os)
-            SEESAW_FATAL("cannot open result sink ", path);
-        if (ext[1] == 'j')
-            emitCampaignJson(os, meta, results);
-        else
-            emitCampaignCsv(os, meta, results);
-        os.flush();
-        if (!os)
-            SEESAW_FATAL("short write to result sink ", path);
+        // Write to a sibling temp file and rename over the target so
+        // an interrupted campaign never leaves a truncated sink: the
+        // rename is atomic, so readers see the old file or the new
+        // one, never a half-written document.
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream os(tmp, std::ios::trunc);
+            if (!os)
+                SEESAW_FATAL("cannot open result sink ", tmp);
+            if (ext[1] == 'j')
+                emitCampaignJson(os, meta, results);
+            else
+                emitCampaignCsv(os, meta, results);
+            os.flush();
+            if (!os)
+                SEESAW_FATAL("short write to result sink ", tmp);
+        }
+        std::filesystem::rename(tmp, path, ec);
+        if (ec)
+            SEESAW_FATAL("cannot publish result sink ", path, ": ",
+                         ec.message());
         paths.push_back(path);
     }
     return paths;

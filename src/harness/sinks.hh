@@ -32,11 +32,32 @@ struct ResultField
 };
 
 /**
+ * A named stat as a pointer into a live RunResult/PerCoreResult, so
+ * readers (the result store) can write fields back by name through
+ * the same single list the sinks serialize from.
+ */
+struct MutableResultField
+{
+    const char *name;
+    bool integral;
+    std::uint64_t *u = nullptr; //!< set when integral
+    double *d = nullptr;        //!< set when !integral
+};
+
+/**
  * Every numeric RunResult stat, in declaration order. Both sinks
  * serialize exactly this list, so JSON and CSV can never drift apart.
  * (The `workload` string is reported separately.)
  */
 std::vector<ResultField> resultFields(const RunResult &r);
+
+/** The same list as pointers into @p r (the one definition both
+ *  directions share — extend here and every sink and the store
+ *  follow). */
+std::vector<MutableResultField> mutableResultFields(RunResult &r);
+
+/** The per-core slice stats, in the order the JSON sink emits them. */
+std::vector<MutableResultField> perCoreFields(PerCoreResult &p);
 
 /** Campaign-level metadata recorded in every sink. */
 struct CampaignMetadata

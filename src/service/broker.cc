@@ -1,0 +1,158 @@
+#include "service/broker.hh"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/logging.hh"
+#include "harness/sinks.hh"
+#include "service/lease_queue.hh"
+#include "store/result_store.hh"
+
+namespace seesaw::service {
+
+std::string
+prepareQueue(const std::string &storeDir, const std::string &campaign,
+             const std::vector<harness::Cell> &cells, bool resume,
+             PreparedQueue &out)
+{
+    out = PreparedQueue{};
+    out.dir = queueDir(storeDir, campaign);
+    out.total = cells.size();
+
+    if (std::string error = store::initStore(storeDir);
+        !error.empty())
+        return error;
+    if (std::string error = createQueue(out.dir, cells.size());
+        !error.empty())
+        return error;
+
+    if (!resume)
+        return "";
+    store::StoreSnapshot snapshot;
+    if (std::string error = store::loadStore(storeDir, snapshot);
+        !error.empty())
+        return error;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!snapshot.contains(store::keyOf(cells[i])))
+            continue;
+        if (std::string error = markDoneExternal(out.dir, i);
+            !error.empty())
+            return error;
+        ++out.preDone;
+    }
+    return "";
+}
+
+int
+runWorkerProcesses(const WorkerProcessOptions &options)
+{
+    // Claims are keyed by worker id (segment names, lease steals), so
+    // ids must be unique; the pid map tracks who is still alive.
+    std::map<pid_t, std::string> children;
+    for (unsigned w = 0; w < options.workers; ++w) {
+        std::string workerId = "w";
+        workerId += std::to_string(w);
+        std::vector<std::string> argvStrings;
+        argvStrings.push_back(options.workerBinary);
+        argvStrings.insert(argvStrings.end(), options.args.begin(),
+                           options.args.end());
+        argvStrings.push_back("--worker-id");
+        argvStrings.push_back(workerId);
+        std::vector<char *> argv;
+        for (auto &s : argvStrings)
+            argv.push_back(s.data());
+        argv.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "broker: fork failed: %s\n",
+                         std::strerror(errno));
+            break;
+        }
+        if (pid == 0) {
+            ::execv(argv[0], argv.data());
+            std::fprintf(stderr, "broker: cannot exec %s: %s\n",
+                         argv[0], std::strerror(errno));
+            ::_exit(127);
+        }
+        children.emplace(pid, workerId);
+        if (options.progress)
+            std::fprintf(stderr, "broker: spawned %s (pid %d)\n",
+                         workerId.c_str(), static_cast<int>(pid));
+    }
+    if (children.empty())
+        return 1;
+
+    int worst = 0;
+    bool forwarded = false;
+    while (!children.empty()) {
+        // Stop requests arrive as signals; the handlers are installed
+        // without SA_RESTART precisely so this wait returns EINTR and
+        // the flag gets forwarded to the children.
+        if (harness::stopRequested() && !forwarded) {
+            forwarded = true;
+            for (const auto &[pid, workerId] : children)
+                ::kill(pid, SIGTERM);
+        }
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // ECHILD: nothing left to reap
+        }
+        const auto it = children.find(pid);
+        if (it == children.end())
+            continue;
+        int exitCode = 0;
+        if (WIFEXITED(status))
+            exitCode = WEXITSTATUS(status);
+        else if (WIFSIGNALED(status))
+            exitCode = 128 + WTERMSIG(status);
+        if (options.progress || exitCode != 0)
+            std::fprintf(stderr, "broker: %s exited %d\n",
+                         it->second.c_str(), exitCode);
+        worst = std::max(worst, exitCode);
+        children.erase(it);
+    }
+    return worst;
+}
+
+std::string
+collectOutcome(const std::string &storeDir,
+               const std::string &campaign,
+               const std::vector<harness::Cell> &cells,
+               harness::CampaignOutcome &out)
+{
+    store::StoreSnapshot snapshot;
+    if (std::string error = store::loadStore(storeDir, snapshot);
+        !error.empty())
+        return error;
+
+    out = harness::CampaignOutcome{};
+    out.meta.campaign = campaign;
+    out.meta.gitDescribe = harness::gitDescribe();
+    out.totalCells = cells.size();
+    for (const auto &cell : cells) {
+        const auto it = snapshot.latest.find(store::keyOf(cell));
+        if (it == snapshot.latest.end())
+            continue;
+        harness::CellResult result = store::toCellResult(it->second);
+        // The store keys by (workload, config, seed); the cell name
+        // is campaign-local, so prefer the live spec's name.
+        result.name = cell.name;
+        out.results.push_back(std::move(result));
+    }
+    out.interrupted = out.results.size() < cells.size();
+    return "";
+}
+
+} // namespace seesaw::service

@@ -1,0 +1,246 @@
+#include "service/lease_queue.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace seesaw::service {
+
+namespace {
+
+std::string
+cellName(std::size_t index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%06zu", index);
+    return buf;
+}
+
+std::string
+donePath(const std::string &dir, std::size_t index)
+{
+    return dir + "/done/" + cellName(index);
+}
+
+std::string
+leasePath(const std::string &dir, std::size_t index)
+{
+    return dir + "/lease/" + cellName(index);
+}
+
+/** Write @p path with @p content via tmp+rename. */
+std::string
+atomicWrite(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return "cannot open " + tmp;
+        os << content;
+        os.flush();
+        if (!os)
+            return "short write to " + tmp;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        return "cannot rename " + tmp + ": " + ec.message();
+    return "";
+}
+
+/** O_EXCL-create @p path owned by @p workerId. True iff we won. */
+bool
+claimFile(const std::string &path, const std::string &workerId)
+{
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    const std::string tag = workerId + "\n";
+    // The content is diagnostic only (who holds the lease); the file's
+    // existence is the claim, so a short write is not an error.
+    [[maybe_unused]] const ssize_t n =
+        ::write(fd, tag.data(), tag.size());
+    ::close(fd);
+    return true;
+}
+
+} // namespace
+
+std::string
+queueDir(const std::string &storeDir, const std::string &campaign)
+{
+    std::string safe;
+    for (const char c : campaign) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        safe += ok ? c : '_';
+    }
+    return storeDir + "/queue/" + safe;
+}
+
+std::string
+createQueue(const std::string &dir, std::size_t totalCells)
+{
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    if (ec)
+        return "cannot clear queue " + dir + ": " + ec.message();
+    fs::create_directories(dir + "/done", ec);
+    if (!ec)
+        fs::create_directories(dir + "/lease", ec);
+    if (ec)
+        return "cannot create queue " + dir + ": " + ec.message();
+    return atomicWrite(dir + "/count",
+                       std::to_string(totalCells) + "\n");
+}
+
+std::string
+markDoneExternal(const std::string &dir, std::size_t index)
+{
+    std::ofstream os(donePath(dir, index), std::ios::trunc);
+    if (!os)
+        return "cannot mark cell " + cellName(index) + " done in " +
+               dir;
+    os << "resume\n";
+    return "";
+}
+
+std::size_t
+countDone(const std::string &dir)
+{
+    std::size_t done = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(dir + "/done", ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() != ".tmp")
+            ++done;
+    }
+    return done;
+}
+
+LeaseQueue::LeaseQueue(std::string dir, std::string workerId,
+                       double leaseSeconds)
+    : dir_(std::move(dir)), workerId_(std::move(workerId)),
+      leaseSeconds_(leaseSeconds)
+{
+    std::ifstream is(dir_ + "/count");
+    if (!(is >> total_))
+        SEESAW_FATAL("no cell queue at ", dir_,
+                     " (missing or unreadable count file)");
+}
+
+LeaseQueue::Claim
+LeaseQueue::tryClaim(std::size_t &index)
+{
+    {
+        std::lock_guard lock(mutex_);
+        SEESAW_ASSERT(heldLease_.empty(),
+                      "claim while already holding a lease");
+    }
+    bool liveLease = false;
+    for (std::size_t i = 0; i < total_; ++i) {
+        std::error_code ec;
+        if (fs::exists(donePath(dir_, i), ec))
+            continue;
+        const std::string lease = leasePath(dir_, i);
+        bool claimed = claimFile(lease, workerId_);
+        if (!claimed) {
+            // Somebody holds it. A lease whose heartbeat stopped for
+            // longer than the lease interval belongs to a dead
+            // worker: move it aside (one renamer wins) and re-claim.
+            const auto mtime = fs::last_write_time(lease, ec);
+            if (ec) {
+                // Vanished between open and stat: the holder just
+                // finished or released it; next scan sees the truth.
+                liveLease = true;
+                continue;
+            }
+            const auto age =
+                fs::file_time_type::clock::now() - mtime;
+            if (std::chrono::duration<double>(age).count() <
+                leaseSeconds_) {
+                liveLease = true;
+                continue;
+            }
+            const std::string aside = lease + ".stale." + workerId_;
+            fs::rename(lease, aside, ec);
+            if (ec) {
+                liveLease = true; // another claimant won the steal
+                continue;
+            }
+            fs::remove(aside, ec);
+            claimed = claimFile(lease, workerId_);
+            if (!claimed) {
+                liveLease = true;
+                continue;
+            }
+        }
+        // Between our done-check and the claim the previous holder
+        // may have finished the cell; re-running it would only upsert
+        // the identical record, but there is no point doing the work.
+        if (fs::exists(donePath(dir_, i), ec)) {
+            fs::remove(lease, ec);
+            continue;
+        }
+        {
+            std::lock_guard lock(mutex_);
+            heldLease_ = lease;
+        }
+        index = i;
+        return Claim::Got;
+    }
+    return liveLease ? Claim::Wait : Claim::AllDone;
+}
+
+void
+LeaseQueue::heartbeat()
+{
+    std::lock_guard lock(mutex_);
+    if (heldLease_.empty())
+        return;
+    std::error_code ec;
+    fs::last_write_time(heldLease_,
+                        fs::file_time_type::clock::now(), ec);
+    // A failed touch is harmless here: worst case the lease looks
+    // stale and the cell is re-run, which is idempotent.
+}
+
+void
+LeaseQueue::markDone(std::size_t index)
+{
+    // Order matters: the caller has already flushed the result to the
+    // store, so the done marker is only ever an understatement.
+    std::ofstream os(donePath(dir_, index), std::ios::trunc);
+    if (os) {
+        os << workerId_ << "\n";
+        os.flush();
+    }
+    release();
+}
+
+void
+LeaseQueue::release()
+{
+    std::lock_guard lock(mutex_);
+    if (heldLease_.empty())
+        return;
+    std::error_code ec;
+    fs::remove(heldLease_, ec);
+    heldLease_.clear();
+}
+
+} // namespace seesaw::service

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A file-backed work queue for distributing campaign cells across
+ * worker processes. The queue lives inside the result store at
+ * `<store>/queue/<campaign>/` and needs nothing but a shared
+ * filesystem:
+ *
+ *   count          total cell count (tmp+rename)
+ *   done/NNNNNN    marker: cell NNNNNN's result is in the store
+ *   lease/NNNNNN   a worker is running cell NNNNNN (O_EXCL create =
+ *                  the atomic claim; mtime = last heartbeat)
+ *
+ * A lease whose mtime is older than the lease interval belongs to a
+ * dead worker; claimants steal it by renaming it aside (only one
+ * renamer can win) and re-claiming. Cells therefore execute
+ * at-least-once — which is safe because cells are deterministic and
+ * the store upserts by key, so a re-run writes the identical record.
+ */
+
+#ifndef SEESAW_SERVICE_LEASE_QUEUE_HH
+#define SEESAW_SERVICE_LEASE_QUEUE_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace seesaw::service {
+
+/** Queue directory for @p campaign inside @p storeDir. */
+std::string queueDir(const std::string &storeDir,
+                     const std::string &campaign);
+
+/**
+ * (Re)create the queue directory for a campaign of @p totalCells
+ * cells, discarding any previous queue state for the same campaign.
+ * @return "" or an error message.
+ */
+std::string createQueue(const std::string &dir, std::size_t totalCells);
+
+/** Pre-mark cell @p index done (resume: its result is already in the
+ *  store). @return "" or an error message. */
+std::string markDoneExternal(const std::string &dir, std::size_t index);
+
+/** How many cells of @p dir are marked done (progress reporting). */
+std::size_t countDone(const std::string &dir);
+
+/** One worker's handle on a queue. Thread-safe. */
+class LeaseQueue
+{
+  public:
+    /** @p leaseSeconds: a lease not heartbeat within this interval is
+     *  considered abandoned and may be stolen. */
+    LeaseQueue(std::string dir, std::string workerId,
+               double leaseSeconds = 30.0);
+
+    enum class Claim
+    {
+        Got,     //!< @p index holds a freshly leased cell
+        Wait,    //!< live leases remain; retry after a pause
+        AllDone, //!< every cell has a done marker
+    };
+
+    /**
+     * Scan for an unleased, not-done cell and claim it. Stale leases
+     * encountered on the way are stolen. At most one cell is held at
+     * a time; claim again only after markDone()/release().
+     */
+    Claim tryClaim(std::size_t &index);
+
+    /** Refresh the held lease's mtime (heartbeat thread). No-op when
+     *  nothing is held. */
+    void heartbeat();
+
+    /** Record cell @p index done and drop its lease. */
+    void markDone(std::size_t index);
+
+    /** Drop the held lease without a done marker (graceful stop: the
+     *  cell goes back to the pool immediately). */
+    void release();
+
+    std::size_t totalCells() const { return total_; }
+
+  private:
+    std::string dir_;
+    std::string workerId_;
+    double leaseSeconds_;
+    std::size_t total_ = 0;
+    std::mutex mutex_;        //!< guards held_
+    std::string heldLease_;   //!< path of the held lease file, or ""
+};
+
+} // namespace seesaw::service
+
+#endif // SEESAW_SERVICE_LEASE_QUEUE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A small JSON document model and recursive-descent parser, the read
+ * side of harness/json.hh's JsonWriter. The store reads back its own
+ * JSONL records and pinned campaign goldens with it, so the parser
+ * keeps two properties a generic DOM would lose: object members stay
+ * in document order (canonical re-serialization is byte-stable) and
+ * numbers remember whether they were written as integers (so u64
+ * counters round-trip exactly instead of through a double).
+ */
+
+#ifndef SEESAW_STORE_JSON_VALUE_HH
+#define SEESAW_STORE_JSON_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace seesaw::store {
+
+/** One parsed JSON value; a tree of these is one document. */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+
+    /** Numbers carry both representations; `integral` says which one
+     *  the document used (no '.', no exponent, fits in 64 bits). */
+    bool integral = false;
+    std::uint64_t u = 0;
+    double d = 0.0;
+
+    std::string str;
+    std::vector<JsonValue> items; //!< Array elements.
+    /** Object members in document order (not sorted, not deduped). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** @return the member named @p key, or nullptr. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** @name Checked accessors: fatal unless the kind matches. */
+    /// @{
+    const JsonValue &at(std::string_view key) const;
+    const std::string &asString() const;
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    /// @}
+};
+
+/**
+ * Parse one JSON document from @p text.
+ * @param error Receives a "line N: what" message on failure.
+ * @return true and fill @p out on success; false otherwise.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string &error);
+
+} // namespace seesaw::store
+
+#endif // SEESAW_STORE_JSON_VALUE_HH

@@ -1,0 +1,19 @@
+#include "store/store_sink.hh"
+
+namespace seesaw::store {
+
+StoreSink::StoreSink(const std::string &dir,
+                     const harness::CampaignMetadata &meta,
+                     const std::string &writerName)
+    : meta_(meta), writer_(dir, writerName)
+{
+}
+
+void
+StoreSink::record(const harness::CellResult &cell)
+{
+    writer_.upsert(makeRecord(meta_, cell));
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace seesaw::store

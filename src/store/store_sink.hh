@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bridges the campaign runner's per-cell completion callback to the
+ * durable result store: each finished cell becomes one upserted
+ * record, flushed before the callback returns, so everything a
+ * crashed campaign completed is already on disk.
+ */
+
+#ifndef SEESAW_STORE_STORE_SINK_HH
+#define SEESAW_STORE_STORE_SINK_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "harness/runner.hh"
+#include "store/result_store.hh"
+
+namespace seesaw::store {
+
+/**
+ * A durable per-cell sink. Construct one per campaign invocation and
+ * hand hook() to RunnerOptions::onCellDone (or call record()
+ * directly). Thread-safe via the underlying SegmentWriter.
+ */
+class StoreSink
+{
+  public:
+    /**
+     * Opens segment `<writerName>.jsonl` in @p dir (fatal on schema
+     * mismatch). @p meta supplies the volatile record metadata
+     * (campaign name, git describe); its wall time is ignored —
+     * per-cell wall time is recorded instead.
+     */
+    StoreSink(const std::string &dir,
+              const harness::CampaignMetadata &meta,
+              const std::string &writerName);
+
+    /** Upsert @p cell into the store. */
+    void record(const harness::CellResult &cell);
+
+    /** An onCellDone-compatible callable bound to this sink. */
+    std::function<void(const harness::CellResult &)>
+    hook()
+    {
+        return [this](const harness::CellResult &c) { record(c); };
+    }
+
+    /** Cells recorded through this sink so far. */
+    std::size_t recorded() const { return recorded_; }
+
+  private:
+    harness::CampaignMetadata meta_;
+    SegmentWriter writer_;
+    std::atomic<std::size_t> recorded_{0};
+};
+
+} // namespace seesaw::store
+
+#endif // SEESAW_STORE_STORE_SINK_HH

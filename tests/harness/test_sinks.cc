@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -357,6 +361,61 @@ TEST(Sinks, CsvQuotesAwkwardFieldsAndMatchesHeaderWidth)
     // The workload contains a quote and a newline -> quoted and the
     // embedded quote doubled.
     EXPECT_NE(row.find("\"redis \"\"hot\"\""), std::string::npos);
+}
+
+TEST(Sinks, WritesSinksAtomicallyWithNoTempResidue)
+{
+    std::string templ =
+        (std::filesystem::temp_directory_path() /
+         "seesaw-sinks-XXXXXX")
+            .string();
+    const std::string dir = ::mkdtemp(templ.data());
+    ASSERT_FALSE(dir.empty());
+
+    CampaignMetadata meta;
+    meta.campaign = "unit";
+    CellResult cell;
+    cell.name = "redis/32KB/seesaw";
+    cell.result = distinctiveResult();
+    const auto paths = writeCampaignSinks(meta, {cell}, dir);
+
+    // Both sinks were published via tmp-file+rename: the final files
+    // exist, non-empty, and no half-written *.tmp siblings survive.
+    ASSERT_EQ(paths.size(), 2u);
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        EXPECT_NE(entry.path().extension(), ".tmp")
+            << entry.path() << " left behind";
+        EXPECT_GT(entry.file_size(), 0u);
+        ++files;
+    }
+    EXPECT_EQ(files, 2u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Sinks, MutableFieldListIsTheOneTheSinksSerialize)
+{
+    // The store writes results back through mutableResultFields();
+    // if it ever diverged from resultFields() the two directions
+    // would silently disagree. Same names, same order, same kinds.
+    RunResult r;
+    const auto fields = resultFields(r);
+    const auto mut = mutableResultFields(r);
+    ASSERT_EQ(fields.size(), mut.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        EXPECT_STREQ(fields[i].name, mut[i].name);
+        EXPECT_EQ(fields[i].integral, mut[i].integral);
+        // Each pointer targets the live RunResult.
+        if (mut[i].integral) {
+            *mut[i].u = i + 1;
+            EXPECT_EQ(resultFields(r)[i].u, i + 1);
+        } else {
+            *mut[i].d = 0.5 + static_cast<double>(i);
+            EXPECT_DOUBLE_EQ(resultFields(r)[i].d,
+                             0.5 + static_cast<double>(i));
+        }
+    }
 }
 
 TEST(Sinks, ResultFieldCountMatchesCsvColumns)

@@ -1,0 +1,160 @@
+/** @file Tests for the file-backed cell lease queue. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "service/lease_queue.hh"
+
+namespace fs = std::filesystem;
+
+namespace seesaw::service {
+namespace {
+
+class TempQueue
+{
+  public:
+    TempQueue(std::size_t cells)
+    {
+        std::string templ =
+            (fs::temp_directory_path() / "seesaw-queue-XXXXXX")
+                .string();
+        root_ = ::mkdtemp(templ.data());
+        EXPECT_FALSE(root_.empty());
+        dir_ = root_ + "/q";
+        EXPECT_EQ(createQueue(dir_, cells), "");
+    }
+
+    ~TempQueue() { fs::remove_all(root_); }
+
+    const std::string &dir() const { return dir_; }
+
+    /** Backdate cell @p index's lease so it looks abandoned. */
+    void
+    backdateLease(std::size_t index, double seconds)
+    {
+        char name[32];
+        std::snprintf(name, sizeof(name), "%06zu", index);
+        const std::string lease = dir_ + "/lease/" + name;
+        ASSERT_TRUE(fs::exists(lease));
+        fs::last_write_time(
+            lease, fs::file_time_type::clock::now() -
+                       std::chrono::duration_cast<
+                           std::chrono::seconds>(
+                           std::chrono::duration<double>(seconds)));
+    }
+
+  private:
+    std::string root_;
+    std::string dir_;
+};
+
+TEST(LeaseQueue, QueueDirSanitizesCampaignNames)
+{
+    EXPECT_EQ(queueDir("store", "smoke"), "store/queue/smoke");
+    EXPECT_EQ(queueDir("store", "a/b c"), "store/queue/a_b_c");
+}
+
+TEST(LeaseQueue, ClaimsAreExclusiveAndExhaustive)
+{
+    TempQueue q(3);
+    LeaseQueue a(q.dir(), "wa");
+    LeaseQueue b(q.dir(), "wb");
+    EXPECT_EQ(a.totalCells(), 3u);
+
+    std::size_t ia = 99, ib = 99;
+    ASSERT_EQ(a.tryClaim(ia), LeaseQueue::Claim::Got);
+    ASSERT_EQ(b.tryClaim(ib), LeaseQueue::Claim::Got);
+    EXPECT_NE(ia, ib); // never the same cell twice
+
+    // One cell left; a third worker gets it, then everyone waits.
+    LeaseQueue c(q.dir(), "wc");
+    std::size_t ic = 99;
+    ASSERT_EQ(c.tryClaim(ic), LeaseQueue::Claim::Got);
+    const std::set<std::size_t> claimed{ia, ib, ic};
+    EXPECT_EQ(claimed.size(), 3u);
+
+    LeaseQueue d(q.dir(), "wd");
+    std::size_t id = 99;
+    EXPECT_EQ(d.tryClaim(id), LeaseQueue::Claim::Wait);
+
+    // Finishing all three drains the queue for every observer.
+    a.markDone(ia);
+    b.markDone(ib);
+    c.markDone(ic);
+    EXPECT_EQ(d.tryClaim(id), LeaseQueue::Claim::AllDone);
+    EXPECT_EQ(countDone(q.dir()), 3u);
+}
+
+TEST(LeaseQueue, ReleasedCellsGoBackToThePool)
+{
+    TempQueue q(1);
+    LeaseQueue a(q.dir(), "wa");
+    LeaseQueue b(q.dir(), "wb");
+
+    std::size_t ia = 99;
+    ASSERT_EQ(a.tryClaim(ia), LeaseQueue::Claim::Got);
+    std::size_t ib = 99;
+    EXPECT_EQ(b.tryClaim(ib), LeaseQueue::Claim::Wait);
+
+    a.release();
+    ASSERT_EQ(b.tryClaim(ib), LeaseQueue::Claim::Got);
+    EXPECT_EQ(ib, ia);
+}
+
+TEST(LeaseQueue, StaleLeasesAreStolen)
+{
+    TempQueue q(1);
+    // Worker wa dies mid-cell: its lease stops heartbeating.
+    LeaseQueue a(q.dir(), "wa", /*leaseSeconds=*/5.0);
+    std::size_t ia = 99;
+    ASSERT_EQ(a.tryClaim(ia), LeaseQueue::Claim::Got);
+
+    LeaseQueue b(q.dir(), "wb", /*leaseSeconds=*/5.0);
+    std::size_t ib = 99;
+    EXPECT_EQ(b.tryClaim(ib), LeaseQueue::Claim::Wait);
+
+    q.backdateLease(ia, 60.0);
+    ASSERT_EQ(b.tryClaim(ib), LeaseQueue::Claim::Got);
+    EXPECT_EQ(ib, ia);
+    b.markDone(ib);
+    std::size_t ic = 99;
+    EXPECT_EQ(b.tryClaim(ic), LeaseQueue::Claim::AllDone);
+}
+
+TEST(LeaseQueue, HeartbeatKeepsALeaseFresh)
+{
+    TempQueue q(1);
+    LeaseQueue a(q.dir(), "wa", /*leaseSeconds=*/5.0);
+    std::size_t ia = 99;
+    ASSERT_EQ(a.tryClaim(ia), LeaseQueue::Claim::Got);
+    q.backdateLease(ia, 60.0);
+    a.heartbeat(); // the owner refreshes its claim in time
+
+    LeaseQueue b(q.dir(), "wb", /*leaseSeconds=*/5.0);
+    std::size_t ib = 99;
+    EXPECT_EQ(b.tryClaim(ib), LeaseQueue::Claim::Wait);
+}
+
+TEST(LeaseQueue, PreMarkedCellsAreNeverClaimed)
+{
+    TempQueue q(2);
+    ASSERT_EQ(markDoneExternal(q.dir(), 0), "");
+    LeaseQueue a(q.dir(), "wa");
+    std::size_t ia = 99;
+    ASSERT_EQ(a.tryClaim(ia), LeaseQueue::Claim::Got);
+    EXPECT_EQ(ia, 1u);
+    a.markDone(ia);
+    std::size_t ib = 99;
+    EXPECT_EQ(a.tryClaim(ib), LeaseQueue::Claim::AllDone);
+}
+
+} // namespace
+} // namespace seesaw::service

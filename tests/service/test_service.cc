@@ -1,0 +1,276 @@
+/**
+ * @file
+ * End-to-end campaign-service tests, in-process: a synthetic
+ * deterministic campaign runs to completion, gets "killed" partway
+ * (cell budget), resumes, and races two workers — and every route
+ * must converge on a byte-identical canonical store dump. The
+ * cell-run counter proves resume actually skips completed work
+ * instead of silently re-running it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "harness/runner.hh"
+#include "service/broker.hh"
+#include "service/lease_queue.hh"
+#include "service/worker.hh"
+#include "store/result_store.hh"
+#include "store/store_sink.hh"
+
+namespace fs = std::filesystem;
+
+namespace seesaw::service {
+namespace {
+
+constexpr std::size_t kCells = 5;
+
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        std::string templ =
+            (fs::temp_directory_path() / "seesaw-svc-XXXXXX")
+                .string();
+        dir_ = ::mkdtemp(templ.data());
+        EXPECT_FALSE(dir_.empty());
+    }
+
+    ~TempDir() { fs::remove_all(dir_); }
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+};
+
+/** kCells deterministic synthetic cells; every run of cell i is
+ *  counted in @p runs and produces the identical result. */
+harness::CampaignSpec
+makeSpec(std::atomic<std::size_t> *runs)
+{
+    harness::CampaignSpec spec("svc");
+    for (std::size_t i = 0; i < kCells; ++i) {
+        const std::string workload = "wl" + std::to_string(i);
+        spec.cell(
+            workload + "/unit",
+            [workload, i, runs] {
+                if (runs != nullptr)
+                    runs->fetch_add(1, std::memory_order_relaxed);
+                RunResult r;
+                r.workload = workload;
+                r.instructions = 1000 + i;
+                r.cycles = 2000 + 3 * i;
+                r.ipc = 0.5 + 0.01 * static_cast<double>(i);
+                r.l1Accesses = 100 * i;
+                return r;
+            },
+            /*seed=*/1, /*config_hash=*/0x1000 + i, workload);
+    }
+    return spec;
+}
+
+std::string
+dumpOf(const std::string &storeDir)
+{
+    store::StoreSnapshot snap;
+    EXPECT_EQ(store::loadStore(storeDir, snap), "");
+    std::ostringstream os;
+    store::canonicalDump(os, snap);
+    return os.str();
+}
+
+WorkerOptions
+workerOptions(const std::string &storeDir, const std::string &id)
+{
+    WorkerOptions options;
+    options.storeDir = storeDir;
+    options.campaign = "svc";
+    options.workerId = id;
+    options.progress = false;
+    return options;
+}
+
+TEST(Service, KillAndResumeConvergesOnTheUninterruptedRun)
+{
+    std::atomic<std::size_t> runs{0};
+    const harness::CampaignSpec spec = makeSpec(&runs);
+    const auto cells = spec.cells();
+
+    // Reference: one worker drains the whole queue in one go.
+    TempDir serial;
+    PreparedQueue queue;
+    ASSERT_EQ(prepareQueue(serial.dir(), "svc", cells, false, queue),
+              "");
+    EXPECT_EQ(queue.total, kCells);
+    EXPECT_EQ(queue.preDone, 0u);
+    WorkerReport report =
+        runWorker(spec, workerOptions(serial.dir(), "w0"));
+    EXPECT_EQ(report.ran, kCells);
+    EXPECT_EQ(report.skippedPresent, 0u);
+    EXPECT_FALSE(report.stopped);
+    EXPECT_EQ(runs.load(), kCells);
+
+    // "Killed" run: the worker dies after two cells (cell budget
+    // stands in for SIGKILL — same observable store state).
+    TempDir killed;
+    ASSERT_EQ(prepareQueue(killed.dir(), "svc", cells, false, queue),
+              "");
+    WorkerOptions budget = workerOptions(killed.dir(), "w0");
+    budget.maxCells = 2;
+    report = runWorker(spec, budget);
+    EXPECT_EQ(report.ran, 2u);
+    EXPECT_NE(dumpOf(killed.dir()), dumpOf(serial.dir()));
+
+    // Resume: the queue is rebuilt and the two finished cells are
+    // pre-marked done, so the worker runs exactly the missing three.
+    ASSERT_EQ(prepareQueue(killed.dir(), "svc", cells, true, queue),
+              "");
+    EXPECT_EQ(queue.preDone, 2u);
+    const std::size_t runsBefore = runs.load();
+    report = runWorker(spec, workerOptions(killed.dir(), "w1"));
+    EXPECT_EQ(report.ran, kCells - 2);
+    EXPECT_EQ(report.skippedPresent, 0u);
+    EXPECT_EQ(runs.load(), runsBefore + (kCells - 2));
+
+    EXPECT_EQ(dumpOf(killed.dir()), dumpOf(serial.dir()));
+}
+
+TEST(Service, WorkerSkipsCellsTheStoreAlreadyHolds)
+{
+    std::atomic<std::size_t> runs{0};
+    const harness::CampaignSpec spec = makeSpec(&runs);
+    const auto cells = spec.cells();
+
+    TempDir store;
+    PreparedQueue queue;
+    ASSERT_EQ(prepareQueue(store.dir(), "svc", cells, false, queue),
+              "");
+    WorkerOptions budget = workerOptions(store.dir(), "w0");
+    budget.maxCells = 2;
+    ASSERT_EQ(runWorker(spec, budget).ran, 2u);
+
+    // A fresh queue with no resume pre-marking: the worker claims
+    // every cell but provably skips the two already in the store —
+    // the counters, not just the dump, prove no re-execution.
+    ASSERT_EQ(prepareQueue(store.dir(), "svc", cells, false, queue),
+              "");
+    const std::size_t runsBefore = runs.load();
+    const WorkerReport report =
+        runWorker(spec, workerOptions(store.dir(), "w1"));
+    EXPECT_EQ(report.skippedPresent, 2u);
+    EXPECT_EQ(report.ran, kCells - 2);
+    EXPECT_EQ(runs.load(), runsBefore + (kCells - 2));
+}
+
+TEST(Service, TwoConcurrentWorkersPartitionTheQueue)
+{
+    std::atomic<std::size_t> runs{0};
+    const harness::CampaignSpec spec = makeSpec(&runs);
+    const auto cells = spec.cells();
+
+    TempDir store;
+    PreparedQueue queue;
+    ASSERT_EQ(prepareQueue(store.dir(), "svc", cells, false, queue),
+              "");
+    WorkerReport a, b;
+    std::thread ta(
+        [&] { a = runWorker(spec, workerOptions(store.dir(), "wa")); });
+    std::thread tb(
+        [&] { b = runWorker(spec, workerOptions(store.dir(), "wb")); });
+    ta.join();
+    tb.join();
+
+    // Leases make the split exclusive and exhaustive.
+    EXPECT_EQ(a.ran + b.ran, kCells);
+    EXPECT_EQ(runs.load(), kCells);
+
+    TempDir serial;
+    ASSERT_EQ(prepareQueue(serial.dir(), "svc", cells, false, queue),
+              "");
+    runWorker(spec, workerOptions(serial.dir(), "w0"));
+    EXPECT_EQ(dumpOf(store.dir()), dumpOf(serial.dir()));
+}
+
+TEST(Service, ThreadPathAndWorkerPathProduceIdenticalStores)
+{
+    // The --store --jobs path (runCells + StoreSink hook) and the
+    // --workers path (lease queue) must agree byte-for-byte.
+    const harness::CampaignSpec spec = makeSpec(nullptr);
+    const auto cells = spec.cells();
+
+    TempDir threaded;
+    {
+        harness::CampaignMetadata meta;
+        meta.campaign = "svc";
+        meta.gitDescribe = "unit";
+        meta.jobs = 2;
+        store::StoreSink sink(threaded.dir(), meta, "driver");
+        harness::RunnerOptions options;
+        options.jobs = 2;
+        options.progress = false;
+        options.onCellDone = sink.hook();
+        const auto outcome =
+            harness::CampaignRunner(options).runCells("svc", cells);
+        EXPECT_EQ(outcome.results.size(), kCells);
+        EXPECT_FALSE(outcome.interrupted);
+        EXPECT_EQ(sink.recorded(), kCells);
+    }
+
+    TempDir queued;
+    PreparedQueue queue;
+    ASSERT_EQ(prepareQueue(queued.dir(), "svc", cells, false, queue),
+              "");
+    runWorker(spec, workerOptions(queued.dir(), "w0"));
+
+    EXPECT_EQ(dumpOf(threaded.dir()), dumpOf(queued.dir()));
+
+    // And the broker reassembles the same results in cell order.
+    harness::CampaignOutcome outcome;
+    ASSERT_EQ(collectOutcome(queued.dir(), "svc", cells, outcome),
+              "");
+    ASSERT_EQ(outcome.results.size(), kCells);
+    EXPECT_FALSE(outcome.interrupted);
+    for (std::size_t i = 0; i < kCells; ++i) {
+        EXPECT_EQ(outcome.results[i].name, cells[i].name);
+        EXPECT_EQ(outcome.results[i].result.instructions, 1000 + i);
+    }
+}
+
+TEST(Service, StopRequestEndsTheWorkerLoopBetweenCells)
+{
+    std::atomic<std::size_t> runs{0};
+    const harness::CampaignSpec spec = makeSpec(&runs);
+    const auto cells = spec.cells();
+
+    TempDir store;
+    PreparedQueue queue;
+    ASSERT_EQ(prepareQueue(store.dir(), "svc", cells, false, queue),
+              "");
+    harness::requestStop();
+    const WorkerReport report =
+        runWorker(spec, workerOptions(store.dir(), "w0"));
+    harness::clearStopRequest();
+    EXPECT_TRUE(report.stopped);
+    EXPECT_EQ(report.ran, 0u);
+    EXPECT_EQ(runs.load(), 0u);
+
+    // The interrupted store resumes cleanly afterwards.
+    ASSERT_EQ(prepareQueue(store.dir(), "svc", cells, true, queue),
+              "");
+    EXPECT_EQ(queue.preDone, 0u);
+    EXPECT_EQ(runWorker(spec, workerOptions(store.dir(), "w0")).ran,
+              kCells);
+}
+
+} // namespace
+} // namespace seesaw::service

@@ -1,0 +1,109 @@
+/** @file Tests for the store's JSON parser. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/json_value.hh"
+
+namespace seesaw::store {
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, error)) << error;
+    return v;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson(text, v, error)) << "parsed: " << text;
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(JsonValue, ParsesScalars)
+{
+    EXPECT_EQ(parseOk("null").kind, JsonValue::Kind::Null);
+    EXPECT_TRUE(parseOk("true").boolean);
+    EXPECT_FALSE(parseOk("false").boolean);
+    EXPECT_EQ(parseOk("\"hi\"").str, "hi");
+
+    const JsonValue n = parseOk("42");
+    EXPECT_TRUE(n.isNumber());
+    EXPECT_TRUE(n.integral);
+    EXPECT_EQ(n.asU64(), 42u);
+
+    const JsonValue d = parseOk("0.5");
+    EXPECT_TRUE(d.isNumber());
+    EXPECT_FALSE(d.integral);
+    EXPECT_DOUBLE_EQ(d.asDouble(), 0.5);
+}
+
+TEST(JsonValue, IntegerDoubleDistinctionFollowsSyntax)
+{
+    // The store round-trips stats through this parser; whether a
+    // number re-serializes as integer or %.17g double depends only
+    // on how it was spelled.
+    EXPECT_TRUE(parseOk("7").integral);
+    EXPECT_FALSE(parseOk("7.0").integral);
+    EXPECT_FALSE(parseOk("7e0").integral);
+    EXPECT_FALSE(parseOk("-7").integral); // stats are unsigned
+    EXPECT_DOUBLE_EQ(parseOk("-7").asDouble(), -7.0);
+    // An integral value reads back exactly even at 64-bit width.
+    EXPECT_EQ(parseOk("18446744073709551615").asU64(),
+              18446744073709551615ull);
+}
+
+TEST(JsonValue, ObjectsPreserveDocumentOrder)
+{
+    const JsonValue v = parseOk(R"({"z":1,"a":2,"m":3})");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members.size(), 3u);
+    EXPECT_EQ(v.members[0].first, "z");
+    EXPECT_EQ(v.members[1].first, "a");
+    EXPECT_EQ(v.members[2].first, "m");
+    EXPECT_EQ(v.at("a").asU64(), 2u);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, ParsesNestedDocuments)
+{
+    const JsonValue v = parseOk(
+        R"({"stats":{"ipc":1.5,"cycles":10},"per_core":[{"x":1},{"x":2}]})");
+    EXPECT_DOUBLE_EQ(v.at("stats").at("ipc").asDouble(), 1.5);
+    ASSERT_EQ(v.at("per_core").items.size(), 2u);
+    EXPECT_EQ(v.at("per_core").items[1].at("x").asU64(), 2u);
+}
+
+TEST(JsonValue, DecodesEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\"b\\c\nd\te")").str, "a\"b\\c\nd\te");
+    EXPECT_EQ(parseOk(R"("Aé")").str, "A\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedInput)
+{
+    parseError("");
+    parseError("{");
+    parseError("{\"a\":}");
+    parseError("[1,]");
+    parseError("\"unterminated");
+    parseError("{\"a\":1} trailing");
+    parseError("nul");
+}
+
+TEST(JsonValue, ErrorsCarryLineNumbers)
+{
+    const std::string error = parseError("{\n\"a\": 1,\n\"b\": }\n");
+    EXPECT_NE(error.find("3"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace seesaw::store

@@ -13,7 +13,8 @@ WallclockInSimCheck::WallclockInSimCheck(StringRef name,
     : ClangTidyCheck(name, context),
       allowedPathPattern_(Options.get(
           "AllowedPathPattern",
-          "(src/harness|tests|bench|examples|tools)/"))
+          "(src/harness|src/store|src/service|tests|bench|examples|"
+          "tools)/"))
 {
 }
 
