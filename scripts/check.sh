@@ -23,6 +23,10 @@
 #              cells, and match an uninterrupted serial store
 #              bit-for-bit — the local mirror of the CI
 #              campaign-resume job)
+#   threads    Clang Thread Safety Analysis build (-Wthread-safety as
+#              errors over the capability annotations) plus the
+#              compile-fail snippet tests (skipped with a notice when
+#              clang++ is not installed; CI runs it)
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages)
 
@@ -33,7 +37,7 @@ jobs="$(nproc)"
 stages=("$@")
 [ ${#stages[@]} -eq 0 ] && \
     stages=(default audit-off asan-ubsan tsan tidy lint format perf
-        service)
+        service threads)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -147,10 +151,25 @@ for stage in "${stages[@]}"; do
             --campaign-bin "$repo/build/examples/campaign" \
             --store-cli "$repo/build/tools/seesaw_store"
         ;;
+    threads)
+        banner "Clang thread-safety analysis"
+        if ! command -v clang++ > /dev/null; then
+            echo "clang++ not installed; skipping (CI runs it)"
+            continue
+        fi
+        # SEESAW_WERROR=OFF: only the thread-safety groups are promoted
+        # to errors, so a Clang-only -Wall nit cannot mask a finding.
+        cmake -S "$repo" -B "$repo/build-threads" \
+            -DCMAKE_CXX_COMPILER=clang++ \
+            -DSEESAW_THREAD_SAFETY=ON -DSEESAW_WERROR=OFF
+        cmake --build "$repo/build-threads" -j "$jobs"
+        ctest --test-dir "$repo/build-threads" --output-on-failure \
+            -R compile_fail
+        ;;
     *)
         echo "unknown stage: $stage" >&2
         echo "stages: default audit-off asan-ubsan tsan tidy lint" \
-            "format perf service" >&2
+            "format perf service threads" >&2
         exit 1
         ;;
     esac

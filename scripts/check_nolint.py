@@ -14,6 +14,13 @@ colon.  This script fails on:
   * seesaw suppressions without a justification, or with a throwaway
     one (fewer than three words).
 
+The same discipline applies to the thread-safety escape hatch: a
+``SEESAW_NO_THREAD_SAFETY_ANALYSIS`` attribute disables Clang's
+capability analysis for a whole function body, so every use (outside
+its definition in common/thread_annotations.hh) must carry a same-line
+``// <justification>`` comment of three or more words explaining why
+the analysis cannot express the function's locking.
+
 Run as a ctest ("check_nolint") and in CI's lint job.
 """
 
@@ -30,6 +37,12 @@ NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(\([^)]*\))?")
 JUSTIFIED_RE = re.compile(
     r"NOLINT(?:NEXTLINE)?\(([^)]*)\)\s*:\s*(.*\S)")
 MIN_JUSTIFICATION_WORDS = 3
+
+NO_TSA_TOKEN = "SEESAW_NO_THREAD_SAFETY_ANALYSIS"
+NO_TSA_JUSTIFIED_RE = re.compile(
+    NO_TSA_TOKEN + r"\b.*//\s*(.*\S)")
+# The macro's own definition and documentation live here.
+NO_TSA_HOME = os.path.join("src", "common", "thread_annotations.hh")
 
 
 def scan_file(path: str, rel: str) -> "list[str]":
@@ -52,6 +65,19 @@ def scan_file(path: str, rel: str) -> "list[str]":
                         f"{rel}:{lineno}: NOLINT{checks} needs a "
                         f"justification -- write "
                         f"'// NOLINT{checks}: <why this is safe>' "
+                        f"({MIN_JUSTIFICATION_WORDS}+ words)")
+            if NO_TSA_TOKEN in line and rel != NO_TSA_HOME:
+                stripped = line.lstrip()
+                if stripped.startswith(("#", "//", "*")):
+                    continue  # preprocessor line or comment mention
+                jm = NO_TSA_JUSTIFIED_RE.search(line)
+                words = jm.group(1).split() if jm else []
+                if len(words) < MIN_JUSTIFICATION_WORDS:
+                    problems.append(
+                        f"{rel}:{lineno}: {NO_TSA_TOKEN} disables the "
+                        f"capability analysis for the whole function; "
+                        f"add a same-line '// <why the analysis cannot "
+                        f"express this>' justification "
                         f"({MIN_JUSTIFICATION_WORDS}+ words)")
     return problems
 

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hh"
 
 namespace seesaw {
 
@@ -12,10 +13,10 @@ std::atomic<bool> verboseFlag{true};
 
 /** Serializes log lines so parallel campaign cells cannot interleave
  *  partial messages on stderr. */
-std::mutex &
+AnnotatedMutex &
 logMutex()
 {
-    static std::mutex mutex;
+    static AnnotatedMutex mutex;
     return mutex;
 }
 
@@ -41,7 +42,7 @@ logMessage(const char *prefix, const char *file, int line,
 {
     if (!logVerbose())
         return;
-    std::lock_guard lock(logMutex());
+    MutexLock lock(logMutex());
     std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file,
                  line);
 }

@@ -4,9 +4,9 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <mutex>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "harness/thread_pool.hh"
 
 namespace seesaw::harness {
@@ -36,6 +36,7 @@ class Progress
 
     void
     cellDone(const std::string &name, double cell_seconds)
+        SEESAW_EXCLUDES(mutex_)
     {
         const std::size_t done = ++done_;
         if (!enabled_)
@@ -43,7 +44,7 @@ class Progress
         const double elapsed = secondsSince(start_);
         const double eta =
             done ? elapsed / done * (total_ - done) : 0.0;
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         std::fprintf(stderr,
                      "[%s] %zu/%zu %s (%.2fs) elapsed %.1fs eta %.1fs\n",
                      campaign_.c_str(), done, total_, name.c_str(),
@@ -56,14 +57,14 @@ class Progress
     const bool enabled_;
     const Clock::time_point start_;
     std::atomic<std::size_t> done_{0};
-    std::mutex mutex_; //!< keeps stderr lines whole across workers
+    AnnotatedMutex mutex_; //!< keeps stderr lines whole across workers
 };
 
 /** Per-run shared state for the completion callback. */
 struct CellHooks
 {
-    const std::function<void(const CellResult &)> *onCellDone;
-    std::mutex mutex; //!< serializes the callback across workers
+    const std::function<void(const CellResult &)> *const onCellDone;
+    AnnotatedMutex mutex; //!< serializes the callback across workers
 };
 
 CellResult
@@ -81,7 +82,7 @@ runCell(const Cell &cell, Progress &progress, CellHooks &hooks)
         out.workload = out.result.workload;
     progress.cellDone(cell.name, out.wallSeconds);
     if (hooks.onCellDone != nullptr && *hooks.onCellDone) {
-        std::lock_guard lock(hooks.mutex);
+        MutexLock lock(hooks.mutex);
         (*hooks.onCellDone)(out);
     }
     return out;

@@ -8,6 +8,12 @@
  * the field list and CSV header are append-only by convention.
  * Multi-core cells additionally carry "cores" and a "per_core" array
  * in the JSON sink only — single-core documents are unchanged.
+ *
+ * Concurrency: these sinks hold no mutex by design. Each writes a
+ * whole file via tmp+rename from the single thread that owns the
+ * campaign outcome; per-cell serialization during a parallel run
+ * happens under the runner's hook mutex (see harness/runner.cc) or
+ * through the internally-synchronized store::SegmentWriter.
  */
 
 #ifndef SEESAW_HARNESS_SINKS_HH

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::submit(std::function<void()> task)
 {
     SEESAW_ASSERT(task, "cannot submit an empty task");
     {
-        std::unique_lock lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
     }
     wake_.notify_one();
@@ -40,9 +40,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock lock(mutex_);
-    drained_.wait(lock,
-                  [this] { return queue_.empty() && inFlight_ == 0; });
+    MutexLock lock(mutex_);
+    while (!queue_.empty() || inFlight_ != 0)
+        lock.wait(drained_);
     if (firstError_) {
         auto error = firstError_;
         firstError_ = nullptr;
@@ -53,33 +53,35 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock lock(mutex_);
     for (;;) {
-        wake_.wait(lock,
-                   [this] { return stopping_ || !queue_.empty(); });
-        // Drain the queue even when stopping: destructor-initiated
-        // shutdown still runs everything that was submitted.
-        if (queue_.empty()) {
-            if (stopping_)
+        std::function<void()> task;
+        {
+            MutexLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                lock.wait(wake_);
+            // Drain the queue even when stopping: destructor-initiated
+            // shutdown still runs everything that was submitted, so an
+            // empty queue here means stopping_ — time to exit.
+            if (queue_.empty())
                 return;
-            continue;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
         }
-        auto task = std::move(queue_.front());
-        queue_.pop_front();
-        ++inFlight_;
-        lock.unlock();
         std::exception_ptr error;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
         }
-        lock.lock();
-        if (error && !firstError_)
-            firstError_ = error;
-        --inFlight_;
-        if (queue_.empty() && inFlight_ == 0)
-            drained_.notify_all();
+        {
+            MutexLock lock(mutex_);
+            if (error && !firstError_)
+                firstError_ = error;
+            --inFlight_;
+            if (queue_.empty() && inFlight_ == 0)
+                drained_.notify_all();
+        }
     }
 }
 

@@ -6,6 +6,10 @@
  * Tasks are plain callables; the first exception any task throws is
  * captured and rethrown from wait(), so campaign-level failures
  * (SEESAW_FATAL aside, which exits) surface on the submitting thread.
+ *
+ * Locking: all shared state is guarded by mutex_ and annotated for
+ * Clang Thread Safety Analysis (see common/thread_annotations.hh);
+ * tasks always execute with the mutex released.
  */
 
 #ifndef SEESAW_HARNESS_THREAD_POOL_HH
@@ -16,9 +20,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace seesaw::harness {
 
@@ -41,14 +46,14 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue @p task for execution on some worker. */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) SEESAW_EXCLUDES(mutex_);
 
     /**
      * Block until every submitted task has finished, then rethrow the
      * first exception any task raised (if any). The pool stays usable
      * for further submit() calls afterwards.
      */
-    void wait();
+    void wait() SEESAW_EXCLUDES(mutex_);
 
     unsigned threads() const
     {
@@ -56,16 +61,17 @@ class ThreadPool
     }
 
   private:
-    void workerLoop();
+    void workerLoop() SEESAW_EXCLUDES(mutex_);
 
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable wake_;   //!< workers: queue non-empty / stop
     std::condition_variable drained_; //!< waiters: all work finished
-    std::deque<std::function<void()>> queue_;
-    std::size_t inFlight_ = 0; //!< tasks popped but not yet finished
-    bool stopping_ = false;
-    std::exception_ptr firstError_;
-    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_ SEESAW_GUARDED_BY(mutex_);
+    /** Tasks popped but not yet finished. */
+    std::size_t inFlight_ SEESAW_GUARDED_BY(mutex_) = 0;
+    bool stopping_ SEESAW_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ SEESAW_GUARDED_BY(mutex_);
+    std::vector<std::thread> workers_; //!< written only in ctor/dtor
 };
 
 /**

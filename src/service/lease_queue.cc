@@ -75,6 +75,19 @@ claimFile(const std::string &path, const std::string &workerId)
     return true;
 }
 
+/** Read the queue's total cell count; fatal when the queue directory
+ *  does not exist (the broker creates it before workers start). */
+std::size_t
+readCellCount(const std::string &dir)
+{
+    std::ifstream is(dir + "/count");
+    std::size_t total = 0;
+    if (!(is >> total))
+        SEESAW_FATAL("no cell queue at ", dir,
+                     " (missing or unreadable count file)");
+    return total;
+}
+
 } // namespace
 
 std::string
@@ -135,19 +148,15 @@ countDone(const std::string &dir)
 LeaseQueue::LeaseQueue(std::string dir, std::string workerId,
                        double leaseSeconds)
     : dir_(std::move(dir)), workerId_(std::move(workerId)),
-      leaseSeconds_(leaseSeconds)
+      leaseSeconds_(leaseSeconds), total_(readCellCount(dir_))
 {
-    std::ifstream is(dir_ + "/count");
-    if (!(is >> total_))
-        SEESAW_FATAL("no cell queue at ", dir_,
-                     " (missing or unreadable count file)");
 }
 
 LeaseQueue::Claim
 LeaseQueue::tryClaim(std::size_t &index)
 {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         SEESAW_ASSERT(heldLease_.empty(),
                       "claim while already holding a lease");
     }
@@ -197,7 +206,7 @@ LeaseQueue::tryClaim(std::size_t &index)
             continue;
         }
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             heldLease_ = lease;
         }
         index = i;
@@ -209,7 +218,7 @@ LeaseQueue::tryClaim(std::size_t &index)
 void
 LeaseQueue::heartbeat()
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (heldLease_.empty())
         return;
     std::error_code ec;
@@ -235,7 +244,13 @@ LeaseQueue::markDone(std::size_t index)
 void
 LeaseQueue::release()
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
+    releaseLocked();
+}
+
+void
+LeaseQueue::releaseLocked()
+{
     if (heldLease_.empty())
         return;
     std::error_code ec;

@@ -21,8 +21,9 @@
 #define SEESAW_SERVICE_LEASE_QUEUE_HH
 
 #include <cstddef>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.hh"
 
 namespace seesaw::service {
 
@@ -65,28 +66,32 @@ class LeaseQueue
      * encountered on the way are stolen. At most one cell is held at
      * a time; claim again only after markDone()/release().
      */
-    Claim tryClaim(std::size_t &index);
+    Claim tryClaim(std::size_t &index) SEESAW_EXCLUDES(mutex_);
 
     /** Refresh the held lease's mtime (heartbeat thread). No-op when
      *  nothing is held. */
-    void heartbeat();
+    void heartbeat() SEESAW_EXCLUDES(mutex_);
 
     /** Record cell @p index done and drop its lease. */
-    void markDone(std::size_t index);
+    void markDone(std::size_t index) SEESAW_EXCLUDES(mutex_);
 
     /** Drop the held lease without a done marker (graceful stop: the
      *  cell goes back to the pool immediately). */
-    void release();
+    void release() SEESAW_EXCLUDES(mutex_);
 
     std::size_t totalCells() const { return total_; }
 
   private:
-    std::string dir_;
-    std::string workerId_;
-    double leaseSeconds_;
-    std::size_t total_ = 0;
-    std::mutex mutex_;        //!< guards held_
-    std::string heldLease_;   //!< path of the held lease file, or ""
+    /** release() body for callers already holding mutex_. */
+    void releaseLocked() SEESAW_REQUIRES(mutex_);
+
+    const std::string dir_;
+    const std::string workerId_;
+    const double leaseSeconds_;
+    const std::size_t total_;
+    AnnotatedMutex mutex_; //!< guards heldLease_
+    /** Path of the held lease file, or "". */
+    std::string heldLease_ SEESAW_GUARDED_BY(mutex_);
 };
 
 } // namespace seesaw::service

@@ -3,10 +3,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "harness/runner.hh"
 #include "harness/sinks.hh"
 #include "service/lease_queue.hh"
@@ -32,7 +32,7 @@ class HeartbeatThread
     ~HeartbeatThread()
     {
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             stop_ = true;
         }
         cv_.notify_all();
@@ -41,20 +41,31 @@ class HeartbeatThread
 
   private:
     void
-    loop()
+    loop() SEESAW_EXCLUDES(mutex_)
     {
-        std::unique_lock lock(mutex_);
-        while (!cv_.wait_for(lock, interval_,
-                             [this] { return stop_; }))
+        for (;;) {
+            {
+                MutexLock lock(mutex_);
+                if (!stop_)
+                    lock.waitFor(cv_, interval_);
+                if (stop_)
+                    return;
+            }
+            // Heartbeat with mutex_ released: LeaseQueue::heartbeat()
+            // takes the queue's own mutex, and nesting it under ours
+            // would put an unrelated lock inside this class's critical
+            // section (seesaw-lock-order flags exactly that shape). A
+            // spurious early wakeup just touches the lease sooner.
             queue_.heartbeat();
+        }
     }
 
     LeaseQueue &queue_;
     const std::chrono::duration<double> interval_;
     std::thread thread_;
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable cv_;
-    bool stop_ = false;
+    bool stop_ SEESAW_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace

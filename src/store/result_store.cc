@@ -1,5 +1,7 @@
 #include "store/result_store.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -437,8 +439,12 @@ canonicalDump(std::ostream &os, const StoreSnapshot &snap)
         writeRecordLine(os, record, /*volatileFields=*/false);
 }
 
-SegmentWriter::SegmentWriter(const std::string &dir,
-                             const std::string &writerName)
+namespace {
+
+/** Initialize the store (fatal on schema mismatch) and derive the
+ *  sanitized segment path for @p writerName. */
+std::string
+writerSegmentPath(const std::string &dir, const std::string &writerName)
 {
     if (std::string error = initStore(dir); !error.empty())
         SEESAW_FATAL("result store: ", error);
@@ -451,7 +457,16 @@ SegmentWriter::SegmentWriter(const std::string &dir,
         safe += ok ? c : '_';
     }
     SEESAW_ASSERT(!safe.empty(), "segment writer needs a name");
-    path_ = segmentsDir(dir) + "/" + safe + ".jsonl";
+    return segmentsDir(dir) + "/" + safe + ".jsonl";
+}
+
+} // namespace
+
+SegmentWriter::SegmentWriter(const std::string &dir,
+                             const std::string &writerName)
+    : path_(writerSegmentPath(dir, writerName)),
+      ownerPid_(static_cast<long>(::getpid()))
+{
     os_.open(path_, std::ios::app);
     if (!os_)
         SEESAW_FATAL("cannot open store segment ", path_);
@@ -460,12 +475,26 @@ SegmentWriter::SegmentWriter(const std::string &dir,
 void
 SegmentWriter::upsert(const CellRecord &record)
 {
+    // Single-writer-per-segment (see the class comment): a fork()ed
+    // child reusing an inherited writer would interleave two
+    // processes' appends into one segment — a corruption no
+    // single-process tool can see, hence the always-on check.
+    SEESAW_ASSERT(static_cast<long>(::getpid()) == ownerPid_,
+                  "SegmentWriter for ", path_, " is owned by pid ",
+                  ownerPid_, "; fork/exec workers must construct "
+                  "their own writer");
     // Serialize to memory first so the file only ever receives whole
     // lines; the flush bounds crash loss to the final line.
     std::ostringstream line;
     writeRecordLine(line, record);
-    std::lock_guard lock(mutex_);
-    os_ << line.str();
+    MutexLock lock(mutex_);
+    appendLineLocked(line.str());
+}
+
+void
+SegmentWriter::appendLineLocked(const std::string &line)
+{
+    os_ << line;
     os_.flush();
     if (!os_)
         SEESAW_FATAL("short write to store segment ", path_);

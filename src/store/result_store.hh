@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "harness/runner.hh"
 #include "store/json_value.hh"
 
@@ -163,8 +163,19 @@ void canonicalDump(std::ostream &os, const StoreSnapshot &snap);
 
 /**
  * Appends records to one segment file, one flushed line per upsert.
- * Thread-safe; construct one per (campaign, writer) and keep it for
- * the campaign's lifetime so appends stay ordered.
+ * Thread-safe across threads of the constructing process; construct
+ * one per (campaign, writer) and keep it for the campaign's lifetime
+ * so appends stay ordered.
+ *
+ * Single-writer-per-segment: the segment file belongs to exactly one
+ * process for the writer's lifetime. Worker IDs embed the pid, so two
+ * live processes never share a segment — but a fork() that keeps
+ * using an inherited writer would interleave two processes' buffered
+ * appends into one file, a corruption neither tsan (single process)
+ * nor the thread-safety analysis (single address space) can see.
+ * upsert() therefore asserts the calling process is the one that
+ * constructed the writer; fork/exec workers (service/broker) each
+ * construct their own.
  */
 class SegmentWriter
 {
@@ -173,15 +184,21 @@ class SegmentWriter
      *  segments/<writerName>.jsonl for append. */
     SegmentWriter(const std::string &dir, const std::string &writerName);
 
-    /** Append @p record and flush (fatal on a write error). */
-    void upsert(const CellRecord &record);
+    /** Append @p record and flush (fatal on a write error or when
+     *  called from a process other than the constructing one). */
+    void upsert(const CellRecord &record) SEESAW_EXCLUDES(mutex_);
 
     const std::string &path() const { return path_; }
 
   private:
-    std::string path_;
-    std::ofstream os_;
-    std::mutex mutex_;
+    /** Write @p line (newline included) and flush; fatal on error. */
+    void appendLineLocked(const std::string &line)
+        SEESAW_REQUIRES(mutex_);
+
+    const std::string path_;
+    const long ownerPid_; //!< process that owns this segment
+    AnnotatedMutex mutex_;
+    std::ofstream os_ SEESAW_GUARDED_BY(mutex_);
 };
 
 } // namespace seesaw::store

@@ -51,8 +51,8 @@ class StoreSink
     std::size_t recorded() const { return recorded_; }
 
   private:
-    harness::CampaignMetadata meta_;
-    SegmentWriter writer_;
+    const harness::CampaignMetadata meta_;
+    SegmentWriter writer_; //!< internally synchronized
     std::atomic<std::size_t> recorded_{0};
 };
 

@@ -1,0 +1,27 @@
+// Acquiring a mutex a scope already holds must be rejected: on a
+// non-recursive mutex this is a guaranteed self-deadlock.
+// EXPECT-ERROR: already held
+
+#include "common/thread_annotations.hh"
+
+class Door
+{
+  public:
+    void
+    slam() SEESAW_EXCLUDES(mutex_)
+    {
+        seesaw::MutexLock first(mutex_);
+        seesaw::MutexLock second(mutex_); // deadlock
+    }
+
+  private:
+    seesaw::AnnotatedMutex mutex_;
+};
+
+int
+main()
+{
+    Door door;
+    door.slam();
+    return 0;
+}

@@ -1,0 +1,36 @@
+// A ...Locked() helper that touches guarded state but forgot its
+// SEESAW_REQUIRES(mutex_) annotation must be rejected: without the
+// precondition the analysis sees an unguarded access inside the
+// helper (and callers holding the lock get no checking either).
+// EXPECT-ERROR: requires holding mutex 'mutex_'
+
+#include "common/thread_annotations.hh"
+
+class Store
+{
+  public:
+    void
+    flush() SEESAW_EXCLUDES(mutex_)
+    {
+        seesaw::MutexLock lock(mutex_);
+        flushLocked();
+    }
+
+  private:
+    void
+    flushLocked() // forgot SEESAW_REQUIRES(mutex_)
+    {
+        pending_ = 0;
+    }
+
+    seesaw::AnnotatedMutex mutex_;
+    unsigned long pending_ SEESAW_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Store store;
+    store.flush();
+    return 0;
+}

@@ -1,0 +1,36 @@
+// Control snippet (no EXPECT-ERROR): the sanctioned locking pattern —
+// EXCLUDES on the public method, a scoped MutexLock, guarded state
+// touched only through a REQUIRES-annotated helper — must compile
+// cleanly under -Wthread-safety -Werror.  If this fails, the harness
+// is broken (or the annotation layer is), not the snippets.
+
+#include "common/thread_annotations.hh"
+
+class Counter
+{
+  public:
+    void
+    bump() SEESAW_EXCLUDES(mutex_)
+    {
+        seesaw::MutexLock lock(mutex_);
+        bumpLocked();
+    }
+
+  private:
+    void
+    bumpLocked() SEESAW_REQUIRES(mutex_)
+    {
+        value_ += 1;
+    }
+
+    seesaw::AnnotatedMutex mutex_;
+    unsigned long value_ SEESAW_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

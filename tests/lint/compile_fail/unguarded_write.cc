@@ -1,0 +1,27 @@
+// A write to a SEESAW_GUARDED_BY field without holding its mutex must
+// be rejected by the thread-safety build.
+// EXPECT-ERROR: requires holding mutex 'mutex_'
+
+#include "common/thread_annotations.hh"
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        value_ += 1; // no lock held
+    }
+
+  private:
+    seesaw::AnnotatedMutex mutex_;
+    unsigned long value_ SEESAW_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

@@ -1,0 +1,50 @@
+// seesaw-lock-in-hot-path negative fixture: the per-access root is a
+// pure function of its inputs; locking confined to harness-side code
+// that is not reachable from the root produces zero diagnostics.
+// The test overrides HotPathRootPattern to ^fixture::Engine::access$.
+
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace fixture {
+
+class Recorder
+{
+  public:
+    void
+    record() SEESAW_EXCLUDES(mutex_)
+    {
+        seesaw::MutexLock lock(mutex_);
+        count_ += 1;
+    }
+
+  private:
+    seesaw::AnnotatedMutex mutex_;
+    unsigned long count_ SEESAW_GUARDED_BY(mutex_) = 0;
+};
+
+class Engine
+{
+  public:
+    unsigned long
+    access(unsigned long addr)
+    {
+        table_ ^= addr;
+        return table_;
+    }
+
+  private:
+    unsigned long table_ = 0;
+};
+
+// The harness drives the engine and records around it; record() is a
+// caller-side sibling of access(), not reachable from it.
+void
+drive(Engine &engine, Recorder &recorder)
+{
+    engine.access(1);
+    recorder.record();
+}
+
+} // namespace fixture

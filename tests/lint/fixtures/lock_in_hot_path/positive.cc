@@ -1,0 +1,45 @@
+// seesaw-lock-in-hot-path positive fixture: mutex acquisition inside
+// or reachable from a per-access root method must be diagnosed — a
+// direct scoped guard in the root itself, a call to a function whose
+// declaration says it locks internally (SEESAW_EXCLUDES, the
+// cross-TU case), and the guard inside that callee's in-TU body.
+// The test overrides HotPathRootPattern to ^fixture::Engine::access$.
+
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace fixture {
+
+class Stats
+{
+  public:
+    void
+    publish() SEESAW_EXCLUDES(mutex_)
+    {
+        seesaw::MutexLock lock(mutex_); // EXPECT-WARN: reachable from the root
+    }
+
+  private:
+    seesaw::AnnotatedMutex mutex_;
+};
+
+class Engine
+{
+  public:
+    unsigned long
+    access(unsigned long addr)
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_); // EXPECT-WARN: guard in the root
+        table_ += addr;
+        stats_.publish(); // EXPECT-WARN: callee locks internally
+        return table_;
+    }
+
+  private:
+    Stats stats_;
+    std::mutex tableMutex_;
+    unsigned long table_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,88 @@
+// seesaw-lock-order negative fixture: a consistent acquisition order
+// (always Source::mutex_ before Sink::mutex_), REQUIRES-annotated
+// ...Locked() helpers, and sequential (non-nested) acquisition are
+// all clean — the acquisition graph is acyclic, so zero diagnostics.
+
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+using seesaw::AnnotatedMutex;
+using seesaw::MutexLock;
+
+namespace fixture {
+
+class Sink
+{
+  public:
+    void
+    flush() SEESAW_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+    }
+
+    AnnotatedMutex mutex_;
+};
+
+class Source
+{
+  public:
+    // One sanctioned order: Source::mutex_, then Sink::mutex_.
+    void
+    emit(Sink &sink)
+    {
+        MutexLock lock(mutex_);
+        sink.flush();
+    }
+
+    void
+    push(Sink &sink)
+    {
+        MutexLock mine(mutex_);
+        MutexLock theirs(sink.mutex_);
+    }
+
+    // Locked-helper pattern: the callee declares the precondition
+    // instead of re-acquiring.
+    void
+    reset()
+    {
+        MutexLock lock(mutex_);
+        resetLocked();
+    }
+
+  private:
+    void
+    resetLocked() SEESAW_REQUIRES(mutex_)
+    {
+        generation_ += 1;
+    }
+
+    AnnotatedMutex mutex_;
+    unsigned long generation_ SEESAW_GUARDED_BY(mutex_) = 0;
+};
+
+// Sequential acquisition (scopes never overlap) is not nesting.
+void
+sequential(Sink &sink)
+{
+    {
+        MutexLock lock(sink.mutex_);
+    }
+    sink.flush();
+}
+
+// Raw lock released before the next mutex is taken.
+std::mutex gFirst;
+std::mutex gSecond;
+
+void
+handover()
+{
+    gFirst.lock();
+    gFirst.unlock();
+    gSecond.lock();
+    gSecond.unlock();
+}
+
+} // namespace fixture

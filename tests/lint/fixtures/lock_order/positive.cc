@@ -1,0 +1,86 @@
+// seesaw-lock-order positive fixture: inconsistent nesting of the
+// same pair of mutexes must be diagnosed on every edge of the cycle,
+// whether the inner acquisition is a scoped guard, a raw .lock(), or
+// a call to a function whose declaration says it locks internally
+// (SEESAW_EXCLUDES) — the cross-TU case.  A re-acquire of a mutex the
+// path already holds is the degenerate one-node cycle.
+
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+using seesaw::AnnotatedMutex;
+using seesaw::MutexLock;
+
+namespace fixture {
+
+class Sink
+{
+  public:
+    void
+    flush() SEESAW_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+    }
+
+    AnnotatedMutex mutex_;
+};
+
+class Source
+{
+  public:
+    void
+    emit(Sink &sink)
+    {
+        MutexLock lock(mutex_);
+        sink.flush(); // EXPECT-WARN: Source::mutex_ -> Sink::mutex_
+    }
+
+    void pull(Sink &sink);
+
+    AnnotatedMutex mutex_;
+};
+
+void
+Source::pull(Sink &sink)
+{
+    MutexLock outer(sink.mutex_);
+    MutexLock inner(mutex_); // EXPECT-WARN: Sink::mutex_ -> Source::mutex_
+}
+
+// The same cycle out of raw std::mutex operations.
+std::mutex gFirst;
+std::mutex gSecond;
+
+void
+rawForward()
+{
+    gFirst.lock();
+    gSecond.lock(); // EXPECT-WARN: gFirst -> gSecond
+    gSecond.unlock();
+    gFirst.unlock();
+}
+
+void
+guardBackward()
+{
+    std::lock_guard<std::mutex> outer(gSecond);
+    std::lock_guard<std::mutex> inner(gFirst); // EXPECT-WARN: gSecond -> gFirst
+}
+
+// Double acquire: self-deadlock on a non-recursive mutex.
+class Recursive
+{
+  public:
+    void
+    reenter()
+    {
+        MutexLock outer(mutex_);
+        MutexLock again(mutex_); // EXPECT-WARN: already held
+    }
+
+  private:
+    AnnotatedMutex mutex_;
+};
+
+} // namespace fixture

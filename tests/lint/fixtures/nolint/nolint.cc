@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <ctime>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 struct CacheLine
@@ -40,3 +42,11 @@ sortLines(std::vector<CacheLine *> &lines)
     std::sort(lines.begin(),
               lines.end()); // NOLINT(seesaw-pointer-ordering): order is re-normalised by id immediately after
 }
+
+class WorkerSet
+{
+  private:
+    std::mutex mutex_;
+    std::vector<CacheLine>
+        scratch_; // NOLINT(seesaw-unguarded-shared-state): written only before the workers launch
+};

@@ -1,0 +1,50 @@
+// seesaw-unguarded-shared-state negative fixture: every member of a
+// mutex-owning class is accounted for — annotated with
+// SEESAW_GUARDED_BY / SEESAW_PT_GUARDED_BY, const, a reference, an
+// atomic, or a synchronization/thread-handle type.  Classes without a
+// mutex member make no locking promises and are never examined.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+
+namespace fixture {
+
+class Guarded
+{
+  public:
+    explicit Guarded(const std::string &name) : name_(name) {}
+
+  private:
+    seesaw::AnnotatedMutex mutex_;
+    std::size_t hits_ SEESAW_GUARDED_BY(mutex_) = 0;
+    std::string *items_ SEESAW_PT_GUARDED_BY(mutex_) = nullptr;
+    const double scale_ = 1.0;
+    const std::string &name_;
+    std::atomic<unsigned> fast_{0};
+    std::condition_variable wake_;
+    std::thread worker_;
+    std::vector<std::thread> pool_;
+};
+
+class RawGuarded
+{
+  private:
+    std::mutex mutex_;
+    unsigned long total_ SEESAW_GUARDED_BY(mutex_) = 0;
+};
+
+class NoMutex
+{
+  private:
+    int anything_ = 0;
+    double atAll_ = 0.0;
+};
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// seesaw-unguarded-shared-state positive fixture: mutable, non-atomic
+// members of classes that own a mutex (AnnotatedMutex or a raw
+// std::mutex) but carry no SEESAW_GUARDED_BY annotation must be
+// diagnosed — they are invisible to the thread-safety analysis.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "common/thread_annotations.hh"
+
+namespace fixture {
+
+class Counters
+{
+  private:
+    seesaw::AnnotatedMutex mutex_;
+    std::size_t hits_ = 0;   // EXPECT-WARN
+    double hitRatio_ = 0.0;  // EXPECT-WARN
+    std::string label_;      // EXPECT-WARN
+};
+
+class RawMutexOwner
+{
+  private:
+    std::mutex mutex_;
+    unsigned long total_ = 0; // EXPECT-WARN
+    bool dirty_ = false;      // EXPECT-WARN
+};
+
+} // namespace fixture

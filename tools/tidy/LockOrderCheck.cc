@@ -1,0 +1,282 @@
+#include "LockOrderCheck.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "LockUtil.hh"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::seesaw {
+
+namespace {
+
+/** Canonical, unqualified type of a member call's object (pointers
+ *  peeled), or "" when unavailable. */
+std::string
+objectTypeString(const Expr *object)
+{
+    if (object == nullptr)
+        return "";
+    QualType type = object->getType();
+    if (type.isNull())
+        return "";
+    if (type->isPointerType())
+        type = type->getPointeeType();
+    return type.getCanonicalType().getUnqualifiedType().getAsString();
+}
+
+} // namespace
+
+void
+LockOrderCheck::registerMatchers(ast_matchers::MatchFinder *finder)
+{
+    finder->addMatcher(
+        functionDecl(isDefinition(),
+                     unless(isExpansionInSystemHeader()))
+            .bind("fn"),
+        this);
+}
+
+void
+LockOrderCheck::addAcquisition(const std::vector<std::string> &held,
+                               const std::string &to,
+                               SourceLocation loc)
+{
+    for (const std::string &from : held)
+        edges_.try_emplace({from, to}, loc);
+}
+
+void
+LockOrderCheck::walk(const Stmt *stmt, std::vector<std::string> &held)
+{
+    if (stmt == nullptr)
+        return;
+
+    if (const auto *compound = dyn_cast<CompoundStmt>(stmt)) {
+        const std::size_t mark = held.size();
+        for (const Stmt *child : compound->body())
+            walk(child, held);
+        // Scoped guards (and approximate raw .lock()s) die with the
+        // scope; only truncate — an unlock() may have popped deeper.
+        if (held.size() > mark)
+            held.resize(mark);
+        return;
+    }
+
+    if (const auto *declStmt = dyn_cast<DeclStmt>(stmt)) {
+        // Initializers first: their own calls run before the guard
+        // is held.
+        for (const Stmt *child : stmt->children())
+            walk(child, held);
+        for (const Decl *decl : declStmt->decls()) {
+            const auto *var = dyn_cast<VarDecl>(decl);
+            if (var == nullptr ||
+                !isLockGuardType(canonicalTypeString(var)))
+                continue;
+            const Expr *init = var->getInit();
+            if (init == nullptr)
+                continue;
+            const auto *ctor = dyn_cast<CXXConstructExpr>(
+                init->IgnoreParenImpCasts());
+            if (ctor == nullptr)
+                continue;
+            for (const Expr *arg : ctor->arguments()) {
+                std::string name = mutexName(arg);
+                if (name.empty())
+                    continue;
+                addAcquisition(held, name, var->getBeginLoc());
+                held.push_back(std::move(name));
+            }
+        }
+        return;
+    }
+
+    if (const auto *memberCall = dyn_cast<CXXMemberCallExpr>(stmt)) {
+        for (const Stmt *child : stmt->children())
+            walk(child, held);
+        const CXXMethodDecl *method = memberCall->getMethodDecl();
+        if (method == nullptr)
+            return;
+        const Expr *object = memberCall->getImplicitObjectArgument();
+        if (isMutexType(objectTypeString(object))) {
+            const std::string name = mutexName(object);
+            if (!name.empty()) {
+                const std::string methodName =
+                    method->getNameAsString();
+                if (methodName == "lock" ||
+                    methodName == "try_lock") {
+                    addAcquisition(held, name,
+                                   memberCall->getBeginLoc());
+                    held.push_back(name);
+                    return;
+                }
+                if (methodName == "unlock") {
+                    for (auto it = held.rbegin(); it != held.rend();
+                         ++it) {
+                        if (*it == name) {
+                            held.erase(std::next(it).base());
+                            break;
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        handleCallee(method, held, memberCall->getBeginLoc());
+        return;
+    }
+
+    if (const auto *call = dyn_cast<CallExpr>(stmt)) {
+        for (const Stmt *child : stmt->children())
+            walk(child, held);
+        if (const FunctionDecl *callee = call->getDirectCallee())
+            handleCallee(callee, held, call->getBeginLoc());
+        return;
+    }
+
+    for (const Stmt *child : stmt->children())
+        walk(child, held);
+}
+
+void
+LockOrderCheck::handleCallee(const FunctionDecl *callee,
+                             const std::vector<std::string> &held,
+                             SourceLocation loc)
+{
+    // The declaration's capability attributes stand in for the body,
+    // which may live in another translation unit: calling a function
+    // that acquires (SEESAW_ACQUIRE) or internally takes
+    // (SEESAW_EXCLUDES) a mutex while we hold one creates an edge.
+    for (const auto *attr :
+         callee->specific_attrs<AcquireCapabilityAttr>()) {
+        for (const std::string &name : attrMutexNames(attr))
+            addAcquisition(held, name, loc);
+    }
+    for (const auto *attr :
+         callee->specific_attrs<LocksExcludedAttr>()) {
+        for (const std::string &name : attrMutexNames(attr))
+            addAcquisition(held, name, loc);
+    }
+}
+
+void
+LockOrderCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &result)
+{
+    const auto *fn = result.Nodes.getNodeAs<FunctionDecl>("fn");
+    if (fn == nullptr || !fn->doesThisDeclarationHaveABody())
+        return;
+    const Stmt *body = fn->getBody();
+    if (body == nullptr)
+        return;
+
+    // SEESAW_REQUIRES preconditions count as held on entry.
+    std::vector<std::string> held;
+    for (const auto *attr :
+         fn->specific_attrs<RequiresCapabilityAttr>()) {
+        for (std::string &name : attrMutexNames(attr))
+            held.push_back(std::move(name));
+    }
+    walk(body, held);
+}
+
+void
+LockOrderCheck::onEndOfTranslationUnit()
+{
+    // Tarjan's SCC over the decl-named mutex graph; every edge whose
+    // endpoints share a component lies on a cycle.
+    std::map<std::string, std::vector<std::string>> adjacency;
+    for (const auto &[edge, loc] : edges_) {
+        adjacency[edge.first].push_back(edge.second);
+        adjacency.try_emplace(edge.second);
+    }
+
+    std::map<std::string, int> index;
+    std::map<std::string, int> lowLink;
+    std::map<std::string, int> component;
+    std::vector<std::string> stack;
+    std::set<std::string> onStack;
+    int nextIndex = 0;
+    int nextComponent = 0;
+
+    std::function<void(const std::string &)> strongConnect =
+        [&](const std::string &node) {
+            index[node] = lowLink[node] = nextIndex++;
+            stack.push_back(node);
+            onStack.insert(node);
+            for (const std::string &next : adjacency[node]) {
+                if (index.find(next) == index.end()) {
+                    strongConnect(next);
+                    lowLink[node] =
+                        std::min(lowLink[node], lowLink[next]);
+                } else if (onStack.count(next)) {
+                    lowLink[node] =
+                        std::min(lowLink[node], index[next]);
+                }
+            }
+            if (lowLink[node] == index[node]) {
+                for (;;) {
+                    const std::string top = stack.back();
+                    stack.pop_back();
+                    onStack.erase(top);
+                    component[top] = nextComponent;
+                    if (top == node)
+                        break;
+                }
+                ++nextComponent;
+            }
+        };
+    for (const auto &[node, targets] : adjacency) {
+        (void)targets;
+        if (index.find(node) == index.end())
+            strongConnect(node);
+    }
+
+    std::map<int, int> componentSize;
+    for (const auto &[node, comp] : component) {
+        (void)node;
+        ++componentSize[comp];
+    }
+
+    for (const auto &[edge, loc] : edges_) {
+        const auto &[from, to] = edge;
+        if (from == to) {
+            diag(loc,
+                 "mutex '%0' is acquired on a path that already "
+                 "holds it (double acquire: self-deadlock on a "
+                 "non-recursive mutex)")
+                << from;
+            continue;
+        }
+        if (component[from] != component[to] ||
+            componentSize[component[from]] < 2)
+            continue;
+        std::vector<std::string> members;
+        for (const auto &[node, comp] : component) {
+            if (comp == component[from])
+                members.push_back(node);
+        }
+        std::sort(members.begin(), members.end());
+        std::string cycle;
+        for (const std::string &member : members) {
+            if (!cycle.empty())
+                cycle += ", ";
+            cycle += "'" + member + "'";
+        }
+        diag(loc,
+             "acquiring mutex '%0' while holding '%1' completes a "
+             "lock-order cycle among {%2}; pick one acquisition "
+             "order (DESIGN.md \"Concurrency rules\")")
+            << to << from << cycle;
+    }
+
+    edges_.clear();
+}
+
+} // namespace clang::tidy::seesaw

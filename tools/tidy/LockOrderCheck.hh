@@ -1,0 +1,72 @@
+/**
+ * @file
+ * seesaw-lock-order: builds the static mutex-acquisition graph of the
+ * translation unit and flags every edge that participates in a cycle —
+ * the deadlock lint the per-function thread-safety analysis cannot
+ * express.
+ *
+ * Nodes are decl-named mutexes (see LockUtil.hh). An edge A -> B is
+ * recorded whenever B is acquired while A is held: scoped guards
+ * (MutexLock, std::lock_guard/unique_lock/...), raw .lock()/.unlock()
+ * calls, and — crucially — calls to functions whose declarations carry
+ * SEESAW_ACQUIRE / SEESAW_EXCLUDES, which is how acquisitions hidden
+ * in other translation units enter the graph. A self-edge (the same
+ * mutex acquired twice on one path) is reported as a double-acquire.
+ *
+ * Rule (DESIGN.md "Concurrency rules"): the sanctioned lock order is
+ * acyclic — never call into another lock-owning component while
+ * holding your own mutex.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_LOCK_ORDER_CHECK_HH
+#define SEESAW_TOOLS_TIDY_LOCK_ORDER_CHECK_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class LockOrderCheck : public ClangTidyCheck
+{
+  public:
+    LockOrderCheck(StringRef name, ClangTidyContext *context)
+        : ClangTidyCheck(name, context)
+    {
+    }
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void onEndOfTranslationUnit() override;
+
+  private:
+    /** Record "to acquired while holding every mutex in held". */
+    void addAcquisition(const std::vector<std::string> &held,
+                        const std::string &to, SourceLocation loc);
+
+    /** Edges implied by @p callee's capability attributes. */
+    void handleCallee(const FunctionDecl *callee,
+                      const std::vector<std::string> &held,
+                      SourceLocation loc);
+
+    /** Recursive statement walk tracking the held-lock stack. */
+    void walk(const Stmt *stmt, std::vector<std::string> &held);
+
+    /** (from, to) -> first source location that created the edge. */
+    std::map<std::pair<std::string, std::string>, SourceLocation>
+        edges_;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_LOCK_ORDER_CHECK_HH

@@ -1,0 +1,59 @@
+#include "LockUtil.hh"
+
+#include "clang/AST/ExprCXX.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::seesaw {
+
+std::string
+mutexName(const Expr *expr)
+{
+    if (expr == nullptr)
+        return "";
+    expr = expr->IgnoreParenImpCasts();
+    if (const auto *unary = dyn_cast<UnaryOperator>(expr)) {
+        // &mutex_ / *mutexPtr in attribute arguments.
+        if (unary->getOpcode() == UO_AddrOf ||
+            unary->getOpcode() == UO_Deref)
+            return mutexName(unary->getSubExpr());
+    }
+    if (const auto *member = dyn_cast<MemberExpr>(expr))
+        return member->getMemberDecl()->getQualifiedNameAsString();
+    if (const auto *ref = dyn_cast<DeclRefExpr>(expr))
+        return ref->getDecl()->getQualifiedNameAsString();
+    if (const auto *call = dyn_cast<CallExpr>(expr)) {
+        // logMutex()-style accessors: the returned static is the
+        // capability, so the accessor's name identifies it.
+        if (const FunctionDecl *fn = call->getDirectCallee())
+            return fn->getQualifiedNameAsString() + "()";
+    }
+    return "";
+}
+
+bool
+isMutexType(const std::string &type)
+{
+    // Ends-with match so guard types ("MutexLock") do not count.
+    static const llvm::Regex pattern("[Mm]utex$");
+    return pattern.match(type);
+}
+
+bool
+isLockGuardType(const std::string &type)
+{
+    static const llvm::Regex pattern(
+        "std::(lock_guard|unique_lock|scoped_lock|shared_lock)<|"
+        "seesaw::MutexLock$");
+    return pattern.match(type);
+}
+
+std::string
+canonicalTypeString(const ValueDecl *decl)
+{
+    QualType type = decl->getType();
+    if (type.isNull())
+        return "";
+    return type.getCanonicalType().getUnqualifiedType().getAsString();
+}
+
+} // namespace clang::tidy::seesaw

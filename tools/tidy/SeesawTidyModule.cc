@@ -1,9 +1,10 @@
 /**
  * @file
- * seesaw-tidy: the project's clang-tidy module. Registers the six
- * seesaw-* checks that machine-check the determinism and hot-path
- * conventions every campaign-level guarantee rests on (bit-identical
- * serial-vs-parallel runs, the cores=1 golden, the pinned nightly).
+ * seesaw-tidy: the project's clang-tidy module. Registers the nine
+ * seesaw-* checks that machine-check the determinism, hot-path, and
+ * concurrency conventions every campaign-level guarantee rests on
+ * (bit-identical serial-vs-parallel runs, the cores=1 golden, the
+ * pinned nightly, deadlock-free lock ordering).
  *
  * Built as an out-of-tree plugin and loaded with
  *   clang-tidy -load libSeesawTidy.so -checks='seesaw-*' ...
@@ -15,10 +16,13 @@
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
 #include "AuditSideEffectCheck.hh"
+#include "LockInHotPathCheck.hh"
+#include "LockOrderCheck.hh"
 #include "NondeterministicIterationCheck.hh"
 #include "PointerOrderingCheck.hh"
 #include "RawRandomCheck.hh"
 #include "StringStatLookupCheck.hh"
+#include "UnguardedSharedStateCheck.hh"
 #include "WallclockInSimCheck.hh"
 
 namespace clang::tidy::seesaw {
@@ -40,6 +44,11 @@ class SeesawTidyModule : public ClangTidyModule
             "seesaw-pointer-ordering");
         factories.registerCheck<AuditSideEffectCheck>(
             "seesaw-audit-side-effect");
+        factories.registerCheck<LockOrderCheck>("seesaw-lock-order");
+        factories.registerCheck<UnguardedSharedStateCheck>(
+            "seesaw-unguarded-shared-state");
+        factories.registerCheck<LockInHotPathCheck>(
+            "seesaw-lock-in-hot-path");
     }
 };
 

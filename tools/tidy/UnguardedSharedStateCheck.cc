@@ -1,0 +1,85 @@
+#include "UnguardedSharedStateCheck.hh"
+
+#include "LockUtil.hh"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::seesaw {
+
+UnguardedSharedStateCheck::UnguardedSharedStateCheck(
+    StringRef name, ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      exemptTypePattern_(Options.get(
+          "ExemptTypePattern",
+          "std::(__[0-9]+::)?(atomic|thread|jthread|condition_variable|"
+          "once_flag|stop_token|stop_source|latch|barrier|"
+          "counting_semaphore|binary_semaphore)"))
+{
+}
+
+void
+UnguardedSharedStateCheck::storeOptions(
+    ClangTidyOptions::OptionMap &opts)
+{
+    Options.store(opts, "ExemptTypePattern", exemptTypePattern_);
+}
+
+void
+UnguardedSharedStateCheck::registerMatchers(
+    ast_matchers::MatchFinder *finder)
+{
+    finder->addMatcher(cxxRecordDecl(isDefinition(),
+                                     unless(isExpansionInSystemHeader()))
+                           .bind("record"),
+                       this);
+}
+
+void
+UnguardedSharedStateCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &result)
+{
+    const auto *record =
+        result.Nodes.getNodeAs<CXXRecordDecl>("record");
+    if (record == nullptr || record->isLambda() || record->isUnion() ||
+        record->isDependentContext())
+        return;
+
+    // Only classes that own a mutex member make locking promises.
+    bool ownsMutex = false;
+    for (const FieldDecl *field : record->fields()) {
+        if (isMutexType(canonicalTypeString(field))) {
+            ownsMutex = true;
+            break;
+        }
+    }
+    if (!ownsMutex)
+        return;
+
+    const llvm::Regex exempt(exemptTypePattern_);
+    for (const FieldDecl *field : record->fields()) {
+        const std::string type = canonicalTypeString(field);
+        if (isMutexType(type))
+            continue;
+        if (field->getType().isConstQualified())
+            continue;
+        if (field->getType()->isReferenceType())
+            continue;
+        if (field->hasAttr<GuardedByAttr>() ||
+            field->hasAttr<PtGuardedByAttr>())
+            continue;
+        if (exempt.match(type))
+            continue;
+        diag(field->getLocation(),
+             "mutable member '%0' of mutex-owning class '%1' has no "
+             "SEESAW_GUARDED_BY annotation; declare its guarding "
+             "mutex, or make it const/atomic if it is not shared "
+             "state")
+            << field->getName() << record->getName();
+    }
+}
+
+} // namespace clang::tidy::seesaw

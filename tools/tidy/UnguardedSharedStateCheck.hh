@@ -1,0 +1,53 @@
+/**
+ * @file
+ * seesaw-unguarded-shared-state: flags mutable, non-atomic data
+ * members of classes that own a mutex but whose members lack a
+ * SEESAW_GUARDED_BY annotation — the "you forgot to annotate" closure
+ * check.
+ *
+ * The Clang thread-safety analysis only protects fields that carry a
+ * guarded_by attribute; an unannotated field in a lock-owning class is
+ * invisible to it, which is exactly how races sneak past -Wthread-
+ * safety. This check closes the loop: a class that declares a mutex
+ * member must account for every other member — annotate it, make it
+ * const, make it atomic, or (for genuinely unguarded members like a
+ * worker-thread vector written only in the constructor) suppress with
+ * a justified lint-suppression comment naming this check.
+ */
+
+#ifndef SEESAW_TOOLS_TIDY_UNGUARDED_SHARED_STATE_CHECK_HH
+#define SEESAW_TOOLS_TIDY_UNGUARDED_SHARED_STATE_CHECK_HH
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::seesaw {
+
+class UnguardedSharedStateCheck : public ClangTidyCheck
+{
+  public:
+    UnguardedSharedStateCheck(StringRef name,
+                              ClangTidyContext *context);
+
+    bool
+    isLanguageVersionSupported(const LangOptions &lang_opts) const override
+    {
+        return lang_opts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(ClangTidyOptions::OptionMap &opts) override;
+
+  private:
+    /** Types (regex over the canonical type string) that are safe to
+     *  share without a guarded_by annotation: atomics, synchronization
+     *  primitives, thread handles (and containers thereof). */
+    const std::string exemptTypePattern_;
+};
+
+} // namespace clang::tidy::seesaw
+
+#endif // SEESAW_TOOLS_TIDY_UNGUARDED_SHARED_STATE_CHECK_HH
