@@ -11,6 +11,8 @@
 #define SEESAW_BENCH_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "harness/runner.hh"
@@ -73,9 +75,46 @@ designLabel(L1Kind kind)
  * archive JSON/CSV sinks under results/ (SEESAW_RESULTS_DIR).
  */
 inline harness::CampaignOutcome
-runBenchCampaign(const harness::CampaignSpec &spec)
+runBenchCampaign(const harness::CampaignSpec &spec,
+                 harness::RunnerOptions options = {})
 {
-    return harness::CampaignRunner().runAndWrite(spec);
+    return harness::CampaignRunner(std::move(options)).runAndWrite(spec);
+}
+
+/** Parse an on|off flag value (fatal otherwise). */
+inline bool
+parseOnOff(const char *flag, const std::string &value)
+{
+    if (value == "on")
+        return true;
+    if (value == "off")
+        return false;
+    std::fprintf(stderr, "%s wants on|off, got %s\n", flag,
+                 value.c_str());
+    std::exit(1);
+}
+
+/**
+ * Parse the argv the figure binaries share: --one-pass on|off selects
+ * whether cells with a common front end run as single multi-config
+ * passes (RunnerOptions::onePass; results are bit-identical either
+ * way, the sweep just makes one trace pass per group).
+ */
+inline harness::RunnerOptions
+parseBenchArgs(int argc, char **argv)
+{
+    harness::RunnerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--one-pass" && i + 1 < argc) {
+            options.onePass = parseOnOff("--one-pass", argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--one-pass on|off]\n",
+                         argv[0]);
+            std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
+        }
+    }
+    return options;
 }
 
 } // namespace seesaw::bench

@@ -18,10 +18,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace seesaw;
     using namespace seesaw::bench;
+
+    const harness::RunnerOptions options = parseBenchArgs(argc, argv);
 
     printBanner("Fig 7", "% runtime improvement, SEESAW vs baseline "
                          "VIPT (OoO, 1.33GHz)");
@@ -36,7 +38,7 @@ main()
                          withDesign(cfg, kind));
         }
     }
-    const auto outcome = runBenchCampaign(spec);
+    const auto outcome = runBenchCampaign(spec, options);
 
     TableReporter table({"workload", "32KB", "64KB", "128KB"});
     double sums[3] = {0, 0, 0};

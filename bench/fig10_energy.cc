@@ -27,10 +27,12 @@ coreLabel(seesaw::CoreKind core)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace seesaw;
     using namespace seesaw::bench;
+
+    const harness::RunnerOptions options = parseBenchArgs(argc, argv);
 
     printBanner("Fig 10", "% memory-hierarchy energy saved by SEESAW "
                           "(InO and OoO)");
@@ -53,7 +55,7 @@ main()
             }
         }
     }
-    const auto outcome = runBenchCampaign(spec);
+    const auto outcome = runBenchCampaign(spec, options);
 
     TableReporter table({"core", "freq", "cache", "avg", "min", "max"});
     for (CoreKind core : {CoreKind::InOrder, CoreKind::OutOfOrder}) {

@@ -16,10 +16,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace seesaw;
     using namespace seesaw::bench;
+
+    const harness::RunnerOptions options = parseBenchArgs(argc, argv);
 
     printBanner("Fig 12", "Performance/energy benefits vs memhog "
                           "fragmentation (64KB, OoO, 1.33GHz)");
@@ -39,7 +41,7 @@ main()
                          withDesign(cfg, kind));
         }
     }
-    const auto outcome = runBenchCampaign(spec);
+    const auto outcome = runBenchCampaign(spec, options);
 
     TableReporter table({"workload", "memhog", "coverage", "perf",
                          "energy"});

@@ -73,6 +73,14 @@ usage()
         "  --jobs N            worker threads (default SEESAW_JOBS, "
         "else\n"
         "                      hardware_concurrency; 1 = serial)\n"
+        "  --one-pass on|off   batch cells sharing a front end "
+        "(workload, seed,\n"
+        "                      cores, OS policy) into single "
+        "multi-config passes;\n"
+        "                      results are bit-identical (default "
+        "off; thread\n"
+        "                      execution only — ignored under "
+        "--workers)\n"
         "  --audit MODE        invariant audits: off | end | periodic "
         "|\n"
         "                      paranoid (default off; needs a "
@@ -158,6 +166,9 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--jobs") {
             options.jobs = std::atoi(need_value(i++));
+        } else if (arg == "--one-pass") {
+            options.onePass =
+                bench::parseOnOff("--one-pass", need_value(i++));
         } else if (arg == "--out") {
             out_dir = need_value(i++);
         } else if (arg == "--store") {
@@ -182,6 +193,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--resume/--workers need --store DIR\n");
         return 1;
+    }
+    if (options.onePass && workers > 0) {
+        // The lease queue hands cells to worker processes one at a
+        // time; grouping happens inside a single runner only.
+        std::fprintf(stderr,
+                     "note: --one-pass applies to thread execution; "
+                     "worker processes run cells individually\n");
     }
 
     const harness::CampaignSpec spec = gridOptions.buildSpec();

@@ -326,9 +326,9 @@ struct GridOptions
                                    mc.kindName;
                 if (seedList.size() > 1)
                     name += "/s" + std::to_string(seed);
-                spec.cell(
-                    name, [cfg, w] { return SimEngine(cfg, w).run(); },
-                    seed, harness::configHash(cfg), mc.workload);
+                // Simulate-cell form: carries the one-pass info, so
+                // mc-cells sharing (workload, cores, seed) group too.
+                spec.cell(name, w, cfg);
             }
         }
         return spec;

@@ -9,18 +9,43 @@
  * partition widths (the §IV-A4 "4 ways per partition" choice) — on a
  * real workload.
  *
+ * With --one-pass on, the candidate organisations share one trace
+ * pass through MultiConfigEngine instead of re-simulating the
+ * workload per configuration — same numbers, one front end:
+ *
  *   $ ./build/examples/design_space
+ *   $ ./build/examples/design_space --one-pass on
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/multi_config_engine.hh"
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace seesaw;
+
+    bool one_pass = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--one-pass") == 0 && i + 1 < argc) {
+            const std::string value = argv[++i];
+            if (value != "on" && value != "off") {
+                std::fprintf(stderr, "--one-pass wants on|off\n");
+                return 1;
+            }
+            one_pass = value == "on";
+        } else {
+            std::fprintf(stderr,
+                         "usage: design_space [--one-pass on|off]\n");
+            return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+        }
+    }
 
     printBanner("design_space", "Choosing an L1 organisation");
 
@@ -56,15 +81,34 @@ main()
     base_cfg.freqGhz = 1.33;
     base_cfg.instructions = 400'000;
     base_cfg.l1Kind = L1Kind::ViptBaseline;
-    const RunResult base = simulate(w, base_cfg);
 
-    TableReporter sweep({"partition", "fast-hit cycles", "speedup",
-                         "energy saved", "hit rate"});
-    for (unsigned ways : {2u, 4u, 8u}) {
+    // Candidates: the VIPT baseline plus three partition widths. All
+    // four share the workload, seed and OS policy — exactly one front
+    // end — so --one-pass on runs them as a single trace pass.
+    const unsigned widths[] = {2, 4, 8};
+    std::vector<SystemConfig> configs{base_cfg};
+    for (const unsigned ways : widths) {
         SystemConfig cfg = base_cfg;
         cfg.l1Kind = L1Kind::Seesaw;
         cfg.partitionWays = ways;
-        const RunResult r = simulate(w, cfg);
+        configs.push_back(cfg);
+    }
+
+    std::vector<RunResult> results;
+    if (one_pass) {
+        MultiConfigEngine engine(configs, w);
+        results = engine.run();
+    } else {
+        for (const SystemConfig &cfg : configs)
+            results.push_back(simulate(w, cfg));
+    }
+    const RunResult &base = results[0];
+
+    TableReporter sweep({"partition", "fast-hit cycles", "speedup",
+                         "energy saved", "hit rate"});
+    for (std::size_t i = 0; i < std::size(widths); ++i) {
+        const unsigned ways = widths[i];
+        const RunResult &r = results[i + 1];
         sweep.addRow(
             {std::to_string(ways) + "-way",
              std::to_string(latency.superpageCycles(64 * 1024, 16,

@@ -6,10 +6,15 @@ machines must agree on every statistic; only wall times, job counts and
 the git revision may differ. The nightly workflow uses this to diff a
 fresh full campaign against the pinned golden under bench/golden/.
 
-Usage: campaign_diff.py CURRENT.json GOLDEN.json [--ignore FIELD]...
---ignore adds FIELD to the ignored-key set anywhere in the document
-(repeatable) — e.g. --ignore config_hash when a hash-affecting config
-field was added but the statistics must still match.
+Usage: campaign_diff.py CURRENT.json GOLDEN.json [--ignore SPEC]...
+--ignore (repeatable) drops fields before comparing. A bare FIELD is
+ignored anywhere in the document — e.g. --ignore config_hash when a
+hash-affecting config field was added but the statistics must still
+match. A dotted PARENT.FIELD is scoped: it drops FIELD only where the
+key path ends in PARENT.FIELD — e.g. --ignore per_core.ipc strips ipc
+inside each per_core record while the top-level cell ipc stays gated
+(list indices are transparent, so per_core.ipc reaches through the
+per-core array). Deeper paths (results.per_core.ipc) narrow further.
 Exits 0 when statistically identical, 1 with a field-level report when
 not, 2 on usage errors.
 """
@@ -23,12 +28,35 @@ import sys
 IGNORED = {"wall_seconds", "git", "git_describe", "jobs"}
 
 
-def scrub(node, ignored):
+def split_ignores(specs):
+    """Partition ignore specs into bare names and dotted key paths."""
+    bare, scoped = set(), []
+    for s in specs:
+        if "." in s:
+            scoped.append(tuple(s.split(".")))
+        else:
+            bare.add(s)
+    return bare, scoped
+
+
+def scrub(node, bare, scoped=(), path=()):
+    """Drop ignored keys anywhere in the document.
+
+    ``bare`` names match any key; each ``scoped`` tuple matches a key
+    whose dict-key path ends with it. List indices do not extend the
+    path, so a spec like ("per_core", "ipc") applies to every element
+    of a per_core array.
+    """
     if isinstance(node, dict):
-        return {k: scrub(v, ignored) for k, v in node.items()
-                if k not in ignored}
+        out = {}
+        for k, v in node.items():
+            here = path + (k,)
+            if k in bare or any(here[-len(s):] == s for s in scoped):
+                continue
+            out[k] = scrub(v, bare, scoped, here)
+        return out
     if isinstance(node, list):
-        return [scrub(v, ignored) for v in node]
+        return [scrub(v, bare, scoped, path) for v in node]
     return node
 
 
@@ -62,7 +90,7 @@ def report(a, b, path=""):
 
 def main():
     files = []
-    ignored = set(IGNORED)
+    specs = []
     args = sys.argv[1:]
     i = 0
     while i < len(args):
@@ -70,7 +98,7 @@ def main():
             if i + 1 >= len(args):
                 print(__doc__, file=sys.stderr)
                 return 2
-            ignored.add(args[i + 1])
+            specs.append(args[i + 1])
             i += 2
         else:
             files.append(args[i])
@@ -78,10 +106,12 @@ def main():
     if len(files) != 2:
         print(__doc__, file=sys.stderr)
         return 2
+    bare, scoped = split_ignores(specs)
+    bare |= IGNORED
     with open(files[0]) as f:
-        current = scrub(json.load(f), ignored)
+        current = scrub(json.load(f), bare, scoped)
     with open(files[1]) as f:
-        golden = scrub(json.load(f), ignored)
+        golden = scrub(json.load(f), bare, scoped)
     if current == golden:
         print("campaign_diff: statistically identical")
         return 0

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Regression tests for campaign_diff.py's scrubbing and --ignore.
+
+Covers the scoped-ignore semantics: a bare FIELD disappears anywhere,
+a dotted PARENT.FIELD disappears only where the dict-key path ends in
+that sequence (reaching through list indices), and the same field name
+outside the scope stays gated. Also pins the default machine-dependent
+ignores and the CLI exit codes.
+
+Run directly or via ctest; stdlib only.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from campaign_diff import IGNORED, scrub, split_ignores  # noqa: E402
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "campaign_diff.py")
+
+FAILURES = []
+
+
+def check(name, cond):
+    status = "ok" if cond else "FAIL"
+    print(f"  {name:<52} {status}")
+    if not cond:
+        FAILURES.append(name)
+
+
+def run_cli(doc_a, doc_b, *flags):
+    """Exit code of campaign_diff.py over two temp JSON files."""
+    with tempfile.TemporaryDirectory() as d:
+        pa = os.path.join(d, "a.json")
+        pb = os.path.join(d, "b.json")
+        with open(pa, "w") as f:
+            json.dump(doc_a, f)
+        with open(pb, "w") as f:
+            json.dump(doc_b, f)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, pa, pb, *flags],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        return proc.returncode
+
+
+def main():
+    # A miniature campaign document shaped like emitCampaignJson():
+    # per-cell stats plus a per_core array that repeats field names
+    # (ipc, wall_seconds) used at other levels.
+    doc = {
+        "campaign": "t",
+        "wall_seconds": 1.0,
+        "results": [{
+            "name": "redis/32KB",
+            "ipc": 1.5,
+            "config_hash": "abc",
+            "per_core": [{"ipc": 1.4, "l1_hits": 10},
+                         {"ipc": 1.6, "l1_hits": 12}],
+        }],
+    }
+
+    print("scrub():")
+    bare, scoped = split_ignores(["per_core.ipc"])
+    s = scrub(doc, bare | IGNORED, scoped)
+    check("default ignores drop wall_seconds",
+          "wall_seconds" not in s)
+    check("scoped ignore strips ipc inside per_core",
+          all("ipc" not in c for c in s["results"][0]["per_core"]))
+    check("scoped ignore keeps the cell-level ipc",
+          s["results"][0]["ipc"] == 1.5)
+    check("unrelated per_core fields survive",
+          s["results"][0]["per_core"][0]["l1_hits"] == 10)
+
+    bare, scoped = split_ignores(["ipc"])
+    s = scrub(doc, bare | IGNORED, scoped)
+    check("bare ignore strips ipc at every level",
+          "ipc" not in s["results"][0]
+          and all("ipc" not in c
+                  for c in s["results"][0]["per_core"]))
+
+    # A deeper path narrows the scope: results.per_core.ipc matches,
+    # but a wrong prefix must not.
+    bare, scoped = split_ignores(["results.per_core.ipc"])
+    s = scrub(doc, bare | IGNORED, scoped)
+    check("deep path reaches through both arrays",
+          all("ipc" not in c for c in s["results"][0]["per_core"]))
+    bare, scoped = split_ignores(["elsewhere.ipc"])
+    s = scrub(doc, bare | IGNORED, scoped)
+    check("non-matching parent leaves ipc alone",
+          s["results"][0]["per_core"][0]["ipc"] == 1.4)
+
+    print("CLI:")
+    other = json.loads(json.dumps(doc))
+    other["results"][0]["per_core"][0]["ipc"] = 9.9
+    check("per-core divergence fails by default",
+          run_cli(doc, other) == 1)
+    check("--ignore per_core.ipc accepts it",
+          run_cli(doc, other, "--ignore", "per_core.ipc") == 0)
+    check("scoping protects the cell-level field",
+          run_cli(doc, {**other, "results": [
+              {**other["results"][0], "ipc": 9.9}]},
+              "--ignore", "per_core.ipc") == 1)
+    check("bare --ignore ipc still accepts everything",
+          run_cli(doc, {**other, "results": [
+              {**other["results"][0], "ipc": 9.9}]},
+              "--ignore", "ipc") == 0)
+    check("identical documents pass untouched",
+          run_cli(doc, json.loads(json.dumps(doc))) == 0)
+    check("trailing --ignore without a value is a usage error",
+          run_cli(doc, doc, "--ignore") == 2)
+
+    if FAILURES:
+        print(f"campaign_diff_test: {len(FAILURES)} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("campaign_diff_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

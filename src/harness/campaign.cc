@@ -149,6 +149,22 @@ CampaignSpec::cell(std::string name, std::function<RunResult()> run,
     return *this;
 }
 
+CampaignSpec &
+CampaignSpec::cell(std::string name, const WorkloadSpec &workload,
+                   const SystemConfig &config)
+{
+    Cell c;
+    c.name = std::move(name);
+    c.workload = workload.name;
+    c.seed = config.seed;
+    c.configHash = configHash(config);
+    c.onePass = std::make_shared<const Cell::OnePassInfo>(
+        Cell::OnePassInfo{workload, config});
+    c.run = [workload, config] { return simulate(workload, config); };
+    explicit_.push_back(std::move(c));
+    return *this;
+}
+
 std::vector<Cell>
 CampaignSpec::cells() const
 {
@@ -167,6 +183,8 @@ CampaignSpec::cells() const
                 SystemConfig seeded = config;
                 seeded.seed = seed;
                 c.configHash = configHash(seeded);
+                c.onePass = std::make_shared<const Cell::OnePassInfo>(
+                    Cell::OnePassInfo{w, seeded});
                 c.run = [w, seeded] { return simulate(w, seeded); };
                 out.push_back(std::move(c));
             }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,21 @@ struct Cell
     /** Runs the cell; must be self-contained (no shared mutable
      *  state) so cells can execute concurrently. */
     std::function<RunResult()> run;
+
+    /**
+     * Present when the cell is a plain simulate(workload, config):
+     * the inputs the one-pass grouping layer needs to batch compatible
+     * cells into a single MultiConfigEngine trace pass
+     * (RunnerOptions::onePass). Cells without it always execute their
+     * own thunk. Results are bit-identical either way, so names,
+     * hashes, sinks and store keys never see the difference.
+     */
+    struct OnePassInfo
+    {
+        WorkloadSpec workload;
+        SystemConfig config;
+    };
+    std::shared_ptr<const OnePassInfo> onePass;
 };
 
 /** A cell's outcome plus scheduling metadata. */
@@ -87,6 +103,12 @@ class CampaignSpec
                        std::uint64_t seed = 0,
                        std::uint64_t config_hash = 0,
                        std::string workload = {});
+
+    /** Add an explicit simulate(@p workload, @p config) cell, eligible
+     *  for one-pass grouping (@p config.seed doubles as the cell
+     *  seed and the hash is computed here). */
+    CampaignSpec &cell(std::string name, const WorkloadSpec &workload,
+                       const SystemConfig &config);
 
     /** Expand the axes (then append explicit cells). Names are
      *  guaranteed unique (fatal otherwise). */

@@ -4,10 +4,13 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <map>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/thread_annotations.hh"
 #include "harness/thread_pool.hh"
+#include "sim/multi_config_engine.hh"
 
 namespace seesaw::harness {
 
@@ -88,6 +91,110 @@ runCell(const Cell &cell, Progress &progress, CellHooks &hooks)
     return out;
 }
 
+/**
+ * Canonical serialization of a WorkloadSpec. One-pass groups must
+ * share the exact spec, not just its name: benches override footprints
+ * and fractions under the same workload name. hexfloat keeps doubles
+ * exact.
+ */
+std::string
+workloadKey(const WorkloadSpec &w)
+{
+    std::ostringstream os;
+    os << std::hexfloat << w.name << '|' << w.footprintBytes << '|'
+       << w.memRefFraction << '|' << w.writeFraction << '|'
+       << w.repeatFraction << '|' << w.streamingFraction << '|'
+       << w.pointerChaseFraction << '|' << w.conflictFraction << '|'
+       << w.chaseRegionStayRefs << '|' << w.chasePoolRegions << '|'
+       << w.zipfAlpha << '|' << w.hotSetBytes << '|' << w.threads
+       << '|' << w.sharedFraction << '|' << w.thpEligibleFraction
+       << '|' << w.systemProbesPerKiloInstr << '|'
+       << w.codeFootprintBytes;
+    return os.str();
+}
+
+/**
+ * Execution plan: normally one task per cell; with one-pass grouping,
+ * simulate() cells that share (workload, front-end key) collapse into
+ * one multi-config task each, in first-member order. Custom-thunk
+ * cells always stay singletons.
+ */
+std::vector<std::vector<std::size_t>>
+planTasks(const std::vector<Cell> &cells, bool one_pass)
+{
+    std::vector<std::vector<std::size_t>> tasks;
+    tasks.reserve(cells.size());
+    if (!one_pass) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            tasks.push_back({i});
+        return tasks;
+    }
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].onePass) {
+            tasks.push_back({i});
+            continue;
+        }
+        std::string key =
+            workloadKey(cells[i].onePass->workload);
+        key += '\x1f';
+        key += MultiConfigEngine::frontEndKey(cells[i].onePass->config);
+        const auto [it, fresh] =
+            group_of.try_emplace(std::move(key), tasks.size());
+        if (fresh)
+            tasks.push_back({i});
+        else
+            tasks[it->second].push_back(i);
+    }
+    return tasks;
+}
+
+/** Run one task — a lone cell via its thunk, or a >= 2-member group
+ *  as a single MultiConfigEngine pass whose results land in the
+ *  members' own slots. */
+void
+runTask(const std::vector<Cell> &cells,
+        const std::vector<std::size_t> &members,
+        std::vector<CellResult> &slots, std::vector<char> &ran,
+        Progress &progress, CellHooks &hooks)
+{
+    if (members.size() == 1) {
+        slots[members[0]] = runCell(cells[members[0]], progress, hooks);
+        ran[members[0]] = 1;
+        return;
+    }
+    std::vector<SystemConfig> configs;
+    configs.reserve(members.size());
+    for (const std::size_t i : members)
+        configs.push_back(cells[i].onePass->config);
+    const auto start = Clock::now();
+    MultiConfigEngine engine(std::move(configs),
+                             cells[members[0]].onePass->workload);
+    std::vector<RunResult> results = engine.run();
+    // One pass produced every member's result; report the shared wall
+    // time as an even split so per-cell accounting stays meaningful.
+    const double wall = secondsSince(start) / members.size();
+    for (std::size_t k = 0; k < members.size(); ++k) {
+        const Cell &cell = cells[members[k]];
+        CellResult out;
+        out.name = cell.name;
+        out.workload = cell.workload;
+        out.seed = cell.seed;
+        out.configHash = cell.configHash;
+        out.result = std::move(results[k]);
+        out.wallSeconds = wall;
+        if (out.workload.empty())
+            out.workload = out.result.workload;
+        progress.cellDone(cell.name, wall);
+        if (hooks.onCellDone != nullptr && *hooks.onCellDone) {
+            MutexLock lock(hooks.mutex);
+            (*hooks.onCellDone)(out);
+        }
+        slots[members[k]] = std::move(out);
+        ran[members[k]] = 1;
+    }
+}
+
 } // namespace
 
 void
@@ -155,25 +262,26 @@ CampaignRunner::runCells(const std::string &name,
     Progress progress(name, cells.size(), options_.progress);
     CellHooks hooks{&options_.onCellDone, {}};
 
-    if (jobs <= 1 || cells.size() <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::vector<std::vector<std::size_t>> tasks =
+        planTasks(cells, options_.onePass);
+
+    if (jobs <= 1 || tasks.size() <= 1) {
+        for (const auto &members : tasks) {
             if (stopRequested())
                 break;
-            slots[i] = runCell(cells[i], progress, hooks);
-            ran[i] = 1;
+            runTask(cells, members, slots, ran, progress, hooks);
         }
     } else {
         ThreadPool pool(jobs);
-        // Each task writes only its own pre-sized slot, so result
+        // Each task writes only its own pre-sized slots, so result
         // order is the cell order no matter who finishes when. A
         // stop request makes not-yet-started tasks no-ops while
-        // in-flight cells run to completion.
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            pool.submit([&, i] {
+        // in-flight cells (or one-pass groups) run to completion.
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+            pool.submit([&, t] {
                 if (stopRequested())
                     return;
-                slots[i] = runCell(cells[i], progress, hooks);
-                ran[i] = 1;
+                runTask(cells, tasks[t], slots, ran, progress, hooks);
             });
         }
         pool.wait();

@@ -35,6 +35,17 @@ struct RunnerOptions
     bool progress = true;
 
     /**
+     * Batch compatible simulate() cells — same workload and same
+     * config-invariant front end (MultiConfigEngine::frontEndKey) —
+     * into one-pass multi-config simulations: one trace pass drives
+     * all of a group's substrates. Cell names, hashes, results and
+     * sink/store bytes are bit-identical to running each cell alone;
+     * only wall time changes. Cells without one-pass info (custom
+     * thunks) are unaffected.
+     */
+    bool onePass = false;
+
+    /**
      * Called once per completed cell, from whichever worker thread
      * finished it, serialized under a runner-internal mutex. Durable
      * sinks (store::StoreSink) hook in here so every finished cell

@@ -30,6 +30,7 @@ CoreComplex::CoreComplex(const SystemConfig &config,
         tlb_params.unifiedL1Entries = config_.unifiedL1TlbEntries;
     }
     tlb_ = std::make_unique<TlbHierarchy>(tlb_params, os_.pageTable());
+    activeTlb_ = tlb_.get();
 
     // --- L1 cache.
     switch (config_.l1Kind) {
@@ -75,11 +76,6 @@ CoreComplex::CoreComplex(const SystemConfig &config,
             config_.l1Kind == L1Kind::SeesawWayPredicted;
         auto cache = std::make_unique<SeesawCache>(c, latency);
         seesawD_ = cache.get();
-        // Wire the TFT into the TLB hierarchy: every 2MB L1 TLB fill
-        // marks the region (Fig 5).
-        Tft *tft = &cache->tft();
-        tlb_->setOn2MBFill(
-            [tft](Asid, Addr va_base) { tft->markRegion(va_base); });
         l1_ = std::move(cache);
         break;
       }
@@ -155,20 +151,6 @@ CoreComplex::CoreComplex(const SystemConfig &config,
             ic.tftAssoc = config_.tftAssoc;
             auto icache = std::make_unique<SeesawCache>(ic, latency);
             seesawI_ = icache.get();
-            // The single TLB hierarchy serves both sides; route the
-            // superpage hook to the TFT of the side the address
-            // belongs to (real split ITLB/DTLBs would do this
-            // naturally).
-            Tft *itft = &icache->tft();
-            Tft *dtft = seesawD_ ? &seesawD_->tft() : nullptr;
-            const Addr text_base_c = textBase_;
-            tlb_->setOn2MBFill(
-                [itft, dtft, text_base_c](Asid, Addr va_base) {
-                    if (va_base >= text_base_c)
-                        itft->markRegion(va_base);
-                    else if (dtft)
-                        dtft->markRegion(va_base);
-                });
             l1i_ = std::move(icache);
         } else {
             BaselineL1Config ic;
@@ -176,17 +158,17 @@ CoreComplex::CoreComplex(const SystemConfig &config,
             ic.assoc = 8;
             ic.freqGhz = config_.freqGhz;
             l1i_ = std::make_unique<ViptCache>(ic, latency);
-            if (isSeesawKind()) {
-                // Keep code regions out of the D-side TFT.
-                Tft *dtft = &seesawD_->tft();
-                const Addr text_base_c = textBase_;
-                tlb_->setOn2MBFill(
-                    [dtft, text_base_c](Asid, Addr va_base) {
-                        if (va_base < text_base_c)
-                            dtft->markRegion(va_base);
-                    });
-            }
         }
+    }
+
+    // Wire the superpage hook into the TLB hierarchy: every 2MB L1 TLB
+    // fill marks the region in the owning side's TFT (Fig 5;
+    // markTftRegion routes I- vs D-side). A MultiConfigEngine
+    // re-points this at a shared group TLB that broadcasts to every
+    // member complex.
+    if (seesawD_ || seesawI_) {
+        tlb_->setOn2MBFill(
+            [this](Asid, Addr va_base) { markTftRegion(va_base); });
     }
 
     // Steady-state warmup: prefill the LLC with the stream's hot
@@ -219,90 +201,140 @@ CoreComplex::nextRef()
     return *ref;
 }
 
+int
+CoreComplex::probeDataTft(Addr va)
+{
+    // Probe the TFT with its pre-TLB state: hardware reads the TFT and
+    // the L1 TLBs in parallel, and a 2MB TLB hit may refresh the very
+    // entry being probed — the refresh must not be visible to this
+    // access.
+    if (SeesawCache *cache = seesawD_)
+        return cache->tft().lookup(va) ? 1 : 0;
+    return -1;
+}
+
+int
+CoreComplex::probeCodeTft(Addr va)
+{
+    if (seesawI_)
+        return seesawI_->tft().lookup(va) ? 1 : 0;
+    return -1;
+}
+
 void
-CoreComplex::doInstructionFetches(std::uint64_t instructions)
+CoreComplex::chargeTranslation(const TlbLookupResult &tr)
+{
+    energy_.addL1TlbLookup();
+    if (!tr.l1Hit)
+        energy_.addL2TlbLookup();
+    if (tr.walked)
+        energy_.addPageWalk();
+    if (tr.fault) {
+        ++pageFaults_;
+        cpu_->addStallCycles(2000);
+    }
+}
+
+void
+CoreComplex::markTftRegion(Addr va_base)
+{
+    // The single TLB hierarchy serves both sides; route the superpage
+    // notification to the TFT of the side the address belongs to (real
+    // split ITLB/DTLBs would do this naturally). A VIPT L1I keeps code
+    // regions out of the D-side TFT.
+    if (l1i_ && va_base >= textBase_) {
+        if (seesawI_)
+            seesawI_->tft().markRegion(va_base);
+        return;
+    }
+    if (seesawD_)
+        seesawD_->tft().markRegion(va_base);
+}
+
+std::uint64_t
+CoreComplex::takeFetchLines(std::uint64_t instructions)
 {
     if (!l1i_)
-        return;
+        return 0;
     // 16-byte fetch groups: one 64B line fetch per ~4 instructions.
     fetchCarry_ += static_cast<double>(instructions) / 4.0;
     auto fetches = static_cast<std::uint64_t>(fetchCarry_);
     fetchCarry_ -= static_cast<double>(fetches);
+    return fetches;
+}
 
+void
+CoreComplex::finishFetch(Addr va, const TlbLookupResult &tr,
+                         int tft_probe)
+{
+    const Addr pa = tr.translation.translate(va);
+    L1Access req{va, pa, tr.translation.size, AccessType::Read,
+                 tft_probe};
+    const L1AccessResult res =
+        seesawI_ ? seesawI_->access(req) : l1i_->access(req);
+    if (seesawI_)
+        energy_.addTftLookup();
+    energy_.addL1Lookup(32 * 1024, 8, res.waysRead, false);
+
+    if (!res.hit) {
+        const OuterAccessResult outer =
+            outer_->access(pa, AccessType::Read);
+        energy_.addL2Access();
+        if (outer.llcAccessed)
+            energy_.addLlcAccess();
+        if (outer.dramAccessed)
+            energy_.addDramAccess();
+        energy_.addLineInstall(res.installWays);
+        // Front-end refill: the decode queue hides part of it.
+        cpu_->addStallCycles(static_cast<Cycles>(outer.cycles * 0.4));
+    }
+    if (tr.penaltyCycles)
+        cpu_->addStallCycles(tr.penaltyCycles / 2);
+}
+
+void
+CoreComplex::doInstructionFetches(std::uint64_t instructions)
+{
+    std::uint64_t fetches = takeFetchLines(instructions);
     while (fetches-- > 0) {
         const Addr va = code_->nextFetchLine();
-
-        int tft_probe = -1;
-        if (seesawI_)
-            tft_probe = seesawI_->tft().lookup(va) ? 1 : 0;
-
-        energy_.addL1TlbLookup();
-        const TlbLookupResult tr = tlb_->lookup(asid_, va);
-        if (!tr.l1Hit)
-            energy_.addL2TlbLookup();
-        if (tr.walked)
-            energy_.addPageWalk();
+        const int tft_probe = probeCodeTft(va);
+        const TlbLookupResult tr = activeTlb_->lookup(asid_, va);
+        chargeTranslation(tr);
         SEESAW_ASSERT(!tr.fault, "text segment must be premapped");
-
-        const Addr pa = tr.translation.translate(va);
-        L1Access req{va, pa, tr.translation.size, AccessType::Read,
-                     tft_probe};
-        const L1AccessResult res =
-            seesawI_ ? seesawI_->access(req) : l1i_->access(req);
-        if (seesawI_)
-            energy_.addTftLookup();
-        energy_.addL1Lookup(32 * 1024, 8, res.waysRead, false);
-
-        if (!res.hit) {
-            const OuterAccessResult outer =
-                outer_->access(pa, AccessType::Read);
-            energy_.addL2Access();
-            if (outer.llcAccessed)
-                energy_.addLlcAccess();
-            if (outer.dramAccessed)
-                energy_.addDramAccess();
-            energy_.addLineInstall(res.installWays);
-            // Front-end refill: the decode queue hides part of it.
-            cpu_->addStallCycles(
-                static_cast<Cycles>(outer.cycles * 0.4));
-        }
-        if (tr.penaltyCycles)
-            cpu_->addStallCycles(tr.penaltyCycles / 2);
+        finishFetch(va, tr, tft_probe);
     }
 }
 
 bool
 CoreComplex::doMemoryAccess(const MemRef &ref, CoherenceFabric *fabric)
 {
-    // 0. Probe the TFT with its pre-TLB state: hardware reads the TFT
-    //    and the L1 TLBs in parallel, and a 2MB TLB hit may refresh
-    //    the very entry being probed — the refresh must not be
-    //    visible to this access.
-    int tft_probe = -1;
-    if (SeesawCache *cache = seesawD_)
-        tft_probe = cache->tft().lookup(ref.va) ? 1 : 0;
+    // 0. Pre-TLB TFT probe.
+    const int tft_probe = probeDataTft(ref.va);
 
     // 1. Translate (the L1 TLB probe runs in parallel with L1 set
     //    selection; only L2-TLB latency and walks are exposed).
-    energy_.addL1TlbLookup();
-    TlbLookupResult tr = tlb_->lookup(asid_, ref.va);
-    if (!tr.l1Hit)
-        energy_.addL2TlbLookup();
-    if (tr.walked)
-        energy_.addPageWalk();
+    TlbLookupResult tr = activeTlb_->lookup(asid_, ref.va);
+    chargeTranslation(tr);
     if (tr.fault) {
         // Demand-page and retry. Synthetic footprints are premapped so
         // this is rare; trace replay relies on it. The whole 2MB chunk
         // is populated so THP can back it (Linux fault-around).
-        ++pageFaults_;
         os_.mapAnonymous(asid_, alignDown(ref.va, 2 * 1024 * 1024),
                          2 * 1024 * 1024,
                          workload_.thpEligibleFraction);
-        cpu_->addStallCycles(2000);
-        tr = tlb_->lookup(asid_, ref.va);
+        tr = activeTlb_->lookup(asid_, ref.va);
         SEESAW_ASSERT(!tr.fault, "fault persists after demand paging");
     }
 
+    return finishMemoryAccess(ref, tr, tft_probe, fabric);
+}
+
+bool
+CoreComplex::finishMemoryAccess(const MemRef &ref,
+                                const TlbLookupResult &tr,
+                                int tft_probe, CoherenceFabric *fabric)
+{
     const Addr pa = tr.translation.translate(ref.va);
     const PageSize page_size = tr.translation.size;
 
@@ -376,7 +408,7 @@ CoreComplex::doMemoryAccess(const MemRef &ref, CoherenceFabric *fabric)
         if (isSeesawKind()) {
             const bool assume_fast =
                 !config_.schedulerCounterPolicy ||
-                tlb_->superpagesAmple();
+                activeTlb_->superpagesAmple();
             assumed = assume_fast ? l1_->fastHitCycles()
                                   : l1_->baseHitCycles();
         } else if (config_.l1Kind == L1Kind::Sipt) {

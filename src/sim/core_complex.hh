@@ -63,6 +63,59 @@ class CoreComplex
     /** Account instruction fetches for @p instructions committed. */
     void doInstructionFetches(std::uint64_t instructions);
 
+    /**
+     * @name One-pass decomposition (sim/multi_config_engine.hh).
+     *
+     * doMemoryAccess/doInstructionFetches are compositions of these
+     * phases; a MultiConfigEngine interleaves the same phases across
+     * substrates around one shared TLB lookup per access so that each
+     * substrate's state sequence is bit-identical to a solo run.
+     */
+    /// @{
+
+    /** Pre-TLB TFT probe state for @p va (-1 when no D-side TFT). */
+    int probeDataTft(Addr va);
+
+    /** Pre-TLB I-side TFT probe for @p va (-1 when no I-side TFT). */
+    int probeCodeTft(Addr va);
+
+    /**
+     * Charge the translation energy/fault costs implied by the *first*
+     * TLB lookup of an access: L1-TLB probe energy, L2-TLB energy on an
+     * L1 miss, walk energy on a walk, and — when the lookup faulted —
+     * the page-fault count and stall (the demand-paging map and the
+     * retry lookup are the caller's).
+     */
+    void chargeTranslation(const TlbLookupResult &tr);
+
+    /** Steps 2-6 of a data access: fabric ordering, L1 access, miss
+     *  handling, core timing, TLB penalty. @p tr is the final
+     *  (non-faulting) lookup result. */
+    bool finishMemoryAccess(const MemRef &ref, const TlbLookupResult &tr,
+                            int tft_probe, CoherenceFabric *fabric);
+
+    /** Accrue @p instructions against the 4-instructions-per-line
+     *  fetch carry. @return whole fetch lines to perform now. */
+    std::uint64_t takeFetchLines(std::uint64_t instructions);
+
+    /** One fetched line's L1I access + miss handling + TLB penalty. */
+    void finishFetch(Addr va, const TlbLookupResult &tr, int tft_probe);
+
+    /**
+     * Route a 2MB-fill notification to the TFT owning @p va_base (the
+     * I-side TFT for text addresses when an L1I is modelled, the
+     * D-side TFT otherwise). This is the single superpage hook; a
+     * multi-config TLB group broadcasts it to every member complex.
+     */
+    void markTftRegion(Addr va_base);
+
+    /** Point the per-access paths at a TLB hierarchy owned elsewhere
+     *  (a multi-config TLB group). Defaults to this complex's own. */
+    void setActiveTlb(TlbHierarchy *tlb) { activeTlb_ = tlb; }
+    TlbHierarchy &activeTlb() { return *activeTlb_; }
+
+    /// @}
+
     /** Zero every measured per-core counter (after warmup). */
     void resetMeasurement();
 
@@ -96,6 +149,7 @@ class CoreComplex
     EnergyModel &energy_;
 
     std::unique_ptr<TlbHierarchy> tlb_;
+    TlbHierarchy *activeTlb_ = nullptr; //!< tlb_ unless re-pointed
     std::unique_ptr<L1Cache> l1_;
     std::unique_ptr<OuterHierarchy> outer_;
     std::unique_ptr<CpuModel> cpu_;

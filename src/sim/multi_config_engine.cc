@@ -1,0 +1,566 @@
+#include "sim/multi_config_engine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/invariant_auditor.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+
+/** The TLB geometry a config implies (sim/core_complex.cc order):
+ *  substrates matching on this share one hierarchy per core. */
+std::string
+tlbGeometryKey(const SystemConfig &config)
+{
+    std::ostringstream os;
+    os << (config.coreKind == CoreKind::InOrder ? "atom" : "snb") << '|'
+       << config.unifiedL1Tlb << '|' << config.unifiedL1TlbEntries;
+    return os.str();
+}
+
+TlbHierarchyParams
+tlbParamsFor(const SystemConfig &config)
+{
+    TlbHierarchyParams params = config.coreKind == CoreKind::InOrder
+                                    ? TlbHierarchyParams::atom()
+                                    : TlbHierarchyParams::sandybridge();
+    if (config.unifiedL1Tlb) {
+        params.unifiedL1 = true;
+        params.unifiedL1Entries = config.unifiedL1TlbEntries;
+    }
+    return params;
+}
+
+} // namespace
+
+std::string
+MultiConfigEngine::frontEndKey(const SystemConfig &c)
+{
+    // Every field the shared front end reads: workload mapping, OS and
+    // fragmentation state, streams, the OS-event schedule, and the
+    // fabric kind (coherence is restricted to compatible fabrics).
+    std::ostringstream os;
+    os << c.cores << '|' << c.seed << '|' << c.instructions << '|'
+       << c.warmupInstructions << '|' << c.contextSwitchInterval << '|'
+       << c.promotionInterval << '|' << c.splinterInterval << '|'
+       << c.useOneGbHeap << '|' << c.modelInstructionCache << '|'
+       << c.codeThpEligibleFraction << '|' << c.memhogFraction << '|'
+       << static_cast<int>(c.fabric) << '|' << c.tracePath << '|'
+       << c.os.memBytes << '|' << c.os.thpEnabled << '|'
+       << c.os.kernelReservedFraction << '|'
+       << c.os.pollutedRegionFraction << '|'
+       << c.os.compactionCandidates << '|'
+       << c.os.compactionBudgetPages << '|'
+       << c.os.compactionMaxAttempts << '|' << c.os.seed << '|'
+       << c.memhog.churn << '|' << c.memhog.pinnedProbability << '|'
+       << c.memhog.meanFreeRunLength << '|' << c.memhog.seed;
+    return os.str();
+}
+
+bool
+MultiConfigEngine::compatibleFrontEnds(const SystemConfig &a,
+                                       const SystemConfig &b)
+{
+    return frontEndKey(a) == frontEndKey(b);
+}
+
+MultiConfigEngine::MultiConfigEngine(std::vector<SystemConfig> configs,
+                                     const WorkloadSpec &workload)
+    : workload_(workload), latency_(TechNode::Intel22),
+      configs_(std::move(configs)),
+      eventRng_((configs_.empty() ? 0 : configs_.front().seed) ^
+                0xe7e27ULL)
+{
+    SEESAW_ASSERT(!configs_.empty(),
+                  "one-pass engine needs at least one config");
+    const SystemConfig &front = configs_.front();
+    SEESAW_ASSERT(front.cores >= 1 && front.cores <= 64,
+                  "1-64 cores supported");
+    for (const SystemConfig &c : configs_) {
+        SEESAW_ASSERT(compatibleFrontEnds(front, c),
+                      "incompatible front ends in one pass: ",
+                      frontEndKey(front), " vs ", frontEndKey(c));
+    }
+
+    // --- Shared front end, in SimEngine's construction order: OS and
+    // physical memory first (fragment, then map the footprint).
+    OsParams os_params = front.os;
+    os_params.seed ^= front.seed;
+    os_ = std::make_unique<OsMemoryManager>(os_params);
+    memhog_ = std::make_unique<Memhog>(*os_, front.memhog);
+    memhog_->consume(front.memhogFraction);
+
+    asid_ = os_->createProcess();
+    heapBase_ = Addr{1} << 40;
+    if (front.useOneGbHeap) {
+        const Addr gb = Addr{1} << 30;
+        Addr off = 0;
+        while (off < workload_.footprintBytes &&
+               os_->mapOneGbPage(asid_, heapBase_ + off)) {
+            off += gb;
+        }
+        if (off < workload_.footprintBytes) {
+            os_->mapAnonymous(asid_, heapBase_ + off,
+                              workload_.footprintBytes - off,
+                              workload_.thpEligibleFraction);
+        }
+    } else {
+        os_->mapAnonymous(asid_, heapBase_, workload_.footprintBytes,
+                          workload_.thpEligibleFraction);
+    }
+    if (front.modelInstructionCache) {
+        textBase_ = Addr{2} << 40;
+        os_->mapAnonymous(asid_, textBase_,
+                          workload_.codeFootprintBytes,
+                          front.codeThpEligibleFraction);
+    }
+
+    // --- TLB groups: one shared hierarchy per distinct geometry per
+    // core. Construction precedes the substrates so each complex can
+    // be re-pointed at its group as it is built.
+    std::vector<std::size_t> group_of(configs_.size());
+    std::vector<std::string> keys;
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+        const std::string key = tlbGeometryKey(configs_[i]);
+        auto it = std::find(keys.begin(), keys.end(), key);
+        if (it == keys.end()) {
+            keys.push_back(key);
+            TlbGroup group;
+            group.exemplar = i;
+            const TlbHierarchyParams params =
+                tlbParamsFor(configs_[i]);
+            for (unsigned c = 0; c < front.cores; ++c) {
+                group.tlbs.push_back(std::make_unique<TlbHierarchy>(
+                    params, os_->pageTable()));
+            }
+            groups_.push_back(std::move(group));
+            group_of[i] = groups_.size() - 1;
+        } else {
+            group_of[i] =
+                static_cast<std::size_t>(it - keys.begin());
+        }
+    }
+
+    // --- Substrates, in config order.
+    substrates_.reserve(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+        Substrate &sub = substrates_.emplace_back();
+        sub.config = &configs_[i];
+        sub.tlbGroup = group_of[i];
+        sub.energy = std::make_unique<EnergyModel>(latency_.sram());
+        if (front.cores > 1) {
+            sub.sharedLlc = std::make_unique<SetAssocCache>(
+                sub.config->outer.llcSizeBytes,
+                sub.config->outer.llcAssoc);
+        }
+        for (unsigned c = 0; c < front.cores; ++c) {
+            sub.complexes.push_back(std::make_unique<CoreComplex>(
+                *sub.config, workload_, latency_, *os_, *sub.energy,
+                asid_, heapBase_, textBase_, static_cast<CoreId>(c),
+                SimEngine::coreSeed(front.seed, c),
+                sub.sharedLlc.get()));
+            sub.complexes.back()->setActiveTlb(
+                groups_[sub.tlbGroup].tlbs[c].get());
+        }
+        if (front.cores > 1) {
+            const unsigned probe_cycles =
+                sub.complexes[0]->outer().llcCycles();
+            switch (sub.config->fabric) {
+              case CoherenceKind::Directory:
+                sub.fabric = std::make_unique<DirectoryFabric>(
+                    front.cores, probe_cycles, *sub.energy);
+                break;
+              case CoherenceKind::Snoopy:
+                sub.fabric = std::make_unique<SnoopFabric>(
+                    front.cores, probe_cycles, *sub.energy);
+                break;
+              case CoherenceKind::None:
+                sub.fabric = std::make_unique<NullFabric>();
+                break;
+            }
+            sub.directory = sub.fabric->directory();
+            for (auto &cx : sub.complexes)
+                sub.fabric->attachCore(&cx->l1(), &cx->outer().l2());
+        }
+        setupAuditor(sub);
+    }
+
+    // --- Group superpage hooks: a 2MB fill in a shared TLB must mark
+    // the TFT of *every* member substrate, each routing I- vs D-side
+    // by its own shape (bit-identical to each member's solo hook).
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        for (unsigned c = 0; c < front.cores; ++c) {
+            std::vector<CoreComplex *> members;
+            for (Substrate &sub : substrates_) {
+                if (sub.tlbGroup == g)
+                    members.push_back(sub.complexes[c].get());
+            }
+            groups_[g].tlbs[c]->setOn2MBFill(
+                [members = std::move(members)](Asid, Addr va_base) {
+                    for (CoreComplex *cx : members)
+                        cx->markTftRegion(va_base);
+                });
+        }
+    }
+
+    // --- Front-end streams: same seeds and salts as each complex's
+    // own (which go unused in a one-pass run).
+    for (unsigned c = 0; c < front.cores; ++c) {
+        CoreFrontEnd fe;
+        const std::uint64_t core_seed =
+            SimEngine::coreSeed(front.seed, c);
+        fe.stream = std::make_unique<ReferenceStream>(
+            workload_, heapBase_, core_seed ^ 0x57ea0ULL,
+            static_cast<CoreId>(c));
+        if (!front.tracePath.empty())
+            fe.trace = std::make_unique<TraceReader>(front.tracePath);
+        if (front.modelInstructionCache) {
+            CodeStreamParams code_params;
+            code_params.codeBytes = workload_.codeFootprintBytes;
+            fe.code = std::make_unique<CodeStream>(
+                code_params, textBase_, core_seed ^ 0xc0deULL);
+        }
+        fe.nextContextSwitch = front.contextSwitchInterval;
+        cores_.push_back(std::move(fe));
+    }
+
+    nextPromotion_ = front.promotionInterval;
+    nextSplinter_ = front.splinterInterval;
+
+    dProbe_.resize(substrates_.size());
+    iProbe_.resize(substrates_.size());
+    transitions_.resize(substrates_.size());
+    trs_.resize(groups_.size());
+    itrs_.resize(groups_.size());
+}
+
+MultiConfigEngine::~MultiConfigEngine() = default;
+
+void
+MultiConfigEngine::setupAuditor(Substrate &sub)
+{
+    if (sub.config->audit.mode == check::AuditMode::Off)
+        return;
+    if (!check::kAuditCompiledIn) {
+        SEESAW_WARN("audit mode '",
+                    check::auditModeName(sub.config->audit.mode),
+                    "' requested but the audit layer is compiled out; "
+                    "rebuild with -DSEESAW_AUDIT=ON");
+        return;
+    }
+    sub.auditor =
+        std::make_unique<check::InvariantAuditor>(sub.config->audit);
+    std::vector<CoreComplex *> cxs;
+    cxs.reserve(sub.complexes.size());
+    for (auto &cx : sub.complexes)
+        cxs.push_back(cx.get());
+    registerSystemAudits(*sub.auditor, *sub.config, std::move(cxs),
+                         sub.sharedLlc.get(), sub.directory, *os_,
+                         asid_);
+}
+
+MemRef
+MultiConfigEngine::nextRef(CoreFrontEnd &fe)
+{
+    if (!fe.trace)
+        return fe.stream->next();
+    if (auto ref = fe.trace->next())
+        return *ref;
+    fe.trace =
+        std::make_unique<TraceReader>(configs_.front().tracePath);
+    auto ref = fe.trace->next();
+    SEESAW_ASSERT(ref, "empty trace file: ",
+                  configs_.front().tracePath);
+    return *ref;
+}
+
+void
+MultiConfigEngine::applyPromotion(const PromotionEvent &event)
+{
+    // Shoot down the 512 stale base-page translations once per shared
+    // TLB, then sweep and stall every substrate (§IV-C2).
+    for (TlbGroup &group : groups_) {
+        for (auto &tlb : group.tlbs) {
+            for (unsigned i = 0; i < 512; ++i)
+                tlb->invalidatePage(event.asid,
+                                    event.vaBase + i * 4096ULL);
+        }
+    }
+    for (Substrate &sub : substrates_) {
+        for (auto &cx : sub.complexes) {
+            for (Addr old_pa : event.oldPaBases)
+                cx->l1().sweepRegion(old_pa, 4096);
+            cx->cpu().addStallCycles(sub.config->shootdownCycles);
+        }
+        if (sub.directory) {
+            for (Addr old_pa : event.oldPaBases) {
+                for (CoreId c = 0; c < sub.complexes.size(); ++c) {
+                    for (Addr line = old_pa; line < old_pa + 4096;
+                         line += 64)
+                        sub.directory->recordEviction(c, line);
+                }
+            }
+        }
+    }
+}
+
+void
+MultiConfigEngine::applySplinter(const SplinterEvent &event)
+{
+    for (TlbGroup &group : groups_) {
+        for (auto &tlb : group.tlbs)
+            tlb->invalidatePage(event.asid, event.vaBase);
+    }
+    for (Substrate &sub : substrates_) {
+        for (auto &cx : sub.complexes) {
+            if (SeesawCache *cache = cx->seesawL1())
+                cache->tft().invalidateRegion(event.vaBase);
+            cx->cpu().addStallCycles(sub.config->shootdownCycles);
+        }
+    }
+}
+
+void
+MultiConfigEngine::unmapBroadcast(Addr va_base, std::uint64_t bytes)
+{
+    os_->unmapRange(asid_, va_base, bytes);
+    const Addr end = va_base + alignUp(bytes, 4096);
+    for (TlbGroup &group : groups_) {
+        for (auto &tlb : group.tlbs) {
+            for (Addr va = alignDown(va_base, 4096); va < end;
+                 va += 4096)
+                tlb->invalidatePage(asid_, va);
+        }
+    }
+    const Addr region_end = alignUp(end, 2 * 1024 * 1024);
+    for (Substrate &sub : substrates_) {
+        for (auto &cx : sub.complexes) {
+            for (Addr va = alignDown(va_base, 2 * 1024 * 1024);
+                 va < region_end; va += 2 * 1024 * 1024) {
+                if (SeesawCache *cache = cx->seesawL1())
+                    cache->tft().invalidateRegion(va);
+                if (SeesawCache *cache = cx->seesawL1i())
+                    cache->tft().invalidateRegion(va);
+            }
+            cx->cpu().addStallCycles(sub.config->shootdownCycles);
+        }
+    }
+}
+
+void
+MultiConfigEngine::osTick(CoreId c)
+{
+    CoreFrontEnd &fe = cores_[c];
+    const SystemConfig &front = configs_.front();
+    const std::uint64_t retired = fe.retiredTotal;
+
+    if (front.contextSwitchInterval &&
+        retired >= fe.nextContextSwitch) {
+        fe.nextContextSwitch += front.contextSwitchInterval;
+        // The TFT carries no ASID tags; context switches flush it.
+        for (Substrate &sub : substrates_) {
+            if (SeesawCache *cache = sub.complexes[c]->seesawL1())
+                cache->tft().flush();
+        }
+    }
+
+    if (c != 0)
+        return;
+
+    if (front.promotionInterval && retired >= nextPromotion_) {
+        nextPromotion_ += front.promotionInterval;
+        for (const auto &event : os_->runPromotionPass(asid_, 2))
+            applyPromotion(event);
+    }
+
+    if (front.splinterInterval && retired >= nextSplinter_) {
+        nextSplinter_ += front.splinterInterval;
+        const auto supers = os_->superpageVas(asid_);
+        if (!supers.empty()) {
+            const Addr va =
+                supers[eventRng_.nextBounded(supers.size())];
+            if (auto event = os_->splinter(asid_, va))
+                applySplinter(*event);
+        }
+    }
+}
+
+std::uint64_t
+MultiConfigEngine::step(CoreId c, std::uint64_t room)
+{
+    CoreFrontEnd &fe = cores_[c];
+    MemRef ref = nextRef(fe);
+    if (ref.gap + 1ULL > room)
+        ref.gap = static_cast<std::uint32_t>(room > 0 ? room - 1 : 0);
+
+    for (Substrate &sub : substrates_)
+        sub.complexes[c]->cpu().retireNonMemory(ref.gap);
+
+    // Pre-TLB TFT probes: every substrate samples its own TFT before
+    // any shared 2MB refresh fires.
+    for (std::size_t s = 0; s < substrates_.size(); ++s)
+        dProbe_[s] = substrates_[s].complexes[c]->probeDataTft(ref.va);
+
+    // One lookup per TLB group — the shared work the pass exists for.
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        trs_[g] = groups_[g].tlbs[c]->lookup(asid_, ref.va);
+
+    // Translation is config-invariant, so every group agrees on
+    // whether the access faults.
+    const bool faulted = trs_[0].fault;
+    for (const TlbLookupResult &tr : trs_) {
+        SEESAW_ASSERT(tr.fault == faulted,
+                      "substrates disagree on a page fault");
+    }
+
+    for (std::size_t s = 0; s < substrates_.size(); ++s) {
+        substrates_[s].complexes[c]->chargeTranslation(
+            trs_[substrates_[s].tlbGroup]);
+    }
+
+    if (faulted) {
+        // Demand-page once; each group retries its lookup (identical
+        // to every member's solo fault path).
+        os_->mapAnonymous(asid_, alignDown(ref.va, 2 * 1024 * 1024),
+                          2 * 1024 * 1024,
+                          workload_.thpEligibleFraction);
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            trs_[g] = groups_[g].tlbs[c]->lookup(asid_, ref.va);
+            SEESAW_ASSERT(!trs_[g].fault,
+                          "fault persists after demand paging");
+        }
+    }
+
+    for (std::size_t s = 0; s < substrates_.size(); ++s) {
+        Substrate &sub = substrates_[s];
+        transitions_[s] =
+            sub.complexes[c]->finishMemoryAccess(
+                ref, trs_[sub.tlbGroup], dProbe_[s],
+                sub.fabric.get())
+                ? 1
+                : 0;
+    }
+
+    // Instruction fetches: the front end owns the fetch carry and the
+    // fetch-line stream; substrates complete each line independently.
+    if (fe.code) {
+        fe.fetchCarry += static_cast<double>(ref.gap + 1) / 4.0;
+        auto fetches = static_cast<std::uint64_t>(fe.fetchCarry);
+        fe.fetchCarry -= static_cast<double>(fetches);
+        while (fetches-- > 0) {
+            const Addr va = fe.code->nextFetchLine();
+            for (std::size_t s = 0; s < substrates_.size(); ++s) {
+                iProbe_[s] =
+                    substrates_[s].complexes[c]->probeCodeTft(va);
+            }
+            for (std::size_t g = 0; g < groups_.size(); ++g) {
+                itrs_[g] = groups_[g].tlbs[c]->lookup(asid_, va);
+                SEESAW_ASSERT(!itrs_[g].fault,
+                              "text segment must be premapped");
+            }
+            for (std::size_t s = 0; s < substrates_.size(); ++s) {
+                Substrate &sub = substrates_[s];
+                sub.complexes[c]->chargeTranslation(
+                    itrs_[sub.tlbGroup]);
+                sub.complexes[c]->finishFetch(
+                    va, itrs_[sub.tlbGroup], iProbe_[s]);
+            }
+        }
+    }
+
+    fe.retiredTotal += ref.gap + 1;
+    for (Substrate &sub : substrates_) {
+        sub.complexes[c]->retiredTotal_ += ref.gap + 1;
+        if (ProbeEngine *probes = sub.complexes[c]->probeEngine())
+            probes->tick(ref.gap + 1);
+    }
+    osTick(c);
+    if constexpr (check::kAuditCompiledIn) {
+        for (std::size_t s = 0; s < substrates_.size(); ++s) {
+            Substrate &sub = substrates_[s];
+            if (!sub.auditor)
+                continue;
+            const Cycles now = sub.complexes[c]->cpu().cycles();
+            if (sub.fabric && transitions_[s])
+                sub.auditor->onCoherenceTransition(now);
+            sub.auditor->onEvent(ref.gap + 1, now);
+        }
+    }
+    return ref.gap + 1;
+}
+
+void
+MultiConfigEngine::runLoop(std::uint64_t per_core_budget)
+{
+    std::vector<std::uint64_t> retired(cores_.size(), 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            if (retired[c] < per_core_budget) {
+                retired[c] += step(c, per_core_budget - retired[c]);
+                progress = true;
+            }
+        }
+    }
+}
+
+void
+MultiConfigEngine::resetMeasurement()
+{
+    for (Substrate &sub : substrates_) {
+        for (auto &cx : sub.complexes)
+            cx->resetMeasurement();
+        sub.energy->reset();
+        if (sub.fabric)
+            sub.fabric->resetStats();
+    }
+}
+
+std::vector<RunResult>
+MultiConfigEngine::run()
+{
+    const SystemConfig &front = configs_.front();
+    if (front.warmupInstructions > 0) {
+        runLoop(front.warmupInstructions);
+        resetMeasurement();
+    }
+    runLoop(front.instructions);
+
+    std::vector<RunResult> results;
+    results.reserve(substrates_.size());
+    for (Substrate &sub : substrates_) {
+        Cycles max_cycles = 0;
+        for (auto &cx : sub.complexes)
+            max_cycles = std::max(max_cycles, cx->cpu().cycles());
+
+        if constexpr (check::kAuditCompiledIn) {
+            if (sub.auditor)
+                sub.auditor->onEndOfRun(max_cycles);
+        }
+
+        for (auto &cx : sub.complexes) {
+            sub.energy->addL1Leakage(sub.config->l1SizeBytes,
+                                     max_cycles, sub.config->freqGhz);
+            if (cx->l1i())
+                sub.energy->addL1Leakage(32 * 1024, max_cycles,
+                                         sub.config->freqGhz);
+        }
+        sub.energy->addBackground(max_cycles, sub.config->freqGhz);
+
+        std::vector<CoreComplex *> cxs;
+        cxs.reserve(sub.complexes.size());
+        for (auto &cx : sub.complexes)
+            cxs.push_back(cx.get());
+        results.push_back(collectRunResults(
+            *sub.config, workload_, cxs, *sub.energy,
+            sub.fabric.get(), *os_, asid_, max_cycles));
+    }
+    return results;
+}
+
+} // namespace seesaw

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * One-pass multi-configuration simulation: a single trace pass drives
+ * N per-config substrates (L1/L2 tag stores, TLB groups, TFT, way
+ * predictor, energy and stat groups) over one config-invariant front
+ * end (workload streams, page table, translation cache, OS memory
+ * manager, per-core RNGs). OS events — promotion, splinter, unmap,
+ * context switch — broadcast to every substrate, and each substrate's
+ * state sequence is bit-identical to running its configuration alone
+ * through SimEngine (the DEW structure, arXiv 1506.03181, applied to
+ * the SEESAW design space).
+ *
+ * What is shared and what forks:
+ *  - Shared, exactly once per pass: the OS memory manager (buddy
+ *    allocator, page tables, translation cache, khugepaged), memhog
+ *    fragmentation, the per-core reference/fetch streams, the OS-event
+ *    RNG and schedule (keyed on retired instructions, which every
+ *    substrate agrees on by construction), and one TLB hierarchy per
+ *    *TLB group* — substrates whose configs imply identical TLB
+ *    geometry share lookups; others get their own hierarchy.
+ *  - Forked per substrate: L1D/L1I tag stores and TFTs, way
+ *    predictors, private L2s + LLC, the coherence fabric, CPU timing,
+ *    the energy model, and the invariant auditor (per-substrate audit
+ *    contexts, so a desynced substrate is caught individually).
+ *
+ * Front-end compatibility (frontEndKey) is the contract: configs in
+ * one pass must agree on every field that feeds the shared state.
+ */
+
+#ifndef SEESAW_SIM_MULTI_CONFIG_ENGINE_HH
+#define SEESAW_SIM_MULTI_CONFIG_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim_engine.hh"
+
+namespace seesaw {
+
+/**
+ * Drives N compatible SystemConfigs through one trace pass.
+ * Construct with the configs (asserts pairwise front-end
+ * compatibility), then run() once; results arrive in config order.
+ */
+class MultiConfigEngine
+{
+  public:
+    MultiConfigEngine(std::vector<SystemConfig> configs,
+                      const WorkloadSpec &workload);
+    ~MultiConfigEngine();
+
+    /** Execute the shared per-core instruction budget once; @return
+     *  one RunResult per config, in constructor order. */
+    std::vector<RunResult> run();
+
+    /** Whether two configs can share one front end (and therefore one
+     *  pass): every config-invariant field must match. */
+    static bool compatibleFrontEnds(const SystemConfig &a,
+                                    const SystemConfig &b);
+
+    /** Canonical serialization of the config-invariant fields — the
+     *  harness groups cells by (workload, this key). */
+    static std::string frontEndKey(const SystemConfig &config);
+
+    /** @name Component access (tests / advanced drivers). */
+    /// @{
+    unsigned substrates() const
+    {
+        return static_cast<unsigned>(substrates_.size());
+    }
+    const SystemConfig &config(unsigned substrate) const
+    {
+        return configs_[substrate];
+    }
+    CoreComplex &complex(unsigned substrate, unsigned core = 0)
+    {
+        return *substrates_[substrate].complexes[core];
+    }
+    /** The shared TLB hierarchy serving @p substrate on @p core. */
+    TlbHierarchy &tlb(unsigned substrate, unsigned core = 0)
+    {
+        return complex(substrate, core).activeTlb();
+    }
+    check::InvariantAuditor *auditor(unsigned substrate)
+    {
+        return substrates_[substrate].auditor.get();
+    }
+    OsMemoryManager &os() { return *os_; }
+    Asid asid() const { return asid_; }
+    /// @}
+
+    /**
+     * Unmap [va_base, va_base+bytes) and broadcast the shootdown to
+     * every substrate: invlpg on each shared TLB group, plus TFT
+     * region invalidations in every SEESAW L1D/L1I. The run loop's
+     * promotion/splinter events use the same broadcast structure; this
+     * entry point is for OS-driven unmaps (and their tests).
+     */
+    void unmapBroadcast(Addr va_base, std::uint64_t bytes);
+
+  private:
+    /** Substrates sharing one TLB geometry share one hierarchy per
+     *  core; the group's superpage hook broadcasts to every member. */
+    struct TlbGroup
+    {
+        std::size_t exemplar = 0; //!< config index defining geometry
+        std::vector<std::unique_ptr<TlbHierarchy>> tlbs; //!< per core
+    };
+
+    /** Everything that forks per configuration. */
+    struct Substrate
+    {
+        const SystemConfig *config = nullptr;
+        std::size_t tlbGroup = 0;
+        std::unique_ptr<EnergyModel> energy;
+        std::unique_ptr<SetAssocCache> sharedLlc;
+        std::vector<std::unique_ptr<CoreComplex>> complexes;
+        std::unique_ptr<CoherenceFabric> fabric;
+        ExactDirectory *directory = nullptr;
+        std::unique_ptr<check::InvariantAuditor> auditor;
+    };
+
+    /** The config-invariant per-core front end. */
+    struct CoreFrontEnd
+    {
+        std::unique_ptr<ReferenceStream> stream;
+        std::unique_ptr<TraceReader> trace; //!< replaces stream if set
+        std::unique_ptr<CodeStream> code;   //!< modelInstructionCache
+        double fetchCarry = 0.0;
+        std::uint64_t retiredTotal = 0;
+        std::uint64_t nextContextSwitch = 0;
+    };
+
+    MemRef nextRef(CoreFrontEnd &fe);
+    std::uint64_t step(CoreId c, std::uint64_t room);
+    void runLoop(std::uint64_t per_core_budget);
+    void resetMeasurement();
+    void osTick(CoreId c);
+    void applyPromotion(const PromotionEvent &event);
+    void applySplinter(const SplinterEvent &event);
+    void setupAuditor(Substrate &sub);
+
+    WorkloadSpec workload_;
+    LatencyTable latency_;
+    std::vector<SystemConfig> configs_;
+    Rng eventRng_;
+
+    std::unique_ptr<OsMemoryManager> os_;
+    std::unique_ptr<Memhog> memhog_;
+    Asid asid_ = 0;
+    Addr heapBase_ = 0;
+    Addr textBase_ = 0;
+
+    std::vector<TlbGroup> groups_;
+    std::vector<Substrate> substrates_;
+    std::vector<CoreFrontEnd> cores_;
+
+    std::uint64_t nextPromotion_ = 0;
+    std::uint64_t nextSplinter_ = 0;
+
+    /** @name Per-step scratch (sized once; the access loop is hot). */
+    /// @{
+    std::vector<int> dProbe_, iProbe_;
+    std::vector<TlbLookupResult> trs_, itrs_;
+    std::vector<char> transitions_;
+    /// @}
+};
+
+} // namespace seesaw
+
+#endif // SEESAW_SIM_MULTI_CONFIG_ENGINE_HH

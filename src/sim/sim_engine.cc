@@ -117,6 +117,142 @@ SimEngine::SimEngine(const SystemConfig &config,
 
 SimEngine::~SimEngine() = default;
 
+namespace {
+
+bool
+isSeesawConfig(const SystemConfig &config)
+{
+    return config.l1Kind == L1Kind::Seesaw ||
+           config.l1Kind == L1Kind::SeesawWayPredicted;
+}
+
+} // namespace
+
+void
+registerSystemAudits(check::InvariantAuditor &auditor,
+                     const SystemConfig &config,
+                     std::vector<CoreComplex *> complexes,
+                     SetAssocCache *shared_llc, ExactDirectory *directory,
+                     OsMemoryManager &os, Asid asid)
+{
+    const bool multi = config.cores > 1;
+    const unsigned n = config.cores;
+    OsMemoryManager *os_p = &os;
+    const auto cxs = std::move(complexes);
+
+    if (directory) {
+        auditor.registerCheck(
+            "directory", [cxs, directory](check::AuditContext &ctx) {
+                std::vector<const L1Cache *> l1s;
+                l1s.reserve(cxs.size());
+                for (CoreComplex *cx : cxs)
+                    l1s.push_back(&cx->l1());
+                check::auditDirectoryConsistency(*directory, l1s, ctx);
+            });
+    }
+
+    // Duplicate lines (one PA in two ways) are legal only under the
+    // 4way-8way SEESAW policy, where a page mapped both base and super
+    // can be installed twice (§IV-B1).
+    const bool allow_dup =
+        isSeesawConfig(config) &&
+        config.policy == InsertionPolicy::FourWayEightWay;
+
+    auditor.registerCheck(
+        "l1.tags",
+        [cxs, allow_dup, multi, n](check::AuditContext &ctx) {
+            for (unsigned c = 0; c < n; ++c) {
+                if (multi)
+                    ctx.core = static_cast<int>(c);
+                check::auditTagStoreSanity(cxs[c]->l1().tags(), ctx,
+                                           allow_dup);
+            }
+        });
+    auditor.registerCheck(
+        "tlb", [cxs, os_p, multi, n](check::AuditContext &ctx) {
+            for (unsigned c = 0; c < n; ++c) {
+                if (multi)
+                    ctx.core = static_cast<int>(c);
+                check::auditTlbAgainstPageTable(cxs[c]->activeTlb(),
+                                                os_p->pageTable(), ctx);
+            }
+        });
+    auditor.registerCheck(
+        "mem.tcache", [os_p](check::AuditContext &ctx) {
+            check::auditTranslationCacheAgainstPageTable(
+                os_p->pageTable(), ctx);
+        });
+    if (multi) {
+        auditor.registerCheck(
+            "outer.tags", [cxs, shared_llc, n](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < n; ++c) {
+                    ctx.core = static_cast<int>(c);
+                    check::auditTagStoreSanity(cxs[c]->outer().l2(),
+                                               ctx);
+                }
+                ctx.core = -1;
+                check::auditTagStoreSanity(*shared_llc, ctx);
+            });
+    }
+    if (isSeesawConfig(config)) {
+        auditor.registerCheck(
+            "l1.partition",
+            [cxs, multi, n](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < n; ++c) {
+                    if (multi)
+                        ctx.core = static_cast<int>(c);
+                    check::auditSeesawPlacement(*cxs[c]->seesawL1(),
+                                                ctx);
+                }
+            });
+        auditor.registerCheck(
+            "l1.tft", [cxs, os_p, asid, multi, n](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < n; ++c) {
+                    if (multi)
+                        ctx.core = static_cast<int>(c);
+                    check::auditTftAgainstPageTable(
+                        cxs[c]->seesawL1()->tft(), os_p->pageTable(),
+                        asid, ctx);
+                }
+            });
+    }
+    if (cxs[0]->l1i()) {
+        auditor.registerCheck(
+            "l1i.tags",
+            [cxs, allow_dup, multi, n](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < n; ++c) {
+                    if (multi)
+                        ctx.core = static_cast<int>(c);
+                    check::auditTagStoreSanity(cxs[c]->l1i()->tags(),
+                                               ctx, allow_dup);
+                }
+            });
+        if (cxs[0]->seesawL1i()) {
+            auditor.registerCheck(
+                "l1i.partition",
+                [cxs, multi, n](check::AuditContext &ctx) {
+                    for (unsigned c = 0; c < n; ++c) {
+                        if (multi)
+                            ctx.core = static_cast<int>(c);
+                        check::auditSeesawPlacement(
+                            *cxs[c]->seesawL1i(), ctx);
+                    }
+                });
+            auditor.registerCheck(
+                "l1i.tft",
+                [cxs, os_p, asid, multi, n](check::AuditContext &ctx) {
+                    for (unsigned c = 0; c < n; ++c) {
+                        if (multi)
+                            ctx.core = static_cast<int>(c);
+                        check::auditTftAgainstPageTable(
+                            cxs[c]->seesawL1i()->tft(),
+                            os_p->pageTable(), asid, ctx);
+                    }
+                });
+        }
+    }
+}
+
 void
 SimEngine::setupAuditor()
 {
@@ -133,121 +269,12 @@ SimEngine::setupAuditor()
     auditor_ =
         std::make_unique<check::InvariantAuditor>(config_.audit);
 
-    const bool multi = config_.cores > 1;
-    const unsigned n = config_.cores;
-
-    if (directory_) {
-        auditor_->registerCheck(
-            "directory", [this](check::AuditContext &ctx) {
-                std::vector<const L1Cache *> l1s;
-                l1s.reserve(complexes_.size());
-                for (auto &cx : complexes_)
-                    l1s.push_back(&cx->l1());
-                check::auditDirectoryConsistency(*directory_, l1s,
-                                                 ctx);
-            });
-    }
-
-    // Duplicate lines (one PA in two ways) are legal only under the
-    // 4way-8way SEESAW policy, where a page mapped both base and super
-    // can be installed twice (§IV-B1).
-    const bool allow_dup =
-        isSeesawKind() &&
-        config_.policy == InsertionPolicy::FourWayEightWay;
-
-    auditor_->registerCheck(
-        "l1.tags",
-        [this, allow_dup, multi, n](check::AuditContext &ctx) {
-            for (unsigned c = 0; c < n; ++c) {
-                if (multi)
-                    ctx.core = static_cast<int>(c);
-                check::auditTagStoreSanity(complexes_[c]->l1().tags(),
-                                           ctx, allow_dup);
-            }
-        });
-    auditor_->registerCheck(
-        "tlb", [this, multi, n](check::AuditContext &ctx) {
-            for (unsigned c = 0; c < n; ++c) {
-                if (multi)
-                    ctx.core = static_cast<int>(c);
-                check::auditTlbAgainstPageTable(complexes_[c]->tlb(),
-                                                os_->pageTable(), ctx);
-            }
-        });
-    auditor_->registerCheck(
-        "mem.tcache", [this](check::AuditContext &ctx) {
-            check::auditTranslationCacheAgainstPageTable(
-                os_->pageTable(), ctx);
-        });
-    if (multi) {
-        auditor_->registerCheck(
-            "outer.tags", [this, n](check::AuditContext &ctx) {
-                for (unsigned c = 0; c < n; ++c) {
-                    ctx.core = static_cast<int>(c);
-                    check::auditTagStoreSanity(
-                        complexes_[c]->outer().l2(), ctx);
-                }
-                ctx.core = -1;
-                check::auditTagStoreSanity(*sharedLlc_, ctx);
-            });
-    }
-    if (isSeesawKind()) {
-        auditor_->registerCheck(
-            "l1.partition",
-            [this, multi, n](check::AuditContext &ctx) {
-                for (unsigned c = 0; c < n; ++c) {
-                    if (multi)
-                        ctx.core = static_cast<int>(c);
-                    check::auditSeesawPlacement(
-                        *complexes_[c]->seesawL1(), ctx);
-                }
-            });
-        auditor_->registerCheck(
-            "l1.tft", [this, multi, n](check::AuditContext &ctx) {
-                for (unsigned c = 0; c < n; ++c) {
-                    if (multi)
-                        ctx.core = static_cast<int>(c);
-                    check::auditTftAgainstPageTable(
-                        complexes_[c]->seesawL1()->tft(),
-                        os_->pageTable(), asid_, ctx);
-                }
-            });
-    }
-    if (complexes_[0]->l1i()) {
-        auditor_->registerCheck(
-            "l1i.tags",
-            [this, allow_dup, multi, n](check::AuditContext &ctx) {
-                for (unsigned c = 0; c < n; ++c) {
-                    if (multi)
-                        ctx.core = static_cast<int>(c);
-                    check::auditTagStoreSanity(
-                        complexes_[c]->l1i()->tags(), ctx, allow_dup);
-                }
-            });
-        if (complexes_[0]->seesawL1i()) {
-            auditor_->registerCheck(
-                "l1i.partition",
-                [this, multi, n](check::AuditContext &ctx) {
-                    for (unsigned c = 0; c < n; ++c) {
-                        if (multi)
-                            ctx.core = static_cast<int>(c);
-                        check::auditSeesawPlacement(
-                            *complexes_[c]->seesawL1i(), ctx);
-                    }
-                });
-            auditor_->registerCheck(
-                "l1i.tft",
-                [this, multi, n](check::AuditContext &ctx) {
-                    for (unsigned c = 0; c < n; ++c) {
-                        if (multi)
-                            ctx.core = static_cast<int>(c);
-                        check::auditTftAgainstPageTable(
-                            complexes_[c]->seesawL1i()->tft(),
-                            os_->pageTable(), asid_, ctx);
-                    }
-                });
-        }
-    }
+    std::vector<CoreComplex *> cxs;
+    cxs.reserve(complexes_.size());
+    for (auto &cx : complexes_)
+        cxs.push_back(cx.get());
+    registerSystemAudits(*auditor_, config_, std::move(cxs),
+                         sharedLlc_.get(), directory_, *os_, asid_);
 }
 
 void
@@ -419,15 +446,30 @@ SimEngine::run()
 RunResult
 SimEngine::collectResults(Cycles max_cycles)
 {
+    std::vector<CoreComplex *> cxs;
+    cxs.reserve(complexes_.size());
+    for (auto &cx : complexes_)
+        cxs.push_back(cx.get());
+    return collectRunResults(config_, workload_, cxs, *energy_,
+                             fabric_.get(), *os_, asid_, max_cycles);
+}
+
+RunResult
+collectRunResults(const SystemConfig &config,
+                  const WorkloadSpec &workload,
+                  const std::vector<CoreComplex *> &complexes,
+                  EnergyModel &energy, CoherenceFabric *fabric,
+                  OsMemoryManager &os, Asid asid, Cycles max_cycles)
+{
     RunResult r;
-    r.workload = workload_.name;
-    r.cores = config_.cores;
+    r.workload = workload.name;
+    r.cores = config.cores;
     r.cycles = max_cycles;
-    r.runtimeNs = static_cast<double>(r.cycles) / config_.freqGhz;
+    r.runtimeNs = static_cast<double>(r.cycles) / config.freqGhz;
 
     double wp_sum = 0.0;
     unsigned wp_count = 0;
-    for (auto &cx : complexes_) {
+    for (CoreComplex *cx : complexes) {
         PerCoreResult pc;
         pc.instructions = cx->cpu().instructions();
         pc.cycles = cx->cpu().cycles();
@@ -510,33 +552,33 @@ SimEngine::collectResults(Cycles max_cycles)
         r.l1Accesses ? static_cast<double>(r.superpageRefs) /
                            static_cast<double>(r.l1Accesses)
                      : 0.0;
-    if (isSeesawKind())
+    if (isSeesawConfig(config))
         r.fastHits = r.tftHits;
     if (wp_count)
         r.wpAccuracy = wp_sum / static_cast<double>(wp_count);
 
-    r.superpageCoverage = os_->superpageCoverage(asid_);
+    r.superpageCoverage = os.superpageCoverage(asid);
 
-    r.energyTotalNj = energy_->totalNj();
-    r.l1CpuDynamicNj = energy_->l1CpuDynamicNj();
-    r.l1CoherenceDynamicNj = energy_->l1CoherenceDynamicNj();
-    r.l1LeakageNj = energy_->l1LeakageNj();
-    r.outerNj = energy_->outerHierarchyNj();
-    r.translationNj = energy_->translationNj();
+    r.energyTotalNj = energy.totalNj();
+    r.l1CpuDynamicNj = energy.l1CpuDynamicNj();
+    r.l1CoherenceDynamicNj = energy.l1CoherenceDynamicNj();
+    r.l1LeakageNj = energy.l1LeakageNj();
+    r.outerNj = energy.outerHierarchyNj();
+    r.translationNj = energy.translationNj();
 
-    if (fabric_) {
-        r.probes = fabric_->probes();
-        r.probeHits = fabric_->probeHits();
-        r.probeInvalidations = fabric_->invalidations();
-        r.ownerSupplies = fabric_->ownerSupplies();
-    } else if (ProbeEngine *probes = complexes_[0]->probeEngine()) {
+    if (fabric) {
+        r.probes = fabric->probes();
+        r.probeHits = fabric->probeHits();
+        r.probeInvalidations = fabric->invalidations();
+        r.ownerSupplies = fabric->ownerSupplies();
+    } else if (ProbeEngine *probes = complexes[0]->probeEngine()) {
         r.probes = probes->probes();
         r.probeHits = probes->probeHits();
         r.probeInvalidations = probes->invalidations();
     }
 
-    r.promotions = os_->promotions();
-    r.splinters = os_->splinters();
+    r.promotions = os.promotions();
+    r.splinters = os.splinters();
     return r;
 }
 

@@ -28,6 +28,34 @@ class InvariantAuditor;
 namespace seesaw {
 
 /**
+ * Register the standard per-layer invariant checks for one simulated
+ * system — a whole SimEngine, or a single substrate of a
+ * MultiConfigEngine (sim/multi_config_engine.hh), which is why the
+ * components arrive as explicit parameters rather than an engine.
+ * The TLB check audits each complex's *active* hierarchy, so shared
+ * multi-config TLB groups are covered per substrate.
+ */
+void registerSystemAudits(check::InvariantAuditor &auditor,
+                          const SystemConfig &config,
+                          std::vector<CoreComplex *> complexes,
+                          SetAssocCache *shared_llc,
+                          ExactDirectory *directory,
+                          OsMemoryManager &os, Asid asid);
+
+/**
+ * Aggregate one system's per-core stats into a RunResult — the one
+ * sanctioned place for string-keyed stat reads. Shared by SimEngine
+ * and MultiConfigEngine (which calls it once per substrate).
+ */
+RunResult collectRunResults(const SystemConfig &config,
+                            const WorkloadSpec &workload,
+                            const std::vector<CoreComplex *> &complexes,
+                            EnergyModel &energy,
+                            CoherenceFabric *fabric,
+                            OsMemoryManager &os, Asid asid,
+                            Cycles max_cycles);
+
+/**
  * One simulated system instance of config.cores cores. Construct,
  * then run().
  */

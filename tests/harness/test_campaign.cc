@@ -161,6 +161,110 @@ TEST(CampaignRunner, MultiCoreJsonIsByteIdenticalAcrossJobCounts)
     EXPECT_NE(serial.find("\"cores\":4"), std::string::npos);
 }
 
+TEST(CampaignRunner, OnePassIsBitIdenticalToPerCellExecution)
+{
+    // The 2x2 cross-product collapses into one one-pass group per
+    // workload (both variants share the front end); results must be
+    // byte-for-byte the per-cell outcome, serial or parallel.
+    RunnerOptions per_cell;
+    per_cell.jobs = 1;
+    per_cell.progress = false;
+    const auto baseline = CampaignRunner(per_cell).run(twoByTwo());
+
+    for (const unsigned jobs : {1u, 4u}) {
+        RunnerOptions one_pass;
+        one_pass.jobs = jobs;
+        one_pass.progress = false;
+        one_pass.onePass = true;
+        const auto grouped = CampaignRunner(one_pass).run(twoByTwo());
+
+        ASSERT_EQ(grouped.results.size(), baseline.results.size());
+        for (std::size_t i = 0; i < baseline.results.size(); ++i) {
+            EXPECT_EQ(grouped.results[i].name,
+                      baseline.results[i].name);
+            EXPECT_EQ(grouped.results[i].configHash,
+                      baseline.results[i].configHash);
+            EXPECT_EQ(grouped.results[i].result,
+                      baseline.results[i].result)
+                << "cell " << baseline.results[i].name
+                << " diverged under one-pass grouping (jobs=" << jobs
+                << ")";
+        }
+    }
+}
+
+TEST(CampaignRunner, OnePassSplitsIncompatibleFrontEnds)
+{
+    // Different seeds feed the shared front end, so they must land in
+    // different groups; a custom-thunk cell (no one-pass info) rides
+    // along untouched. Everything still matches per-cell execution.
+    CampaignSpec spec = twoByTwo();
+    spec.seeds({1, 2});
+    spec.cell(
+        "custom",
+        [] {
+            return SimEngine(tinyConfig(L1Kind::Pipt),
+                             findWorkload("redis"))
+                .run();
+        },
+        7);
+
+    RunnerOptions per_cell;
+    per_cell.jobs = 1;
+    per_cell.progress = false;
+    const auto baseline = CampaignRunner(per_cell).run(spec);
+
+    RunnerOptions one_pass = per_cell;
+    one_pass.onePass = true;
+    std::vector<std::string> done;
+    one_pass.onCellDone = [&done](const CellResult &cell) {
+        done.push_back(cell.name);
+    };
+    const auto grouped = CampaignRunner(one_pass).run(spec);
+
+    ASSERT_EQ(grouped.results.size(), baseline.results.size());
+    for (std::size_t i = 0; i < baseline.results.size(); ++i) {
+        EXPECT_EQ(grouped.results[i].name, baseline.results[i].name);
+        EXPECT_EQ(grouped.results[i].result,
+                  baseline.results[i].result)
+            << "cell " << baseline.results[i].name;
+    }
+    // The completion hook fired exactly once per cell.
+    EXPECT_EQ(done.size(), spec.cells().size());
+    std::set<std::string> unique(done.begin(), done.end());
+    EXPECT_EQ(unique.size(), done.size());
+}
+
+TEST(CampaignRunner, ExplicitSimulateCellsJoinOnePassGroups)
+{
+    // The simulate-cell overload records one-pass info, so explicit
+    // cells group with each other when compatible.
+    const WorkloadSpec w = findWorkload("redis");
+    CampaignSpec spec("explicit1p");
+    spec.cell("vipt", w, tinyConfig(L1Kind::ViptBaseline));
+    spec.cell("seesaw", w, tinyConfig(L1Kind::Seesaw));
+    const auto cells = spec.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_NE(cells[0].onePass, nullptr);
+    EXPECT_EQ(cells[0].workload, "redis");
+    EXPECT_EQ(cells[0].configHash,
+              configHash(tinyConfig(L1Kind::ViptBaseline)));
+
+    RunnerOptions per_cell;
+    per_cell.jobs = 1;
+    per_cell.progress = false;
+    const auto baseline = CampaignRunner(per_cell).run(spec);
+    RunnerOptions one_pass = per_cell;
+    one_pass.onePass = true;
+    const auto grouped = CampaignRunner(one_pass).run(spec);
+    ASSERT_EQ(grouped.results.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(grouped.results[i].result,
+                  baseline.results[i].result)
+            << "cell " << baseline.results[i].name;
+    }
+}
+
 TEST(CampaignRunner, FindResultLooksUpByName)
 {
     RunnerOptions opts;

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * MultiConfigEngine one-pass tests:
+ *  - an N-substrate pass is bit-identical to N serial SimEngine runs
+ *    across all six L1 designs, mixed geometries (multiple TLB
+ *    groups), the L1I extension and multi-core coherence;
+ *  - OS events (promotion, splinter, unmap) broadcast to every
+ *    substrate;
+ *  - a desynced substrate trips its own src/check audit context while
+ *    the healthy substrate stays clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.hh"
+#include "sim/multi_config_engine.hh"
+
+namespace seesaw {
+namespace {
+
+WorkloadSpec
+testWorkload()
+{
+    WorkloadSpec w = findWorkload("redis");
+    w.footprintBytes = 32ULL << 20;
+    w.hotSetBytes = 2ULL << 20;
+    return w;
+}
+
+SystemConfig
+baseConfig(L1Kind kind)
+{
+    SystemConfig cfg;
+    cfg.l1Kind = kind;
+    cfg.instructions = 40'000;
+    cfg.warmupInstructions = 20'000;
+    cfg.os.memBytes = 1ULL << 30;
+    cfg.seed = 1;
+    return cfg;
+}
+
+/** Full-structure equality with a readable first-divergence report. */
+void
+expectSameResult(const RunResult &one_pass, const RunResult &serial,
+                 const std::string &label)
+{
+    EXPECT_EQ(one_pass.instructions, serial.instructions) << label;
+    EXPECT_EQ(one_pass.cycles, serial.cycles) << label;
+    EXPECT_EQ(one_pass.l1Accesses, serial.l1Accesses) << label;
+    EXPECT_EQ(one_pass.l1Hits, serial.l1Hits) << label;
+    EXPECT_EQ(one_pass.l1Misses, serial.l1Misses) << label;
+    EXPECT_EQ(one_pass.tftLookups, serial.tftLookups) << label;
+    EXPECT_EQ(one_pass.tftHits, serial.tftHits) << label;
+    EXPECT_EQ(one_pass.dramAccesses, serial.dramAccesses) << label;
+    EXPECT_EQ(one_pass.squashes, serial.squashes) << label;
+    EXPECT_EQ(one_pass.probes, serial.probes) << label;
+    EXPECT_EQ(one_pass.promotions, serial.promotions) << label;
+    EXPECT_EQ(one_pass.splinters, serial.splinters) << label;
+    EXPECT_EQ(one_pass.energyTotalNj, serial.energyTotalNj) << label;
+    EXPECT_EQ(one_pass.ipc, serial.ipc) << label;
+    // ... and every remaining field, doubles included.
+    EXPECT_TRUE(one_pass == serial) << label;
+}
+
+void
+expectOnePassMatchesSerial(const std::vector<SystemConfig> &configs,
+                           const WorkloadSpec &workload)
+{
+    MultiConfigEngine engine(configs, workload);
+    const std::vector<RunResult> one_pass = engine.run();
+    ASSERT_EQ(one_pass.size(), configs.size());
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const RunResult serial =
+            SimEngine(configs[i], workload).run();
+        expectSameResult(one_pass[i], serial,
+                         "substrate " + std::to_string(i));
+    }
+}
+
+TEST(MultiConfigEngine, BitIdenticalAcrossAllSixL1Designs)
+{
+    std::vector<SystemConfig> configs;
+    for (L1Kind kind :
+         {L1Kind::ViptBaseline, L1Kind::Pipt, L1Kind::Seesaw,
+          L1Kind::ViptWayPredicted, L1Kind::SeesawWayPredicted,
+          L1Kind::Sipt})
+        configs.push_back(baseConfig(kind));
+    expectOnePassMatchesSerial(configs, testWorkload());
+}
+
+TEST(MultiConfigEngine, MixedGeometriesFormMultipleTlbGroups)
+{
+    // Eight substrates spanning L1 sizes, partition widths, core kinds
+    // and TLB shapes: the in-order and unified-TLB members each form
+    // their own TLB group behind the shared front end.
+    std::vector<SystemConfig> configs;
+
+    SystemConfig a = baseConfig(L1Kind::Seesaw);
+    a.l1SizeBytes = 64 * 1024;
+    a.l1Assoc = 16;
+    a.partitionWays = 8;
+    configs.push_back(a);
+
+    SystemConfig b = baseConfig(L1Kind::Seesaw);
+    b.partitionWays = 2;
+    b.policy = InsertionPolicy::FourWayEightWay;
+    configs.push_back(b);
+
+    SystemConfig c = baseConfig(L1Kind::ViptBaseline);
+    c.coreKind = CoreKind::InOrder;
+    configs.push_back(c);
+
+    SystemConfig d = baseConfig(L1Kind::Seesaw);
+    d.coreKind = CoreKind::InOrder;
+    configs.push_back(d);
+
+    SystemConfig e = baseConfig(L1Kind::Seesaw);
+    e.unifiedL1Tlb = true;
+    configs.push_back(e);
+
+    SystemConfig f = baseConfig(L1Kind::Seesaw);
+    f.schedulerCounterPolicy = false;
+    configs.push_back(f);
+
+    SystemConfig g = baseConfig(L1Kind::ViptBaseline);
+    g.freqGhz = 2.80;
+    configs.push_back(g);
+
+    SystemConfig h = baseConfig(L1Kind::Pipt);
+    h.piptTlbCycles = 3;
+    configs.push_back(h);
+
+    expectOnePassMatchesSerial(configs, testWorkload());
+}
+
+TEST(MultiConfigEngine, InstructionCachePathIsBitIdentical)
+{
+    WorkloadSpec w = testWorkload();
+    w.codeFootprintBytes = 8ULL << 20;
+
+    std::vector<SystemConfig> configs;
+    for (L1Kind kind : {L1Kind::Seesaw, L1Kind::ViptBaseline}) {
+        SystemConfig cfg = baseConfig(kind);
+        cfg.modelInstructionCache = true;
+        configs.push_back(cfg);
+    }
+    // A SEESAW L1D with a forced-VIPT L1I exercises the
+    // keep-code-out-of-the-D-TFT routing.
+    SystemConfig mixed = baseConfig(L1Kind::Seesaw);
+    mixed.modelInstructionCache = true;
+    mixed.icacheKind = SystemConfig::ICacheKind::Vipt;
+    configs.push_back(mixed);
+
+    expectOnePassMatchesSerial(configs, w);
+}
+
+TEST(MultiConfigEngine, MultiCoreCoherentFabricsStayIndependent)
+{
+    WorkloadSpec w = testWorkload();
+    std::vector<SystemConfig> configs;
+    for (L1Kind kind : {L1Kind::Seesaw, L1Kind::ViptBaseline}) {
+        SystemConfig cfg = baseConfig(kind);
+        cfg.cores = 2;
+        cfg.fabric = CoherenceKind::Directory;
+        configs.push_back(cfg);
+    }
+    expectOnePassMatchesSerial(configs, w);
+}
+
+TEST(MultiConfigEngine, OsEventsBroadcastToEverySubstrate)
+{
+    // Aggressive OS-event schedule: several promotions and splinters
+    // land inside the budget, and the pass must still match every solo
+    // run exactly — proof the events reached each substrate at the
+    // same instruction boundary.
+    WorkloadSpec w = testWorkload();
+    std::vector<SystemConfig> configs;
+    for (L1Kind kind :
+         {L1Kind::Seesaw, L1Kind::SeesawWayPredicted,
+          L1Kind::ViptBaseline}) {
+        SystemConfig cfg = baseConfig(kind);
+        cfg.promotionInterval = 5'000;
+        cfg.splinterInterval = 15'000;
+        cfg.contextSwitchInterval = 20'000;
+        configs.push_back(cfg);
+    }
+
+    MultiConfigEngine engine(configs, w);
+    const std::vector<RunResult> one_pass = engine.run();
+    ASSERT_EQ(one_pass.size(), configs.size());
+    EXPECT_GT(one_pass[0].promotions, 0u);
+    EXPECT_GT(one_pass[0].splinters, 0u);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const RunResult serial = SimEngine(configs[i], w).run();
+        expectSameResult(one_pass[i], serial,
+                         "substrate " + std::to_string(i));
+    }
+}
+
+TEST(MultiConfigEngine, UnmapBroadcastReachesEverySubstrate)
+{
+    WorkloadSpec w = testWorkload();
+    std::vector<SystemConfig> configs;
+    for (unsigned ways : {2u, 4u}) {
+        SystemConfig cfg = baseConfig(L1Kind::Seesaw);
+        cfg.partitionWays = ways;
+        configs.push_back(cfg);
+    }
+
+    MultiConfigEngine engine(configs, w);
+    engine.run();
+
+    const Addr heap = Addr{1} << 40;
+    const std::uint64_t bytes = 8ULL << 20;
+    engine.unmapBroadcast(heap, bytes);
+
+    for (unsigned s = 0; s < engine.substrates(); ++s) {
+        // The unmapped VAs fault in the substrate's (shared) TLB view.
+        const TlbLookupResult tr =
+            engine.tlb(s).lookup(engine.asid(), heap);
+        EXPECT_TRUE(tr.fault) << "substrate " << s;
+        // And its TFT dropped every region under the unmap.
+        SeesawCache *cache = engine.complex(s).seesawL1();
+        ASSERT_NE(cache, nullptr);
+        for (Addr va = heap; va < heap + bytes; va += 2 * 1024 * 1024)
+            EXPECT_FALSE(cache->tft().lookup(va))
+                << "substrate " << s << " va " << va;
+    }
+}
+
+TEST(MultiConfigEngine, DesyncedSubstrateTripsItsOwnAudits)
+{
+    // thpEligibleFraction=0 keeps the heap base-paged, so marking any
+    // heap region in one substrate's TFT fabricates a superpage that
+    // the page table disavows — exactly the desync the per-substrate
+    // audit contexts exist to catch.
+    WorkloadSpec w = testWorkload();
+    w.thpEligibleFraction = 0.0;
+
+    std::vector<SystemConfig> configs;
+    for (unsigned ways : {2u, 4u}) {
+        SystemConfig cfg = baseConfig(L1Kind::Seesaw);
+        cfg.promotionInterval = 0; // keep the heap base-paged
+        cfg.audit.mode = check::AuditMode::End;
+        configs.push_back(cfg);
+        configs.back().partitionWays = ways;
+    }
+
+    MultiConfigEngine engine(configs, w);
+    ASSERT_NE(engine.auditor(0), nullptr);
+    ASSERT_NE(engine.auditor(1), nullptr);
+
+    std::uint64_t violations[2] = {0, 0};
+    for (unsigned s = 0; s < 2; ++s) {
+        engine.auditor(s)->setViolationHandler(
+            [&violations, s](const check::Violation &) {
+                ++violations[s];
+            });
+    }
+
+    engine.complex(1).seesawL1()->tft().markRegion(Addr{1} << 40);
+
+    engine.auditor(0)->runAll(0);
+    engine.auditor(1)->runAll(0);
+    EXPECT_EQ(violations[0], 0u) << "healthy substrate flagged";
+    EXPECT_GT(violations[1], 0u) << "desynced substrate not caught";
+}
+
+} // namespace
+} // namespace seesaw
