@@ -94,23 +94,107 @@ parseOnOff(const char *flag, const std::string &value)
     std::exit(1);
 }
 
+/** Parse a replacement-policy name (fatal otherwise). */
+inline ReplacementKind
+parseReplacement(const std::string &name)
+{
+    if (name == "lru")
+        return ReplacementKind::Lru;
+    if (name == "fifo")
+        return ReplacementKind::Fifo;
+    if (name == "random")
+        return ReplacementKind::Random;
+    if (name == "srrip")
+        return ReplacementKind::Srrip;
+    std::fprintf(stderr,
+                 "unknown replacement %s (use lru|fifo|random|srrip)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+/** Parse a prefetch-engine name (fatal otherwise). */
+inline PrefetchKind
+parsePrefetch(const std::string &name)
+{
+    if (name == "none")
+        return PrefetchKind::None;
+    if (name == "nextline")
+        return PrefetchKind::NextLine;
+    if (name == "stride")
+        return PrefetchKind::Stride;
+    std::fprintf(stderr,
+                 "unknown prefetcher %s (use none|nextline|stride)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+inline const char *
+replacementLabel(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::Lru: return "lru";
+      case ReplacementKind::Fifo: return "fifo";
+      case ReplacementKind::Random: return "random";
+      case ReplacementKind::Srrip: return "srrip";
+    }
+    return "?";
+}
+
+inline const char *
+prefetchLabel(PrefetchKind kind)
+{
+    switch (kind) {
+      case PrefetchKind::None: return "none";
+      case PrefetchKind::NextLine: return "nextline";
+      case PrefetchKind::Stride: return "stride";
+    }
+    return "?";
+}
+
+/** Replacement/prefetch overrides a figure binary applies to every
+ *  config it builds (defaults reproduce the pinned LRU/no-prefetch
+ *  paper numbers). */
+struct PolicyArgs
+{
+    ReplacementParams replacement;
+    PrefetchParams prefetch;
+
+    SystemConfig
+    apply(SystemConfig cfg) const
+    {
+        cfg.replacement = replacement;
+        cfg.prefetch = prefetch;
+        return cfg;
+    }
+};
+
 /**
  * Parse the argv the figure binaries share: --one-pass on|off selects
  * whether cells with a common front end run as single multi-config
  * passes (RunnerOptions::onePass; results are bit-identical either
- * way, the sweep just makes one trace pass per group).
+ * way, the sweep just makes one trace pass per group). Binaries that
+ * pass @p policy additionally accept --replacement and --prefetch and
+ * rerun their figure under that substrate.
  */
 inline harness::RunnerOptions
-parseBenchArgs(int argc, char **argv)
+parseBenchArgs(int argc, char **argv, PolicyArgs *policy = nullptr)
 {
     harness::RunnerOptions options;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--one-pass" && i + 1 < argc) {
             options.onePass = parseOnOff("--one-pass", argv[++i]);
+        } else if (policy && arg == "--replacement" && i + 1 < argc) {
+            policy->replacement.kind = parseReplacement(argv[++i]);
+        } else if (policy && arg == "--prefetch" && i + 1 < argc) {
+            policy->prefetch.kind = parsePrefetch(argv[++i]);
         } else {
-            std::fprintf(stderr, "usage: %s [--one-pass on|off]\n",
-                         argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--one-pass on|off]%s\n", argv[0],
+                         policy ? " [--replacement lru|fifo|random|"
+                                  "srrip] [--prefetch none|nextline|"
+                                  "stride]"
+                                : "");
             std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
         }
     }

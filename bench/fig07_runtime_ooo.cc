@@ -23,7 +23,9 @@ main(int argc, char **argv)
     using namespace seesaw;
     using namespace seesaw::bench;
 
-    const harness::RunnerOptions options = parseBenchArgs(argc, argv);
+    PolicyArgs policy;
+    const harness::RunnerOptions options =
+        parseBenchArgs(argc, argv, &policy);
 
     printBanner("Fig 7", "% runtime improvement, SEESAW vs baseline "
                          "VIPT (OoO, 1.33GHz)");
@@ -31,7 +33,7 @@ main(int argc, char **argv)
     harness::CampaignSpec spec("fig07_runtime_ooo");
     spec.workloads(paperWorkloads());
     for (const auto &org : kCacheOrgs) {
-        const SystemConfig cfg = makeConfig(org, 1.33);
+        const SystemConfig cfg = policy.apply(makeConfig(org, 1.33));
         for (L1Kind kind : {L1Kind::ViptBaseline, L1Kind::Seesaw}) {
             spec.variant(std::string(org.label) + "/" +
                              designLabel(kind),

@@ -32,7 +32,9 @@ main(int argc, char **argv)
     using namespace seesaw;
     using namespace seesaw::bench;
 
-    const harness::RunnerOptions options = parseBenchArgs(argc, argv);
+    PolicyArgs policy;
+    const harness::RunnerOptions options =
+        parseBenchArgs(argc, argv, &policy);
 
     printBanner("Fig 10", "% memory-hierarchy energy saved by SEESAW "
                           "(InO and OoO)");
@@ -42,7 +44,8 @@ main(int argc, char **argv)
     for (CoreKind core : {CoreKind::InOrder, CoreKind::OutOfOrder}) {
         for (double freq : kFrequencies) {
             for (const auto &org : kCacheOrgs) {
-                SystemConfig cfg = makeConfig(org, freq, 200'000);
+                SystemConfig cfg =
+                    policy.apply(makeConfig(org, freq, 200'000));
                 cfg.coreKind = core;
                 const std::string point =
                     std::string(coreLabel(core)) + "/" +

@@ -21,7 +21,9 @@ main(int argc, char **argv)
     using namespace seesaw;
     using namespace seesaw::bench;
 
-    const harness::RunnerOptions options = parseBenchArgs(argc, argv);
+    PolicyArgs policy;
+    const harness::RunnerOptions options =
+        parseBenchArgs(argc, argv, &policy);
 
     printBanner("Fig 12", "Performance/energy benefits vs memhog "
                           "fragmentation (64KB, OoO, 1.33GHz)");
@@ -34,7 +36,7 @@ main(int argc, char **argv)
     harness::CampaignSpec spec("fig12_fragmentation");
     spec.workloads(cloudWorkloads());
     for (double level : levels) {
-        SystemConfig cfg = makeConfig(kCacheOrgs[1], 1.33);
+        SystemConfig cfg = policy.apply(makeConfig(kCacheOrgs[1], 1.33));
         cfg.memhogFraction = level;
         for (L1Kind kind : {L1Kind::ViptBaseline, L1Kind::Seesaw}) {
             spec.variant(level_label(level) + "/" + designLabel(kind),

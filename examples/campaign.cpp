@@ -60,6 +60,10 @@ usage()
         "  --freq a,b,..       GHz list (default 1.33)\n"
         "  --memhog a,b,..     fragmentation fractions (default 0)\n"
         "  --seeds a,b,..      RNG seeds (default 1)\n"
+        "  --replacement a,b,. lru | fifo | random | srrip "
+        "(default lru)\n"
+        "  --prefetch a,b,..   none | nextline | stride "
+        "(default none)\n"
         "  --instructions N    per-cell instruction budget, per core "
         "(default\n"
         "                      300000; SEESAW_INSTRUCTIONS also "

@@ -126,6 +126,8 @@ struct GridOptions
     std::string freq;         //!< CSV GHz, empty = 1.33
     std::string memhog;       //!< CSV fractions, empty = 0
     std::string seeds;        //!< CSV, empty = 1
+    std::string replacement;  //!< CSV policies, empty = lru
+    std::string prefetch;     //!< CSV prefetchers, empty = none
     std::string instructions; //!< empty = 300000 (env-overridable)
     std::string mcCells;      //!< CSV of WORKLOAD:CORES:DESIGN
     std::string audit;        //!< empty = off
@@ -162,6 +164,10 @@ struct GridOptions
             return take(memhog);
         if (arg == "--seeds")
             return take(seeds);
+        if (arg == "--replacement")
+            return take(replacement);
+        if (arg == "--prefetch")
+            return take(prefetch);
         if (arg == "--instructions")
             return take(instructions);
         if (arg == "--mc-cells")
@@ -191,6 +197,8 @@ struct GridOptions
         add("--freq", freq);
         add("--memhog", memhog);
         add("--seeds", seeds);
+        add("--replacement", replacement);
+        add("--prefetch", prefetch);
         add("--instructions", instructions);
         add("--mc-cells", mcCells);
         add("--audit", audit);
@@ -238,6 +246,29 @@ struct GridOptions
                 seedList.push_back(
                     std::strtoull(s.c_str(), nullptr, 10));
         }
+        std::vector<ReplacementKind> policies{ReplacementKind::Lru};
+        if (!replacement.empty()) {
+            policies.clear();
+            for (const auto &name : splitList(replacement))
+                policies.push_back(parseReplacement(name));
+        }
+        std::vector<PrefetchKind> prefetchers{PrefetchKind::None};
+        if (!prefetch.empty()) {
+            prefetchers.clear();
+            for (const auto &name : splitList(prefetch))
+                prefetchers.push_back(parsePrefetch(name));
+        }
+        // Suffix cell labels only when the axis leaves its pinned
+        // default, so existing campaign stores keep their cell names.
+        const auto policySuffix = [&](ReplacementKind rk,
+                                      PrefetchKind pk) {
+            std::string suffix;
+            if (policies.size() > 1 || rk != ReplacementKind::Lru)
+                suffix += std::string("/") + replacementLabel(rk);
+            if (prefetchers.size() > 1 || pk != PrefetchKind::None)
+                suffix += std::string("/") + prefetchLabel(pk);
+            return suffix;
+        };
         const std::uint64_t instr =
             instructions.empty()
                 ? experimentInstructions(300'000)
@@ -297,7 +328,17 @@ struct GridOptions
                               default: break;
                             }
                         }
-                        spec.variant(label, withDesign(cfg, kind));
+                        for (const ReplacementKind rk : policies) {
+                            for (const PrefetchKind pk : prefetchers) {
+                                SystemConfig vcfg =
+                                    withDesign(cfg, kind);
+                                vcfg.replacement.kind = rk;
+                                vcfg.prefetch.kind = pk;
+                                spec.variant(
+                                    label + policySuffix(rk, pk),
+                                    vcfg);
+                            }
+                        }
                     }
                 }
             }
@@ -312,23 +353,33 @@ struct GridOptions
             const McCellSpec mc = parseMcCell(tok);
             const WorkloadSpec w = findWorkload(mc.workload);
             for (const std::uint64_t seed : seedList) {
-                SystemConfig cfg;
-                cfg.cores = mc.cores;
-                cfg.l1Kind = mc.kind;
-                cfg.l1SizeBytes = 64 * 1024;
-                cfg.l1Assoc = 16;
-                cfg.instructions = instr;
-                cfg.os.memBytes = experimentMemBytes(1ULL << 30);
-                cfg.audit = auditOptions;
-                cfg.seed = seed;
-                std::string name = mc.workload + "/c" +
-                                   std::to_string(mc.cores) + "/" +
-                                   mc.kindName;
-                if (seedList.size() > 1)
-                    name += "/s" + std::to_string(seed);
-                // Simulate-cell form: carries the one-pass info, so
-                // mc-cells sharing (workload, cores, seed) group too.
-                spec.cell(name, w, cfg);
+                for (const ReplacementKind rk : policies) {
+                    for (const PrefetchKind pk : prefetchers) {
+                        SystemConfig cfg;
+                        cfg.cores = mc.cores;
+                        cfg.l1Kind = mc.kind;
+                        cfg.l1SizeBytes = 64 * 1024;
+                        cfg.l1Assoc = 16;
+                        cfg.instructions = instr;
+                        cfg.os.memBytes =
+                            experimentMemBytes(1ULL << 30);
+                        cfg.audit = auditOptions;
+                        cfg.seed = seed;
+                        cfg.replacement.kind = rk;
+                        cfg.prefetch.kind = pk;
+                        std::string name =
+                            mc.workload + "/c" +
+                            std::to_string(mc.cores) + "/" +
+                            mc.kindName;
+                        if (seedList.size() > 1)
+                            name += "/s" + std::to_string(seed);
+                        name += policySuffix(rk, pk);
+                        // Simulate-cell form: carries the one-pass
+                        // info, so mc-cells sharing (workload, cores,
+                        // seed) group too.
+                        spec.cell(name, w, cfg);
+                    }
+                }
             }
         }
         return spec;

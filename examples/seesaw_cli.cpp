@@ -44,6 +44,10 @@ usage()
         "(default 0)\n"
         "  --fabric KIND       directory | snoopy (default directory)\n"
         "  --policy KIND       4way | 4way8way (default 4way)\n"
+        "  --replacement KIND  lru | fifo | random | srrip "
+        "(default lru)\n"
+        "  --prefetch KIND     none | nextline | stride "
+        "(default none)\n"
         "  --tft N[:A]         TFT entries and associativity "
         "(default 16:1)\n"
         "  --unified-tlb [N]   fully-associative unified L1 TLB\n"
@@ -200,6 +204,34 @@ main(int argc, char **argv)
             cfg.policy = kind == "4way8way"
                              ? InsertionPolicy::FourWayEightWay
                              : InsertionPolicy::FourWay;
+        } else if (arg == "--replacement") {
+            const std::string kind = need_value(i++);
+            if (kind == "lru")
+                cfg.replacement.kind = ReplacementKind::Lru;
+            else if (kind == "fifo")
+                cfg.replacement.kind = ReplacementKind::Fifo;
+            else if (kind == "random")
+                cfg.replacement.kind = ReplacementKind::Random;
+            else if (kind == "srrip")
+                cfg.replacement.kind = ReplacementKind::Srrip;
+            else {
+                std::fprintf(stderr, "unknown replacement %s\n",
+                             kind.c_str());
+                return 1;
+            }
+        } else if (arg == "--prefetch") {
+            const std::string kind = need_value(i++);
+            if (kind == "none")
+                cfg.prefetch.kind = PrefetchKind::None;
+            else if (kind == "nextline")
+                cfg.prefetch.kind = PrefetchKind::NextLine;
+            else if (kind == "stride")
+                cfg.prefetch.kind = PrefetchKind::Stride;
+            else {
+                std::fprintf(stderr, "unknown prefetcher %s\n",
+                             kind.c_str());
+                return 1;
+            }
         } else if (arg == "--tft") {
             const std::string spec = need_value(i++);
             const auto colon = spec.find(':');

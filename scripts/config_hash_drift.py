@@ -24,6 +24,8 @@ NESTED_STRUCTS = {
     "MemhogParams": "src/mem/memhog.hh",
     "OuterHierarchyParams": "src/cache/next_level.hh",
     "check::AuditOptions": "src/check/audit.hh",
+    "ReplacementParams": "src/cache/replacement.hh",
+    "PrefetchParams": "src/cache/prefetch/prefetch.hh",
 }
 
 CONFIG_HEADER = "src/sim/config.hh"
@@ -114,30 +116,71 @@ def mixed_paths(repo: str) -> "set[str]":
     return set(re.findall(r"h\.mix\(config\.([A-Za-z0-9_.]+)\)", body))
 
 
+def diff_messages(expected: "set[str]", mixed: "set[str]") -> "list[str]":
+    messages = []
+    for path in sorted(expected - mixed):
+        messages.append(
+            f"DRIFT: SystemConfig field 'config.{path}' is not mixed "
+            f"into configHash() ({HASH_SOURCE})")
+    for path in sorted(mixed - expected):
+        messages.append(
+            f"STALE: configHash() mixes 'config.{path}' but SystemConfig "
+            f"declares no such field ({CONFIG_HEADER})")
+    return messages
+
+
+def self_test(expected: "set[str]", mixed: "set[str]") -> int:
+    """Negative mode: prove the checker detects seeded drift.
+
+    Seeds an unmixed nested-param field (the shape a new
+    ReplacementParams/PrefetchParams knob would take) and a stale mix,
+    and fails unless both are reported.
+    """
+    if diff_messages(expected, mixed):
+        print("self-test needs a clean baseline; fix the real drift first")
+        return 1
+
+    drift = diff_messages(expected | {"replacement.phantomKnob"}, mixed)
+    if len(drift) != 1 or "phantomKnob" not in drift[0] \
+            or not drift[0].startswith("DRIFT"):
+        print(f"self-test FAILED: seeded unmixed field not reported "
+              f"(got {drift})")
+        return 1
+
+    stale = diff_messages(expected, mixed | {"prefetch.ghostKnob"})
+    if len(stale) != 1 or "ghostKnob" not in stale[0] \
+            or not stale[0].startswith("STALE"):
+        print(f"self-test FAILED: seeded stale mix not reported "
+              f"(got {stale})")
+        return 1
+
+    print("OK: self-test — seeded drift and stale mixes are both caught")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker itself catches seeded "
+                             "drift (negative test)")
     args = parser.parse_args()
 
     expected = expected_paths(args.repo)
     mixed = mixed_paths(args.repo)
 
-    ok = True
-    for path in sorted(expected - mixed):
-        ok = False
-        print(f"DRIFT: SystemConfig field 'config.{path}' is not mixed "
-              f"into configHash() ({HASH_SOURCE})")
-    for path in sorted(mixed - expected):
-        ok = False
-        print(f"STALE: configHash() mixes 'config.{path}' but SystemConfig "
-              f"declares no such field ({CONFIG_HEADER})")
+    if args.self_test:
+        return self_test(expected, mixed)
 
-    if ok:
+    messages = diff_messages(expected, mixed)
+    for message in messages:
+        print(message)
+    if not messages:
         print(f"OK: configHash() covers all {len(expected)} SystemConfig "
               f"fields ({len(expected - {p for p in expected if '.' not in p})}"
               f" nested)")
-    return 0 if ok else 1
+    return 0 if not messages else 1
 
 
 if __name__ == "__main__":

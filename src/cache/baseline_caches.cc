@@ -7,7 +7,8 @@ namespace seesaw {
 ViptCache::ViptCache(const BaselineL1Config &config,
                      const LatencyTable &latency)
     : config_(config),
-      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1,
+            config.replacement),
       hitCycles_(latency.basePageCycles(config.sizeBytes, config.assoc,
                                         config.freqGhz)),
       wpMispredictPenalty_(1),
@@ -64,15 +65,15 @@ ViptCache::access(const L1Access &req)
 
     if (look.hit) {
         ++*stHits_;
-        CacheLine *line = tags_.findLine(req.pa);
+        res.wasPrefetched = look.wasPrefetched;
         if (req.type == AccessType::Write)
-            line->state = CoherenceState::Modified;
+            tags_.lineAt(set, look.way).state = CoherenceState::Modified;
         if (predictor_)
             predictor_->update(set, look.way);
         return res;
     }
 
-    // Miss: install with a set-wide LRU victim.
+    // Miss: install with a set-wide policy victim.
     ++*stMisses_;
     const auto state = req.type == AccessType::Write
                            ? CoherenceState::Modified
@@ -101,8 +102,9 @@ ViptCache::probe(Addr pa, bool invalidating)
     res.hit = true;
     res.wasDirty = isDirtyState(line->state);
     if (invalidating) {
-        line->valid = false;
-        line->state = CoherenceState::Invalid;
+        // Route through the tag store so the replacement policy sees
+        // the way free up.
+        tags_.invalidate(pa);
     } else {
         // Downgrade: a remote reader leaves us Shared (or Owned when we
         // held dirty data and must supply it).
@@ -122,7 +124,8 @@ PiptCache::PiptCache(const BaselineL1Config &config,
                      const LatencyTable &latency,
                      unsigned tlb_latency_cycles)
     : config_(config),
-      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1,
+            config.replacement),
       hitCycles_(latency.piptCycles(config.sizeBytes, config.assoc,
                                     config.freqGhz,
                                     tlb_latency_cycles)),
@@ -149,8 +152,10 @@ PiptCache::access(const L1Access &req)
 
     if (look.hit) {
         ++*stHits_;
+        res.wasPrefetched = look.wasPrefetched;
         if (req.type == AccessType::Write)
-            tags_.findLine(req.pa)->state = CoherenceState::Modified;
+            tags_.lineAt(tags_.setIndex(req.pa), look.way).state =
+                CoherenceState::Modified;
         return res;
     }
 
@@ -175,8 +180,7 @@ PiptCache::probe(Addr pa, bool invalidating)
     res.hit = true;
     res.wasDirty = isDirtyState(line->state);
     if (invalidating) {
-        line->valid = false;
-        line->state = CoherenceState::Invalid;
+        tags_.invalidate(pa);
     } else {
         line->state = res.wasDirty ? CoherenceState::Owned
                                    : CoherenceState::Shared;

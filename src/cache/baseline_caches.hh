@@ -24,6 +24,7 @@ struct BaselineL1Config
     unsigned lineBytes = 64;
     double freqGhz = 1.33;
     bool wayPrediction = false; //!< VIPT only: MRU way predictor
+    ReplacementParams replacement; //!< tag-store victim policy
 };
 
 /**

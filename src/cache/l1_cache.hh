@@ -51,6 +51,7 @@ struct L1AccessResult
      *  cancel the fast wakeup with a bubble instead of a full
      *  squash-and-replay. */
     bool lateDiscovery = false;
+    bool wasPrefetched = false; //!< hit consumed a prefetched line
     Eviction eviction;          //!< line displaced by the miss fill
     unsigned installWays = 0;   //!< ways tracked by replacement on fill
 };
@@ -90,6 +91,22 @@ class L1Cache
 
     /** Evict all lines in [pa_base, pa_base+bytes): promotion sweep. */
     virtual unsigned sweepRegion(Addr pa_base, std::uint64_t bytes) = 0;
+
+    /**
+     * Install @p pa speculatively on behalf of a prefetch: a
+     * demand-like fill tagged as prefetched. The caller has already
+     * checked residency and legality. SEESAW overrides this to force
+     * the PA-named partition so speculative lines never violate
+     * partition placement.
+     * @return A snapshot of the displaced line, if any.
+     */
+    virtual Eviction
+    prefetchFill(Addr pa, PageSize page_size)
+    {
+        return tags().insert(pa, SetAssocCache::InsertScope::FullSet,
+                             CoherenceState::Exclusive, page_size,
+                             /*prefetched=*/true);
+    }
 
     /** The underlying tag store (tests and directory bookkeeping). */
     virtual const SetAssocCache &tags() const = 0;

@@ -1,0 +1,169 @@
+#include "cache/prefetch/prefetch.hh"
+
+#include <cstdlib>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace seesaw {
+
+namespace {
+
+/** Next-N-lines on every demand miss. */
+class NextLinePrefetcher final : public PrefetchEngine
+{
+  public:
+    NextLinePrefetcher(unsigned line_bytes, unsigned degree)
+        : PrefetchEngine(PrefetchKind::NextLine, line_bytes),
+          degree_(degree)
+    {}
+
+    void
+    observe(Addr va, bool miss, std::vector<Addr> &out) override
+    {
+        if (!miss)
+            return;
+        const Addr line = lineAlign(va);
+        for (unsigned k = 1; k <= degree_; ++k)
+            out.push_back(line + static_cast<Addr>(k) * lineBytes_);
+    }
+
+  private:
+    unsigned degree_;
+};
+
+/**
+ * Stride prefetcher over a small stream table. Without per-reference
+ * PCs the table is keyed by locality instead: an access trains the
+ * entry whose last address is nearest (within a 2MB window), so a
+ * stream keeps its entry as it walks across 4KB page frontiers — the
+ * across-page tracking the legality rule is exercised by. Entries are
+ * LRU-replaced; everything is a pure function of the access stream.
+ */
+class StridePrefetcher final : public PrefetchEngine
+{
+  public:
+    StridePrefetcher(unsigned line_bytes, unsigned degree,
+                     unsigned table_entries)
+        : PrefetchEngine(PrefetchKind::Stride, line_bytes),
+          degree_(degree), table_(table_entries)
+    {
+        SEESAW_ASSERT(table_entries > 0, "empty stream table");
+    }
+
+    void
+    observe(Addr va, bool, std::vector<Addr> &out) override
+    {
+        StreamEntry *entry = match(va);
+        if (!entry) {
+            entry = allocate();
+            entry->valid = true;
+            entry->lastVa = va;
+            entry->stride = 0;
+            entry->confidence = 0;
+            entry->lastUse = ++clock_;
+            return;
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(va) -
+            static_cast<std::int64_t>(entry->lastVa);
+        if (delta == 0) {
+            entry->lastUse = ++clock_;
+            return;
+        }
+        if (delta == entry->stride) {
+            if (entry->confidence < 3)
+                ++entry->confidence;
+        } else {
+            entry->stride = delta;
+            entry->confidence = 1;
+        }
+        entry->lastVa = va;
+        entry->lastUse = ++clock_;
+
+        if (entry->confidence >= 2) {
+            for (unsigned k = 1; k <= degree_; ++k) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(va) +
+                    entry->stride * static_cast<std::int64_t>(k);
+                if (target < 0)
+                    break;
+                const Addr line =
+                    lineAlign(static_cast<Addr>(target));
+                if (line != lineAlign(va))
+                    out.push_back(line);
+            }
+        }
+    }
+
+  private:
+    struct StreamEntry
+    {
+        bool valid = false;
+        Addr lastVa = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Nearest tracked stream within the window, ties to the lowest
+     *  index (deterministic). */
+    StreamEntry *
+    match(Addr va)
+    {
+        constexpr std::uint64_t kWindow = 2ULL << 20;
+        StreamEntry *best = nullptr;
+        std::uint64_t bestDist = kWindow;
+        for (auto &entry : table_) {
+            if (!entry.valid)
+                continue;
+            const std::uint64_t dist =
+                va > entry.lastVa ? va - entry.lastVa
+                                  : entry.lastVa - va;
+            if (dist < bestDist) {
+                bestDist = dist;
+                best = &entry;
+            }
+        }
+        return best;
+    }
+
+    StreamEntry *
+    allocate()
+    {
+        StreamEntry *victim = &table_[0];
+        for (auto &entry : table_) {
+            if (!entry.valid)
+                return &entry;
+            if (entry.lastUse < victim->lastUse)
+                victim = &entry;
+        }
+        return victim;
+    }
+
+    unsigned degree_;
+    std::vector<StreamEntry> table_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<PrefetchEngine>
+PrefetchEngine::create(const PrefetchParams &params,
+                       unsigned line_bytes)
+{
+    SEESAW_ASSERT(isPowerOfTwo(line_bytes), "bad line size");
+    switch (params.kind) {
+      case PrefetchKind::None:
+        return nullptr;
+      case PrefetchKind::NextLine:
+        return std::make_unique<NextLinePrefetcher>(line_bytes,
+                                                    params.degree);
+      case PrefetchKind::Stride:
+        return std::make_unique<StridePrefetcher>(
+            line_bytes, params.degree, params.tableEntries);
+    }
+    SEESAW_FATAL("unknown prefetch kind");
+}
+
+} // namespace seesaw

@@ -7,7 +7,8 @@ namespace seesaw {
 
 SetAssocCache::SetAssocCache(std::uint64_t size_bytes, unsigned assoc,
                              unsigned line_bytes,
-                             unsigned num_partitions)
+                             unsigned num_partitions,
+                             ReplacementParams replacement)
     : assoc_(assoc), lineBytes_(line_bytes),
       numPartitions_(num_partitions)
 {
@@ -32,6 +33,7 @@ SetAssocCache::SetAssocCache(std::uint64_t size_bytes, unsigned assoc,
     partitionBits_ = log2Floor(numPartitions_);
 
     lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    policy_.emplace(replacement, numSets_, assoc_);
 }
 
 unsigned
@@ -56,15 +58,22 @@ TagLookup
 SetAssocCache::searchRange(Addr line_addr, unsigned set, unsigned begin,
                            unsigned end, bool touch)
 {
-    CacheLine *base = setBase(set);
+    const std::size_t slot0 = static_cast<std::size_t>(set) * assoc_;
+    CacheLine *base = &lines_[slot0];
     for (unsigned way = begin; way < end; ++way) {
         if (base[way].valid && base[way].lineAddr == line_addr) {
-            if (touch)
-                base[way].lastUse = ++useClock_;
-            return TagLookup{true, way};
+            TagLookup res{true, false, way};
+            if (touch) {
+                policy_->touchAt(slot0 + way);
+                if (base[way].prefetched) {
+                    res.wasPrefetched = true;
+                    base[way].prefetched = false;
+                }
+            }
+            return res;
         }
     }
-    return TagLookup{false, 0};
+    return TagLookup{false, false, 0};
 }
 
 TagLookup
@@ -90,14 +99,14 @@ SetAssocCache::peek(Addr pa) const
     const CacheLine *base = setBase(set);
     for (unsigned way = 0; way < assoc_; ++way) {
         if (base[way].valid && base[way].lineAddr == line_addr)
-            return TagLookup{true, way};
+            return TagLookup{true, false, way};
     }
-    return TagLookup{false, 0};
+    return TagLookup{false, false, 0};
 }
 
 Eviction
 SetAssocCache::insert(Addr pa, InsertScope scope, CoherenceState state,
-                      PageSize page_size)
+                      PageSize page_size, bool prefetched)
 {
     const unsigned set = setIndex(pa);
     CacheLine *base = setBase(set);
@@ -108,32 +117,42 @@ SetAssocCache::insert(Addr pa, InsertScope scope, CoherenceState state,
         end = begin + waysPerPartition();
     }
 
-    const unsigned victim = selectLruVictim(base, begin, end);
+    const unsigned victim = policy_->victim(set, begin, end);
     Eviction ev;
     if (base[victim].valid) {
         ev.valid = true;
         ev.lineAddr = base[victim].lineAddr;
-        ev.dirty = isDirtyState(base[victim].state);
+        ev.state = base[victim].state;
+        ev.pageSize = base[victim].pageSize;
+        ev.prefetched = base[victim].prefetched;
     }
 
     base[victim].valid = true;
     base[victim].lineAddr = lineAddrOf(pa);
     base[victim].state = state;
-    base[victim].lastUse = ++useClock_;
+    base[victim].prefetched = prefetched;
     base[victim].pageSize = page_size;
+    policy_->fill(set, victim);
     return ev;
 }
 
 std::optional<CoherenceState>
 SetAssocCache::invalidate(Addr pa)
 {
-    CacheLine *line = findLine(pa);
-    if (!line)
-        return std::nullopt;
-    const CoherenceState prev = line->state;
-    line->valid = false;
-    line->state = CoherenceState::Invalid;
-    return prev;
+    const unsigned set = setIndex(pa);
+    CacheLine *base = setBase(set);
+    const Addr line_addr = lineAddrOf(pa);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (base[way].valid && base[way].lineAddr == line_addr) {
+            const CoherenceState prev = base[way].state;
+            base[way].valid = false;
+            base[way].state = CoherenceState::Invalid;
+            base[way].prefetched = false;
+            policy_->invalidate(set, way);
+            return prev;
+        }
+    }
+    return std::nullopt;
 }
 
 CacheLine *
@@ -166,11 +185,18 @@ SetAssocCache::sweepRegion(Addr pa_base, std::uint64_t bytes)
     const Addr lo = pa_base >> lineBits_;
     const Addr hi = (pa_base + bytes) >> lineBits_;
     unsigned evicted = 0;
-    for (auto &line : lines_) {
-        if (line.valid && line.lineAddr >= lo && line.lineAddr < hi) {
-            line.valid = false;
-            line.state = CoherenceState::Invalid;
-            ++evicted;
+    for (unsigned set = 0; set < numSets_; ++set) {
+        CacheLine *base = setBase(set);
+        for (unsigned way = 0; way < assoc_; ++way) {
+            CacheLine &line = base[way];
+            if (line.valid && line.lineAddr >= lo &&
+                line.lineAddr < hi) {
+                line.valid = false;
+                line.state = CoherenceState::Invalid;
+                line.prefetched = false;
+                policy_->invalidate(set, way);
+                ++evicted;
+            }
         }
     }
     return evicted;

@@ -3,9 +3,10 @@
  * A generic set-associative tag store with optional way partitioning.
  *
  * This is the structural substrate shared by the baseline VIPT/PIPT
- * caches and the SEESAW cache. It models tags, MOESI line state and LRU
- * recency; timing and energy live in the L1 wrappers so the same store
- * can back Fig 2a's pure miss-rate sweeps.
+ * caches and the SEESAW cache. It models tags and MOESI line state;
+ * victim side-state lives in a pluggable ReplacementPolicy, and timing
+ * and energy live in the L1 wrappers so the same store can back
+ * Fig 2a's pure miss-rate sweeps.
  */
 
 #ifndef SEESAW_CACHE_SET_ASSOC_CACHE_HH
@@ -24,16 +25,29 @@ namespace seesaw {
 /** Result of a tag-store search. */
 struct TagLookup
 {
+    // Field order keeps the struct 8 bytes so it returns in one
+    // register; a third eightbyte would spill through the stack on
+    // every probe (measurable on the l1_probe hot loop).
     bool hit = false;
-    unsigned way = 0; //!< valid when hit
+    bool wasPrefetched = false; //!< hit consumed a prefetched line
+    unsigned way = 0;           //!< valid when hit
 };
 
-/** A line pushed out by an insertion. */
+/**
+ * A line pushed out by an insertion: a full snapshot of the victim,
+ * taken before the insert overwrites it, so call sites never have to
+ * re-read the line.
+ */
 struct Eviction
 {
-    bool valid = false;    //!< an actual line was displaced
-    Addr lineAddr = 0;     //!< line address (<< lineBits for bytes)
-    bool dirty = false;    //!< requires write-back
+    bool valid = false; //!< an actual line was displaced
+    Addr lineAddr = 0;  //!< line address (<< lineBits for bytes)
+    CoherenceState state = CoherenceState::Invalid;
+    PageSize pageSize = PageSize::Base4KB;
+    bool prefetched = false; //!< victim was a never-demanded prefetch
+
+    /** @return True when the victim requires a write-back. */
+    bool dirty() const { return isDirtyState(state); }
 };
 
 /**
@@ -49,9 +63,11 @@ class SetAssocCache
      * @param assoc Ways per set (power of two).
      * @param line_bytes Line size (default 64B).
      * @param num_partitions Way groups per set (1 = unpartitioned).
+     * @param replacement Victim-selection policy (default LRU).
      */
     SetAssocCache(std::uint64_t size_bytes, unsigned assoc,
-                  unsigned line_bytes = 64, unsigned num_partitions = 1);
+                  unsigned line_bytes = 64, unsigned num_partitions = 1,
+                  ReplacementParams replacement = {});
 
     /** @name Geometry. */
     /// @{
@@ -79,29 +95,31 @@ class SetAssocCache
     /** Lowest address bit used as partition index. */
     unsigned partitionLowBit() const { return lineBits_ + setBits_; }
 
-    /** Search all ways of the set for @p pa; updates LRU on hit. */
+    /** Search all ways of the set for @p pa; touches the policy on a
+     *  hit (and consumes the line's prefetched mark). */
     TagLookup lookup(Addr pa);
 
-    /** Search only @p partition's ways; updates LRU on hit. */
+    /** Search only @p partition's ways; touches the policy on hit. */
     TagLookup lookupPartition(Addr pa, unsigned partition);
 
-    /** Non-mutating full-set search (no LRU update). */
+    /** Non-mutating full-set search (no policy update). */
     TagLookup peek(Addr pa) const;
 
     /** Where a victim may be drawn from on insertion. */
     enum class InsertScope : std::uint8_t {
         Partition, //!< the partition selected by the PA's partition bits
-        FullSet,   //!< any way in the set (global LRU)
+        FullSet,   //!< any way in the set (set-wide victims)
     };
 
     /**
      * Install the line for @p pa (must not already be present unless
-     * duplicates are tolerated by the caller), selecting an LRU victim
-     * within @p scope. The new line starts in @p state.
-     * @return The displaced line, if any.
+     * duplicates are tolerated by the caller), drawing a policy victim
+     * within @p scope. The new line starts in @p state; @p prefetched
+     * marks a speculative install that no demand access has touched.
+     * @return A snapshot of the displaced line, if any.
      */
     Eviction insert(Addr pa, InsertScope scope, CoherenceState state,
-                    PageSize page_size);
+                    PageSize page_size, bool prefetched = false);
 
     /** Invalidate the line holding @p pa. @return Its pre-state. */
     std::optional<CoherenceState> invalidate(Addr pa);
@@ -127,8 +145,22 @@ class SetAssocCache
         return setBase(set)[way];
     }
 
-    /** Current LRU clock; no line's lastUse may exceed it. */
-    std::uint64_t useClock() const { return useClock_; }
+    /** Mutable line access by geometry: the L1 wrappers' hit paths
+     *  update coherence state through the (set, way) a lookup already
+     *  resolved instead of re-scanning the set. */
+    CacheLine &
+    lineAt(unsigned set, unsigned way)
+    {
+        return setBase(set)[way];
+    }
+
+    /** The replacement policy owning this store's victim side-state. */
+    ReplacementPolicy &replacementPolicy() { return *policy_; }
+    const ReplacementPolicy &
+    replacementPolicy() const
+    {
+        return *policy_;
+    }
 
     /** Visit every valid line (coherence invariant checks, dumps). */
     void forEachValidLine(
@@ -162,7 +194,7 @@ class SetAssocCache
     unsigned numPartitions_;
     unsigned partitionBits_;
     std::vector<CacheLine> lines_;
-    std::uint64_t useClock_ = 0;
+    std::optional<ReplacementPolicy> policy_;
 
     CacheLine *setBase(unsigned set) { return &lines_[set * assoc_]; }
     const CacheLine *

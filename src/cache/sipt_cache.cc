@@ -8,7 +8,8 @@ namespace seesaw {
 SiptCache::SiptCache(const SiptConfig &config,
                      const LatencyTable &latency)
     : config_(config),
-      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1),
+      tags_(config.sizeBytes, config.assoc, config.lineBytes, 1,
+            config.replacement),
       hitCycles_(latency.sram().accessLatencyCycles(
           config.sizeBytes, config.assoc, config.freqGhz)),
       predictor_(config.predictorEntries),
@@ -85,9 +86,10 @@ SiptCache::access(const L1Access &req)
 
     if (look.hit) {
         ++*stHits_;
-        CacheLine *line = tags_.findLine(req.pa);
+        res.wasPrefetched = look.wasPrefetched;
         if (req.type == AccessType::Write)
-            line->state = CoherenceState::Modified;
+            tags_.lineAt(tags_.setIndex(req.pa), look.way).state =
+                CoherenceState::Modified;
         return res;
     }
 
@@ -113,8 +115,9 @@ SiptCache::probe(Addr pa, bool invalidating)
     res.hit = true;
     res.wasDirty = isDirtyState(line->state);
     if (invalidating) {
-        line->valid = false;
-        line->state = CoherenceState::Invalid;
+        // Route through the tag store so the replacement policy sees
+        // the way free up.
+        tags_.invalidate(pa);
     } else {
         line->state = res.wasDirty ? CoherenceState::Owned
                                    : CoherenceState::Shared;

@@ -36,6 +36,7 @@ struct SiptConfig
     double freqGhz = 1.33;
     unsigned predictorEntries = 512; //!< per-page index-bit predictor
     unsigned replayPenaltyCycles = 2; //!< re-access at the right index
+    ReplacementParams replacement;    //!< tag-store victim policy
 };
 
 /**

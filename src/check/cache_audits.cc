@@ -27,10 +27,24 @@ auditTagStoreSanity(const SetAssocCache &tags, AuditContext &ctx,
         return bits;
     }();
 
+    const ReplacementPolicy &policy = tags.replacementPolicy();
     for (unsigned set = 0; set < tags.numSets(); ++set) {
-        std::vector<std::uint64_t> last_uses;
         for (unsigned way = 0; way < tags.assoc(); ++way) {
             const CacheLine &line = tags.lineAt(set, way);
+
+            // The policy's occupancy view must mirror line validity —
+            // a disagreement silently skews every future victim pick.
+            if (policy.occupied(set, way) != line.valid) {
+                ctx.violation(
+                    line.lineAddr << line_bits,
+                    lineLabel(set, way) +
+                        (line.valid
+                             ? ": valid line unknown to the "
+                               "replacement policy"
+                             : ": replacement policy tracks an "
+                               "invalid line as occupied"));
+            }
+
             if (!line.valid) {
                 if (line.state != CoherenceState::Invalid) {
                     ctx.violation(line.lineAddr << line_bits,
@@ -55,27 +69,6 @@ auditTagStoreSanity(const SetAssocCache &tags, AuditContext &ctx,
                             " (unreachable where it sits)");
             }
 
-            // LRU timestamps never run ahead of the store's clock.
-            if (line.lastUse > tags.useClock()) {
-                ctx.violation(
-                    pa, lineLabel(set, way) + ": lastUse " +
-                            std::to_string(line.lastUse) +
-                            " exceeds use clock " +
-                            std::to_string(tags.useClock()));
-            }
-            for (std::uint64_t prev : last_uses) {
-                if (prev == line.lastUse) {
-                    ctx.violation(
-                        pa, lineLabel(set, way) +
-                                ": duplicate LRU timestamp " +
-                                std::to_string(line.lastUse) +
-                                " within the set (recency order "
-                                "is ambiguous)");
-                    break;
-                }
-            }
-            last_uses.push_back(line.lastUse);
-
             // One physical line in two ways of a set means lookups are
             // nondeterministic — legal only under `4way-8way` aliasing.
             if (!allow_duplicates) {
@@ -90,6 +83,16 @@ auditTagStoreSanity(const SetAssocCache &tags, AuditContext &ctx,
                 }
             }
         }
+
+        // Each policy exports its own side-state invariant (strict
+        // timestamp order for LRU/FIFO, RRPV range for SRRIP, nothing
+        // for Random).
+        policy.auditSet(
+            set, [&](unsigned way, const std::string &detail) {
+                ctx.violation(tags.lineAt(set, way).lineAddr
+                                  << line_bits,
+                              lineLabel(set, way) + ": " + detail);
+            });
     }
 }
 
@@ -127,6 +130,46 @@ auditSeesawPlacement(const SeesawCache &cache, AuditContext &ctx)
                         " but its physical address names partition " +
                         std::to_string(wants) +
                         " (coherence probes read one partition)");
+            }
+        }
+    }
+}
+
+void
+auditPrefetchPlacement(const SeesawCache &cache, AuditContext &ctx)
+{
+    const SetAssocCache &tags = cache.tags();
+    if (tags.numPartitions() <= 1)
+        return;
+
+    const unsigned line_bits = [&] {
+        unsigned bits = 0;
+        while ((1U << bits) < tags.lineBytes())
+            ++bits;
+        return bits;
+    }();
+
+    // Unlike auditSeesawPlacement, base-page lines get no `4way-8way`
+    // exemption here: prefetch fills are always partition-scoped, so
+    // any prefetched line outside its PA-named partition means a
+    // prefetch crossed into another page's partition.
+    for (unsigned set = 0; set < tags.numSets(); ++set) {
+        for (unsigned way = 0; way < tags.assoc(); ++way) {
+            const CacheLine &line = tags.lineAt(set, way);
+            if (!line.valid || !line.prefetched)
+                continue;
+            const Addr pa = line.lineAddr << line_bits;
+            const unsigned holds = way / tags.waysPerPartition();
+            const unsigned wants = tags.partitionIndex(pa);
+            if (holds != wants) {
+                ctx.violation(
+                    pa, lineLabel(set, way) +
+                            ": prefetched line sits in partition " +
+                            std::to_string(holds) +
+                            " but its physical address names "
+                            "partition " +
+                            std::to_string(wants) +
+                            " (illegal prefetch crossing)");
             }
         }
     }

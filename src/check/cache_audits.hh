@@ -4,13 +4,21 @@
  *
  * auditTagStoreSanity() covers any SetAssocCache (L1s, private L2s,
  * the LLC): lines must be findable in the set their address names,
- * LRU timestamps must form a strict order (a permutation of the
- * recency stack), and valid/state flags must agree.
+ * valid/state flags must agree, the replacement policy's occupancy
+ * view must match line validity, and the policy's own side-state
+ * invariant must hold (each ReplacementPolicy exports it — e.g. LRU
+ * timestamps form a strict order below the use clock, SRRIP RRPVs
+ * stay in range; see ReplacementPolicy::auditSet).
  *
  * auditSeesawPlacement() covers the partition compliance the paper's
  * coherence and energy claims rest on (§IV-B1/IV-C1): under the
  * `4way` policy every line sits in the partition its physical address
  * names; under `4way-8way` only superpage lines must.
+ *
+ * auditPrefetchPlacement() is the stricter rule for prefetched lines:
+ * SEESAW prefetch fills always use partition scope (the candidate's
+ * PA comes from the triggering access's translation), so a prefetched
+ * line must sit in its PA-named partition even under `4way-8way`.
  */
 
 #ifndef SEESAW_CHECK_CACHE_AUDITS_HH
@@ -33,6 +41,11 @@ void auditTagStoreSanity(const SetAssocCache &tags, AuditContext &ctx,
 
 /** SEESAW partition compliance for @p cache's tag store. */
 void auditSeesawPlacement(const SeesawCache &cache, AuditContext &ctx);
+
+/** Prefetched lines must sit in their PA-named partition under every
+ *  insertion policy (prefetch fills are partition-scoped). */
+void auditPrefetchPlacement(const SeesawCache &cache,
+                            AuditContext &ctx);
 
 } // namespace seesaw::check
 

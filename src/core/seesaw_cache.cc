@@ -8,8 +8,9 @@ SeesawCache::SeesawCache(const SeesawConfig &config,
                          const LatencyTable &latency)
     : config_(config),
       tags_(config.sizeBytes, config.assoc, config.lineBytes,
-            config.assoc / config.partitionWays),
-      tft_(config.tftEntries, config.tftAssoc),
+            config.assoc / config.partitionWays, config.replacement),
+      tft_(config.tftEntries, config.tftAssoc,
+           withSeedSalt(config.replacement, 0x7f7ULL)),
       slowCycles_(latency.basePageCycles(config.sizeBytes, config.assoc,
                                          config.freqGhz)),
       fastCycles_(latency.superpageCycles(config.sizeBytes, config.assoc,
@@ -121,11 +122,11 @@ SeesawCache::access(const L1Access &req)
     res.hit = look.hit;
     if (look.hit) {
         ++*stHits_;
+        res.wasPrefetched = look.wasPrefetched;
         if (super_ref && !res.tftHit)
             ++*stSuperRefsTftMissL1Hit_;
-        CacheLine *line = tags_.findLine(req.pa);
         if (req.type == AccessType::Write)
-            line->state = CoherenceState::Modified;
+            tags_.lineAt(set, look.way).state = CoherenceState::Modified;
         return res;
     }
 
@@ -178,13 +179,22 @@ SeesawCache::probe(Addr pa, bool invalidating)
     CacheLine *line = tags_.findLine(pa);
     res.wasDirty = isDirtyState(line->state);
     if (invalidating) {
-        line->valid = false;
-        line->state = CoherenceState::Invalid;
+        // Route through the tag store so the replacement policy sees
+        // the way free up.
+        tags_.invalidate(pa);
     } else {
         line->state = res.wasDirty ? CoherenceState::Owned
                                    : CoherenceState::Shared;
     }
     return res;
+}
+
+Eviction
+SeesawCache::prefetchFill(Addr pa, PageSize page_size)
+{
+    return tags_.insert(pa, SetAssocCache::InsertScope::Partition,
+                        CoherenceState::Exclusive, page_size,
+                        /*prefetched=*/true);
 }
 
 unsigned

@@ -56,6 +56,9 @@ struct SeesawConfig
     bool wayPrediction = false; //!< combined WP+SEESAW (Fig 15)
     unsigned tftEntries = 16;
     unsigned tftAssoc = 1; //!< 1 = the paper's direct-mapped TFT
+    ReplacementParams replacement; //!< tag-store victim policy; the
+                                   //!< TFT shares it with a
+                                   //!< decorrelated Random seed
 };
 
 /**
@@ -68,6 +71,11 @@ class SeesawCache final : public L1Cache
 
     L1AccessResult access(const L1Access &req) override;
     L1ProbeResult probe(Addr pa, bool invalidating) override;
+
+    /** Speculative install pinned to the PA-named partition so a
+     *  prefetched line can never violate partition placement, even
+     *  under the 4way-8way policy. */
+    Eviction prefetchFill(Addr pa, PageSize page_size) override;
 
     unsigned baseHitCycles() const override { return slowCycles_; }
     unsigned fastHitCycles() const override { return fastCycles_; }

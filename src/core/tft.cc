@@ -4,8 +4,10 @@
 
 namespace seesaw {
 
-Tft::Tft(unsigned entries, unsigned assoc)
-    : entries_(entries), assoc_(assoc), table_(entries), stats_("tft"),
+Tft::Tft(unsigned entries, unsigned assoc,
+         ReplacementParams replacement)
+    : entries_(entries), assoc_(assoc), replacement_(replacement),
+      table_(entries), stats_("tft"),
       stLookups_(&stats_.scalar("lookups")),
       stHits_(&stats_.scalar("hits")),
       stMisses_(&stats_.scalar("misses")),
@@ -18,6 +20,13 @@ Tft::Tft(unsigned entries, unsigned assoc)
     SEESAW_ASSERT(assoc_ >= 1 && entries_ % assoc_ == 0,
                   "TFT associativity must divide entries");
     numSets_ = entries_ / assoc_;
+    policy_.emplace(replacement, numSets_, assoc_);
+}
+
+std::size_t
+Tft::slotOf(const Entry *e) const
+{
+    return static_cast<std::size_t>(e - table_.data());
 }
 
 Tft::Entry *
@@ -42,8 +51,9 @@ bool
 Tft::lookup(Addr va)
 {
     ++*stLookups_;
-    if (Entry *e = find(regionOf(va))) {
-        e->lastUse = ++useClock_;
+    const Addr region = regionOf(va);
+    if (Entry *e = find(region)) {
+        policy_->touchAt(slotOf(e));
         ++*stHits_;
         return true;
     }
@@ -62,38 +72,33 @@ Tft::markRegion(Addr va)
 {
     const Addr region = regionOf(va);
     if (Entry *e = find(region)) {
-        e->lastUse = ++useClock_;
+        policy_->touchAt(slotOf(e));
         ++*stFills_;
         return;
     }
 
-    // LRU victim within the set (trivially "the" slot when
-    // direct-mapped). No replacement policy is needed at assoc 1,
-    // exactly as the paper observes.
-    Entry *base = &table_[static_cast<std::size_t>(setOf(region)) *
-                          assoc_];
-    Entry *victim = &base[0];
-    for (unsigned way = 0; way < assoc_; ++way) {
-        if (!base[way].valid) {
-            victim = &base[way];
-            break;
-        }
-        if (base[way].lastUse < victim->lastUse)
-            victim = &base[way];
-    }
+    // Policy victim within the set (trivially "the" slot when
+    // direct-mapped — no replacement policy is needed at assoc 1,
+    // exactly as the paper observes).
+    const unsigned set = setOf(region);
+    Entry *base = &table_[static_cast<std::size_t>(set) * assoc_];
+    const unsigned way = policy_->victim(set, 0, assoc_);
+    Entry *victim = &base[way];
     if (victim->valid)
         ++*stConflictEvictions_;
     victim->valid = true;
     victim->regionTag = region;
-    victim->lastUse = ++useClock_;
+    policy_->fill(set, way);
     ++*stFills_;
 }
 
 bool
 Tft::invalidateRegion(Addr va)
 {
-    if (Entry *e = find(regionOf(va))) {
+    const Addr region = regionOf(va);
+    if (Entry *e = find(region)) {
         e->valid = false;
+        policy_->invalidateAt(slotOf(e));
         ++*stInvalidations_;
         return true;
     }
@@ -103,8 +108,16 @@ Tft::invalidateRegion(Addr va)
 void
 Tft::flush()
 {
-    for (auto &e : table_)
-        e.valid = false;
+    for (unsigned set = 0; set < numSets_; ++set) {
+        for (unsigned way = 0; way < assoc_; ++way) {
+            Entry &e = table_[static_cast<std::size_t>(set) * assoc_ +
+                              way];
+            if (e.valid) {
+                e.valid = false;
+                policy_->invalidate(set, way);
+            }
+        }
+    }
     ++*stFlushes_;
 }
 
@@ -131,10 +144,24 @@ double
 Tft::storageBytes() const
 {
     // 43-bit region tag + 1 valid bit per entry; associative tables
-    // also keep log2(assoc) LRU bits per entry.
+    // also keep replacement side-state per entry — log2(assoc)
+    // recency/order bits for LRU and FIFO, the RRPV for SRRIP, and
+    // nothing for Random.
     double bits_per_entry = 43.0 + 1.0;
-    for (unsigned a = assoc_; a > 1; a /= 2)
-        bits_per_entry += 1.0;
+    if (assoc_ > 1) {
+        switch (replacement_.kind) {
+          case ReplacementKind::Lru:
+          case ReplacementKind::Fifo:
+            for (unsigned a = assoc_; a > 1; a /= 2)
+                bits_per_entry += 1.0;
+            break;
+          case ReplacementKind::Srrip:
+            bits_per_entry += replacement_.rripBits;
+            break;
+          case ReplacementKind::Random:
+            break;
+        }
+    }
     return entries_ * bits_per_entry / 8.0;
 }
 

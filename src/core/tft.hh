@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "cache/replacement.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -41,8 +43,11 @@ class Tft
      * @param entries Number of entries (paper: 16).
      * @param assoc Ways per set: 1 (paper's direct-mapped design) up
      *        to @p entries (fully associative). Must divide entries.
+     * @param replacement Victim policy for associative tables
+     *        (irrelevant at assoc 1, exactly as the paper observes).
      */
-    explicit Tft(unsigned entries = 16, unsigned assoc = 1);
+    explicit Tft(unsigned entries = 16, unsigned assoc = 1,
+                 ReplacementParams replacement = {});
 
     /**
      * Probe for the 2MB region containing @p va.
@@ -77,9 +82,15 @@ class Tft
     void forEachValidRegion(
         const std::function<void(Addr va_base)> &fn) const;
 
-    /** Storage footprint in bytes: 43-bit tags + valid bit (plus LRU
-     *  bits when associative). */
+    /** Storage footprint in bytes: 43-bit tags + valid bit (plus
+     *  replacement side-state bits when associative). */
     double storageBytes() const;
+
+    /** The victim-selection policy (invariant audits). */
+    const ReplacementPolicy &replacementPolicy() const
+    {
+        return *policy_;
+    }
 
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
@@ -89,14 +100,14 @@ class Tft
     {
         bool valid = false;
         Addr regionTag = 0; //!< va >> 21 (43 significant bits)
-        std::uint64_t lastUse = 0;
     };
 
     unsigned entries_;
     unsigned assoc_;
     unsigned numSets_;
+    ReplacementParams replacement_;
     std::vector<Entry> table_;
-    std::uint64_t useClock_ = 0;
+    std::optional<ReplacementPolicy> policy_;
     StatGroup stats_;
 
     // Hot-path stat handles (registered once; see common/stats.hh).
@@ -119,6 +130,7 @@ class Tft
 
     Entry *find(Addr region);
     const Entry *find(Addr region) const;
+    std::size_t slotOf(const Entry *e) const;
 };
 
 } // namespace seesaw

@@ -56,6 +56,12 @@ configHash(const SystemConfig &config)
     h.mix(config.tftAssoc);
     h.mix(config.unifiedL1Tlb);
     h.mix(config.unifiedL1TlbEntries);
+    h.mix(config.replacement.kind);
+    h.mix(config.replacement.rripBits);
+    h.mix(config.replacement.seed);
+    h.mix(config.prefetch.kind);
+    h.mix(config.prefetch.degree);
+    h.mix(config.prefetch.tableEntries);
     h.mix(config.piptTlbCycles);
     h.mix(config.siptAssoc);
     h.mix(config.os.memBytes);

@@ -96,6 +96,10 @@ mutableResultFields(RunResult &r)
         fieldU("promotions", r.promotions),
         fieldU("splinters", r.splinters),
         fieldU("page_faults", r.pageFaults),
+        fieldU("prefetch_issued", r.prefetchIssued),
+        fieldU("prefetch_useful", r.prefetchUseful),
+        fieldU("prefetch_late", r.prefetchLate),
+        fieldU("prefetch_illegal_crossing", r.prefetchIllegalCrossing),
     };
 }
 

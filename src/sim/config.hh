@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "cache/next_level.hh"
+#include "cache/prefetch/prefetch.hh"
+#include "cache/replacement.hh"
 #include "check/audit.hh"
 #include "coherence/snoop_bus.hh"
 #include "core/seesaw_cache.hh"
@@ -60,6 +62,26 @@ struct SystemConfig
 
     /** SIPT alternative: reduced associativity (sets grow instead). */
     unsigned siptAssoc = 2;
+
+    /**
+     * Victim-selection policy for every tag store (L1D/L1I, TFT, and
+     * all TLB levels). Each structure decorrelates the Random seed
+     * with its own salt, and per-core structures additionally fold the
+     * core's derived seed in, so Random stays deterministic and
+     * core-count-independent. The default (LRU, matching the paper's
+     * Table II) is pinned bit-identical to the historical behaviour.
+     */
+    ReplacementParams replacement;
+
+    /**
+     * L1D prefetch engine (per core). PrefetchKind::None — the default
+     * — is pinned bit-identical to a build without the engine.
+     * Candidates that would cross out of the triggering access's page
+     * are dropped as illegal (a SEESAW partition is named by the
+     * page's translation, so a crossing prefetch would have to
+     * re-translate and could land in a different partition).
+     */
+    PrefetchParams prefetch;
 
     OsParams os;
     MemhogParams memhog;
@@ -224,6 +246,14 @@ struct RunResult
     std::uint64_t promotions = 0;
     std::uint64_t splinters = 0;
     std::uint64_t pageFaults = 0;
+
+    /** @name L1D prefetch engine (zero when PrefetchKind::None). */
+    /// @{
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchUseful = 0;  //!< demand hit on prefetched line
+    std::uint64_t prefetchLate = 0;    //!< candidate already resident
+    std::uint64_t prefetchIllegalCrossing = 0; //!< dropped: out of page
+    /// @}
 
     /** Core count of the run, and one slice per core. */
     unsigned cores = 1;

@@ -29,10 +29,19 @@ CoreComplex::CoreComplex(const SystemConfig &config,
         tlb_params.unifiedL1 = true;
         tlb_params.unifiedL1Entries = config_.unifiedL1TlbEntries;
     }
+    // Replacement seeds decorrelate per structure AND per core: the
+    // hierarchy salts each level on top of this per-core base. A
+    // MultiConfigEngine's shared TLB groups derive the identical seed
+    // (sim/multi_config_engine.cc), keeping one-pass runs bit-equal.
+    tlb_params.replacement =
+        withSeedSalt(config_.replacement, core_seed ^ 0x71bULL);
     tlb_ = std::make_unique<TlbHierarchy>(tlb_params, os_.pageTable());
     activeTlb_ = tlb_.get();
 
-    // --- L1 cache.
+    // --- L1 cache. All designs share the D-side replacement seed
+    // derivation (SeesawCache further salts its TFT internally).
+    const ReplacementParams l1d_replacement =
+        withSeedSalt(config_.replacement, core_seed ^ 0x5e1ecULL);
     switch (config_.l1Kind) {
       case L1Kind::ViptBaseline:
       case L1Kind::ViptWayPredicted: {
@@ -42,6 +51,7 @@ CoreComplex::CoreComplex(const SystemConfig &config,
         c.freqGhz = config_.freqGhz;
         c.wayPrediction =
             config_.l1Kind == L1Kind::ViptWayPredicted;
+        c.replacement = l1d_replacement;
         l1_ = std::make_unique<ViptCache>(c, latency);
         break;
       }
@@ -50,6 +60,7 @@ CoreComplex::CoreComplex(const SystemConfig &config,
         c.sizeBytes = config_.l1SizeBytes;
         c.assoc = config_.l1Assoc;
         c.freqGhz = config_.freqGhz;
+        c.replacement = l1d_replacement;
         l1_ = std::make_unique<PiptCache>(c, latency,
                                           config_.piptTlbCycles);
         break;
@@ -59,6 +70,7 @@ CoreComplex::CoreComplex(const SystemConfig &config,
         c.sizeBytes = config_.l1SizeBytes;
         c.assoc = config_.siptAssoc;
         c.freqGhz = config_.freqGhz;
+        c.replacement = l1d_replacement;
         l1_ = std::make_unique<SiptCache>(c, latency);
         break;
       }
@@ -74,6 +86,7 @@ CoreComplex::CoreComplex(const SystemConfig &config,
         c.tftAssoc = config_.tftAssoc;
         c.wayPrediction =
             config_.l1Kind == L1Kind::SeesawWayPredicted;
+        c.replacement = l1d_replacement;
         auto cache = std::make_unique<SeesawCache>(c, latency);
         seesawD_ = cache.get();
         l1_ = std::move(cache);
@@ -84,6 +97,9 @@ CoreComplex::CoreComplex(const SystemConfig &config,
     l1SizeBytes_ = l1_->tags().sizeBytes();
     l1Assoc_ = l1_->tags().assoc();
     l1LineBytes_ = l1_->tags().lineBytes();
+
+    prefetcher_ = PrefetchEngine::create(config_.prefetch,
+                                         l1LineBytes_);
 
     outer_ = std::make_unique<OuterHierarchy>(config_.outer,
                                               config_.freqGhz,
@@ -149,6 +165,8 @@ CoreComplex::CoreComplex(const SystemConfig &config,
             ic.policy = config_.policy;
             ic.tftEntries = config_.tftEntries;
             ic.tftAssoc = config_.tftAssoc;
+            ic.replacement = withSeedSalt(config_.replacement,
+                                          core_seed ^ 0x15e1ecULL);
             auto icache = std::make_unique<SeesawCache>(ic, latency);
             seesawI_ = icache.get();
             l1i_ = std::move(icache);
@@ -157,6 +175,8 @@ CoreComplex::CoreComplex(const SystemConfig &config,
             ic.sizeBytes = 32 * 1024;
             ic.assoc = 8;
             ic.freqGhz = config_.freqGhz;
+            ic.replacement = withSeedSalt(config_.replacement,
+                                          core_seed ^ 0x15e1ecULL);
             l1i_ = std::make_unique<ViptCache>(ic, latency);
         }
     }
@@ -378,10 +398,13 @@ CoreComplex::finishMemoryAccess(const MemRef &ref,
                 energy_.addDramAccess();
         }
         energy_.addLineInstall(res.installWays);
-        if (res.eviction.valid && res.eviction.dirty) {
+        if (res.eviction.valid && res.eviction.dirty()) {
             outer_->writeback(res.eviction.lineAddr * l1LineBytes_);
             energy_.addL2Access();
         }
+    } else if (res.wasPrefetched) {
+        // First demand hit on a line the prefetcher installed.
+        ++prefetchUseful_;
     }
 
     if (fabric)
@@ -431,7 +454,83 @@ CoreComplex::finishMemoryAccess(const MemRef &ref,
     if (tr.penaltyCycles)
         cpu_->addStallCycles(tr.penaltyCycles);
 
-    return ref.type == AccessType::Write || !res.hit;
+    // 7. Prefetch: train on the demand access, then issue the legal
+    //    candidates as demand-like fills (off the critical path — no
+    //    core timing impact beyond the energy/occupancy effects).
+    bool prefetched = false;
+    if (prefetcher_)
+        prefetched = issuePrefetches(ref, tr, !res.hit, fabric);
+
+    return ref.type == AccessType::Write || !res.hit || prefetched;
+}
+
+bool
+CoreComplex::issuePrefetches(const MemRef &ref,
+                             const TlbLookupResult &tr,
+                             bool demand_miss, CoherenceFabric *fabric)
+{
+    pfCandidates_.clear();
+    prefetcher_->observe(ref.va, demand_miss, pfCandidates_);
+    if (pfCandidates_.empty())
+        return false;
+
+    // Legality: a candidate is issuable only inside the page backing
+    // the triggering access — its PA comes from the same translation,
+    // so the fill lands in the partition that translation names. A
+    // candidate beyond the page would need its own TLB lookup and
+    // could map to a different partition; drop it (counted).
+    const Addr page_base = tr.translation.vaBase;
+    const Addr page_end = page_base + pageBytes(tr.translation.size);
+
+    bool issued = false;
+    for (const Addr pf_va : pfCandidates_) {
+        if (pf_va < page_base || pf_va >= page_end) {
+            ++prefetchIllegalCrossing_;
+            continue;
+        }
+        const Addr pf_pa = tr.translation.translate(pf_va);
+        if (l1_->tags().peek(pf_pa).hit) {
+            // Already resident: the prefetch would have had to be
+            // issued earlier to help.
+            ++prefetchLate_;
+            continue;
+        }
+
+        // Issue like a demand read miss: coherence ordering, outer
+        // fetch, L1 install (tagged prefetched), eviction writeback.
+        FabricPreAccess pre;
+        if (fabric)
+            pre = fabric->preAccess(core_, pf_pa, AccessType::Read);
+        ++prefetchIssued_;
+        if (pre.ownerSupplied) {
+            energy_.addL2Access();
+        } else {
+            const OuterAccessResult outer =
+                outer_->access(pf_pa, AccessType::Read);
+            energy_.addL2Access();
+            if (outer.llcAccessed)
+                energy_.addLlcAccess();
+            if (outer.dramAccessed)
+                energy_.addDramAccess();
+        }
+        L1AccessResult pf_res;
+        pf_res.hit = false;
+        pf_res.eviction =
+            l1_->prefetchFill(pf_pa, tr.translation.size);
+        energy_.addLineInstall(1);
+        if (pf_res.eviction.valid && pf_res.eviction.dirty()) {
+            outer_->writeback(pf_res.eviction.lineAddr *
+                              l1LineBytes_);
+            energy_.addL2Access();
+        }
+        if (fabric)
+            fabric->postAccess(core_, pf_pa, AccessType::Read, pf_res,
+                               pre);
+        if (probes_)
+            probes_->noteResident(pf_pa);
+        issued = true;
+    }
+    return issued;
 }
 
 void
@@ -447,6 +546,10 @@ CoreComplex::resetMeasurement()
     if (SeesawCache *cache = seesawD_)
         cache->tft().stats().resetAll();
     pageFaults_ = 0;
+    prefetchIssued_ = 0;
+    prefetchUseful_ = 0;
+    prefetchLate_ = 0;
+    prefetchIllegalCrossing_ = 0;
 }
 
 } // namespace seesaw

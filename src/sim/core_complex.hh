@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "cache/baseline_caches.hh"
+#include "cache/prefetch/prefetch.hh"
 #include "coherence/fabric.hh"
 #include "coherence/probe_engine.hh"
 #include "model/latency_table.hh"
@@ -135,6 +136,17 @@ class CoreComplex
     std::uint64_t pageFaults() const { return pageFaults_; }
     /// @}
 
+    /** @name L1D prefetch engine counters (zero when Kind::None). */
+    /// @{
+    std::uint64_t prefetchIssued() const { return prefetchIssued_; }
+    std::uint64_t prefetchUseful() const { return prefetchUseful_; }
+    std::uint64_t prefetchLate() const { return prefetchLate_; }
+    std::uint64_t prefetchIllegalCrossing() const
+    {
+        return prefetchIllegalCrossing_;
+    }
+    /// @}
+
     /** Instructions retired by this core, including warmup (drives the
      *  per-core OS-event schedule). */
     std::uint64_t retiredTotal_ = 0;
@@ -177,6 +189,26 @@ class CoreComplex
     Asid asid_ = 0;
     CoreId core_ = 0;
     std::uint64_t pageFaults_ = 0;
+
+    /** L1D prefetch engine (nullptr when PrefetchKind::None). */
+    std::unique_ptr<PrefetchEngine> prefetcher_;
+    std::vector<Addr> pfCandidates_; //!< scratch (avoids per-access
+                                     //!< allocation)
+    std::uint64_t prefetchIssued_ = 0;
+    std::uint64_t prefetchUseful_ = 0;
+    std::uint64_t prefetchLate_ = 0;
+    std::uint64_t prefetchIllegalCrossing_ = 0;
+
+    /**
+     * Train the prefetcher on one demand access and issue the legal
+     * candidates as demand-like read fills tagged prefetched.
+     * Candidates outside the triggering translation's page are dropped
+     * (a different page could live in a different SEESAW partition and
+     * would need its own translation). @return any fill issued (a
+     * coherence transition the caller must report).
+     */
+    bool issuePrefetches(const MemRef &ref, const TlbLookupResult &tr,
+                         bool demand_miss, CoherenceFabric *fabric);
 
     bool isSeesawKind() const
     {

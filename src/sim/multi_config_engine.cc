@@ -12,13 +12,19 @@ namespace seesaw {
 namespace {
 
 /** The TLB geometry a config implies (sim/core_complex.cc order):
- *  substrates matching on this share one hierarchy per core. */
+ *  substrates matching on this share one hierarchy per core. The
+ *  replacement policy is part of the key — TLBs own policy side-state,
+ *  so substrates differing in victim selection walk different fill
+ *  sequences and must fork into separate groups. */
 std::string
 tlbGeometryKey(const SystemConfig &config)
 {
     std::ostringstream os;
     os << (config.coreKind == CoreKind::InOrder ? "atom" : "snb") << '|'
-       << config.unifiedL1Tlb << '|' << config.unifiedL1TlbEntries;
+       << config.unifiedL1Tlb << '|' << config.unifiedL1TlbEntries
+       << '|' << static_cast<int>(config.replacement.kind) << '|'
+       << config.replacement.rripBits << '|'
+       << config.replacement.seed;
     return os.str();
 }
 
@@ -131,9 +137,14 @@ MultiConfigEngine::MultiConfigEngine(std::vector<SystemConfig> configs,
             keys.push_back(key);
             TlbGroup group;
             group.exemplar = i;
-            const TlbHierarchyParams params =
-                tlbParamsFor(configs_[i]);
+            TlbHierarchyParams params = tlbParamsFor(configs_[i]);
             for (unsigned c = 0; c < front.cores; ++c) {
+                // Same per-core seed derivation as CoreComplex, so a
+                // group member's state sequence is bit-identical to
+                // its solo run.
+                params.replacement = withSeedSalt(
+                    configs_[i].replacement,
+                    SimEngine::coreSeed(front.seed, c) ^ 0x71bULL);
                 group.tlbs.push_back(std::make_unique<TlbHierarchy>(
                     params, os_->pageTable()));
             }

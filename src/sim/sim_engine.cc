@@ -206,6 +206,16 @@ registerSystemAudits(check::InvariantAuditor &auditor,
                 }
             });
         auditor.registerCheck(
+            "l1.prefetch",
+            [cxs, multi, n](check::AuditContext &ctx) {
+                for (unsigned c = 0; c < n; ++c) {
+                    if (multi)
+                        ctx.core = static_cast<int>(c);
+                    check::auditPrefetchPlacement(*cxs[c]->seesawL1(),
+                                                  ctx);
+                }
+            });
+        auditor.registerCheck(
             "l1.tft", [cxs, os_p, asid, multi, n](check::AuditContext &ctx) {
                 for (unsigned c = 0; c < n; ++c) {
                     if (multi)
@@ -535,6 +545,11 @@ collectRunResults(const SystemConfig &config,
             r.l1iMisses += static_cast<std::uint64_t>(
                 l1i->stats().get("misses"));
         }
+
+        r.prefetchIssued += cx->prefetchIssued();
+        r.prefetchUseful += cx->prefetchUseful();
+        r.prefetchLate += cx->prefetchLate();
+        r.prefetchIllegalCrossing += cx->prefetchIllegalCrossing();
 
         r.squashes += pc.squashes;
         r.pageFaults += pc.pageFaults;

@@ -6,7 +6,7 @@
 namespace seesaw {
 
 Tlb::Tlb(std::string name, unsigned entries, unsigned assoc,
-         PageSize size)
+         PageSize size, ReplacementParams replacement)
     : name_(std::move(name)), entries_(entries), assoc_(assoc),
       size_(size), slots_(entries), stats_(name_),
       stLookups_(&stats_.scalar("lookups")),
@@ -21,6 +21,13 @@ Tlb::Tlb(std::string name, unsigned entries, unsigned assoc,
     numSets_ = entries_ / assoc_;
     SEESAW_ASSERT(numSets_ == 1 || isPowerOfTwo(numSets_),
                   "TLB set count must be a power of two");
+    policy_.emplace(replacement, numSets_, assoc_);
+}
+
+std::size_t
+Tlb::slotOf(const TlbEntry *e) const
+{
+    return static_cast<std::size_t>(e - slots_.data());
 }
 
 TlbEntry *
@@ -61,7 +68,7 @@ Tlb::lookupEntry(Asid asid, Addr va)
         return nullptr;
     }
     ++*stHits_;
-    e->lastUse = ++useClock_;
+    policy_->touchAt(slotOf(e));
     return e;
 }
 
@@ -83,31 +90,20 @@ Tlb::insert(Asid asid, Addr va, Addr pa_base)
 
     if (TlbEntry *existing = find(asid, vpn)) {
         existing->paBase = pa_base;
-        existing->lastUse = ++useClock_;
+        policy_->touchAt(slotOf(existing));
         return;
     }
 
     const unsigned set = setOf(vpn);
     TlbEntry *base = &slots_[static_cast<std::size_t>(set) * assoc_];
-    unsigned victim = 0;
-    std::uint64_t oldest = ~std::uint64_t{0};
-    for (unsigned way = 0; way < assoc_; ++way) {
-        if (!base[way].valid) {
-            victim = way;
-            break;
-        }
-        if (base[way].lastUse < oldest) {
-            oldest = base[way].lastUse;
-            victim = way;
-        }
-    }
+    const unsigned victim = policy_->victim(set, 0, assoc_);
 
     if (base[victim].valid)
         ++*stEvictions_;
     else
         ++validCount_;
-    base[victim] = TlbEntry{true, asid, vpn, pa_base, size_,
-                            ++useClock_};
+    base[victim] = TlbEntry{true, asid, vpn, pa_base, size_};
+    policy_->fill(set, victim);
     ++*stFills_;
 }
 
@@ -118,6 +114,7 @@ Tlb::invalidatePage(Asid asid, Addr va)
     if (!e)
         return false;
     e->valid = false;
+    policy_->invalidateAt(slotOf(e));
     --validCount_;
     ++*stInvalidations_;
     return true;
@@ -126,9 +123,11 @@ Tlb::invalidatePage(Asid asid, Addr va)
 void
 Tlb::flushAsid(Asid asid)
 {
-    for (auto &e : slots_) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        TlbEntry &e = slots_[i];
         if (e.valid && e.asid == asid) {
             e.valid = false;
+            policy_->invalidateAt(i);
             --validCount_;
         }
     }
@@ -137,8 +136,13 @@ Tlb::flushAsid(Asid asid)
 void
 Tlb::flushAll()
 {
-    for (auto &e : slots_)
-        e.valid = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        TlbEntry &e = slots_[i];
+        if (e.valid) {
+            e.valid = false;
+            policy_->invalidateAt(i);
+        }
+    }
     validCount_ = 0;
 }
 

@@ -1,7 +1,8 @@
 /**
  * @file
  * A set-associative (or fully-associative) TLB for one or more page
- * size classes, with ASID tags and LRU replacement.
+ * size classes, with ASID tags and a pluggable replacement policy
+ * (LRU by default).
  */
 
 #ifndef SEESAW_TLB_TLB_HH
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/replacement.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -26,7 +28,6 @@ struct TlbEntry
     Addr vpn = 0;     //!< va >> pageOffsetBits(size)
     Addr paBase = 0;  //!< physical base of the page
     PageSize size = PageSize::Base4KB;
-    std::uint64_t lastUse = 0;
 };
 
 /**
@@ -45,11 +46,13 @@ class Tlb
      * @param assoc Ways (entries == sets*assoc); pass entries for a
      *        fully-associative structure.
      * @param size The page size class cached here.
+     * @param replacement Victim policy (default LRU).
      */
     Tlb(std::string name, unsigned entries, unsigned assoc,
-        PageSize size);
+        PageSize size, ReplacementParams replacement = {});
 
-    /** Probe for the translation of @p va; LRU-touches on hit. */
+    /** Probe for the translation of @p va; touches the policy on
+     *  hit. */
     std::optional<TlbEntry> lookup(Asid asid, Addr va);
 
     /** Hot-path probe: like lookup(), but returns a pointer into the
@@ -60,7 +63,7 @@ class Tlb
     /** Non-mutating probe. */
     std::optional<TlbEntry> peek(Asid asid, Addr va) const;
 
-    /** Install a translation (LRU victim within the set). */
+    /** Install a translation (policy victim within the set). */
     void insert(Asid asid, Addr va, Addr pa_base);
 
     /** Invalidate the entry covering @p va (invlpg). @return hit? */
@@ -85,6 +88,12 @@ class Tlb
     unsigned assoc() const { return assoc_; }
     unsigned numSets() const { return numSets_; }
 
+    /** The victim-selection policy (invariant audits). */
+    const ReplacementPolicy &replacementPolicy() const
+    {
+        return *policy_;
+    }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 
@@ -95,7 +104,7 @@ class Tlb
     unsigned numSets_;
     PageSize size_;
     std::vector<TlbEntry> slots_;
-    std::uint64_t useClock_ = 0;
+    std::optional<ReplacementPolicy> policy_;
     unsigned validCount_ = 0; //!< maintained incrementally (hot path)
     StatGroup stats_;
 
@@ -115,6 +124,7 @@ class Tlb
     }
     TlbEntry *find(Asid asid, Addr vpn);
     const TlbEntry *find(Asid asid, Addr vpn) const;
+    std::size_t slotOf(const TlbEntry *e) const;
 };
 
 } // namespace seesaw

@@ -52,16 +52,21 @@ TlbHierarchy::TlbHierarchy(const TlbHierarchyParams &params,
                            const PageTable &page_table)
     : params_(params),
       l14k_("l1tlb_4k", params.l1Entries4k, params.l1Assoc4k,
-            PageSize::Base4KB),
+            PageSize::Base4KB,
+            withSeedSalt(params.replacement, 0x11ULL)),
       l12m_("l1tlb_2m", params.l1Entries2m, params.l1Assoc2m,
-            PageSize::Super2MB),
+            PageSize::Super2MB,
+            withSeedSalt(params.replacement, 0x12ULL)),
       l11g_("l1tlb_1g", params.l1Entries1g, params.l1Assoc1g,
-            PageSize::Super1GB),
+            PageSize::Super1GB,
+            withSeedSalt(params.replacement, 0x13ULL)),
       l24k_("l2tlb_4k", params.l2Entries, params.l2Assoc,
-            PageSize::Base4KB),
+            PageSize::Base4KB,
+            withSeedSalt(params.replacement, 0x24ULL)),
       l22m_("l2tlb_2m",
             std::max(params.l2Assoc, params.l2Entries / 4),
-            params.l2Assoc, PageSize::Super2MB),
+            params.l2Assoc, PageSize::Super2MB,
+            withSeedSalt(params.replacement, 0x22ULL)),
       walker_(page_table, params.walkCyclesPerLevel),
       stats_("tlb"),
       stLookups_(&stats_.scalar("lookups")),
@@ -74,7 +79,8 @@ TlbHierarchy::TlbHierarchy(const TlbHierarchyParams &params,
 {
     if (params_.unifiedL1) {
         unified_ = std::make_unique<UnifiedTlb>(
-            "l1tlb_unified", params_.unifiedL1Entries);
+            "l1tlb_unified", params_.unifiedL1Entries,
+            withSeedSalt(params_.replacement, 0x1fULL));
     }
 }
 

@@ -59,6 +59,10 @@ struct TlbHierarchyParams
     bool unifiedL1 = false;
     unsigned unifiedL1Entries = 64;
 
+    /** Victim policy for every level; each structure decorrelates the
+     *  Random seed with its own salt. */
+    ReplacementParams replacement;
+
     /** ~Intel Sandybridge (Table II): split 128/16-entry L1s. */
     static TlbHierarchyParams sandybridge();
 

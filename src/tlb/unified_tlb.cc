@@ -4,7 +4,8 @@
 
 namespace seesaw {
 
-UnifiedTlb::UnifiedTlb(std::string name, unsigned entries)
+UnifiedTlb::UnifiedTlb(std::string name, unsigned entries,
+                       ReplacementParams replacement)
     : name_(std::move(name)), entries_(entries), slots_(entries),
       stats_(name_), stLookups_(&stats_.scalar("lookups")),
       stHits_(&stats_.scalar("hits")),
@@ -14,6 +15,13 @@ UnifiedTlb::UnifiedTlb(std::string name, unsigned entries)
       stInvalidations_(&stats_.scalar("invalidations"))
 {
     SEESAW_ASSERT(entries_ > 0, "unified TLB needs entries");
+    policy_.emplace(replacement, 1, entries_);
+}
+
+std::size_t
+UnifiedTlb::slotOf(const TlbEntry *e) const
+{
+    return static_cast<std::size_t>(e - slots_.data());
 }
 
 bool
@@ -45,7 +53,7 @@ UnifiedTlb::lookup(Asid asid, Addr va)
 {
     ++*stLookups_;
     if (TlbEntry *e = find(asid, va)) {
-        e->lastUse = ++useClock_;
+        policy_->touchAt(slotOf(e));
         ++*stHits_;
         return *e;
     }
@@ -73,23 +81,17 @@ UnifiedTlb::insert(Asid asid, Addr va_base, Addr pa_base, PageSize size)
         existing->vpn = va_base >> pageOffsetBits(size);
         existing->paBase = pa_base;
         existing->size = size;
-        existing->lastUse = ++useClock_;
+        policy_->touchAt(slotOf(existing));
         return;
     }
 
-    TlbEntry *victim = &slots_[0];
-    for (auto &e : slots_) {
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
-    }
+    const unsigned way = policy_->victim(0, 0, entries_);
+    TlbEntry *victim = &slots_[way];
     if (victim->valid)
         ++*stEvictions_;
     *victim = TlbEntry{true, asid, va_base >> pageOffsetBits(size),
-                       pa_base, size, ++useClock_};
+                       pa_base, size};
+    policy_->fill(0, way);
     ++*stFills_;
 }
 
@@ -98,6 +100,7 @@ UnifiedTlb::invalidatePage(Asid asid, Addr va)
 {
     if (TlbEntry *e = find(asid, va)) {
         e->valid = false;
+        policy_->invalidateAt(slotOf(e));
         ++*stInvalidations_;
         return true;
     }
@@ -108,16 +111,22 @@ void
 UnifiedTlb::flushAsid(Asid asid)
 {
     for (auto &e : slots_) {
-        if (e.valid && e.asid == asid)
+        if (e.valid && e.asid == asid) {
             e.valid = false;
+            policy_->invalidateAt(slotOf(&e));
+        }
     }
 }
 
 void
 UnifiedTlb::flushAll()
 {
-    for (auto &e : slots_)
-        e.valid = false;
+    for (auto &e : slots_) {
+        if (e.valid) {
+            e.valid = false;
+            policy_->invalidateAt(slotOf(&e));
+        }
+    }
 }
 
 unsigned

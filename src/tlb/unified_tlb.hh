@@ -24,12 +24,14 @@
 namespace seesaw {
 
 /**
- * Fully-associative, multi-page-size TLB with LRU replacement.
+ * Fully-associative, multi-page-size TLB with a pluggable replacement
+ * policy (LRU by default); the whole structure is one policy "set".
  */
 class UnifiedTlb
 {
   public:
-    UnifiedTlb(std::string name, unsigned entries);
+    UnifiedTlb(std::string name, unsigned entries,
+               ReplacementParams replacement = {});
 
     /** Probe for a translation of @p va at any page size. */
     std::optional<TlbEntry> lookup(Asid asid, Addr va);
@@ -37,7 +39,7 @@ class UnifiedTlb
     /** Non-mutating probe. */
     std::optional<TlbEntry> peek(Asid asid, Addr va) const;
 
-    /** Install a translation of @p size (LRU victim across ALL
+    /** Install a translation of @p size (policy victim across ALL
      *  sizes — the shared-capacity property). */
     void insert(Asid asid, Addr va_base, Addr pa_base, PageSize size);
 
@@ -58,6 +60,12 @@ class UnifiedTlb
      *  §IV-B3 scheduler counter for unified configurations. */
     unsigned superpageValidCount() const;
 
+    /** The victim-selection policy (invariant audits). */
+    const ReplacementPolicy &replacementPolicy() const
+    {
+        return *policy_;
+    }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 
@@ -65,7 +73,7 @@ class UnifiedTlb
     std::string name_;
     unsigned entries_;
     std::vector<TlbEntry> slots_;
-    std::uint64_t useClock_ = 0;
+    std::optional<ReplacementPolicy> policy_;
     StatGroup stats_;
     StatScalar *stLookups_;
     StatScalar *stHits_;
@@ -80,6 +88,9 @@ class UnifiedTlb
 
     /** @return True when @p e covers @p va. */
     static bool covers(const TlbEntry &e, Asid asid, Addr va);
+
+    /** Policy way index of @p e (the whole TLB is one set). */
+    std::size_t slotOf(const TlbEntry *e) const;
 };
 
 } // namespace seesaw

@@ -158,13 +158,15 @@ TEST(SetAssocCache, EvictionReportsDirtyState)
         c.insert(4 * kKB, SetAssocCache::InsertScope::FullSet,
                  CoherenceState::Exclusive, PageSize::Base4KB);
     EXPECT_TRUE(ev.valid);
-    EXPECT_TRUE(ev.dirty);
+    EXPECT_TRUE(ev.dirty());
+    EXPECT_EQ(ev.state, CoherenceState::Modified);
 
     const Eviction ev2 =
         c.insert(8 * kKB, SetAssocCache::InsertScope::FullSet,
                  CoherenceState::Exclusive, PageSize::Base4KB);
     EXPECT_TRUE(ev2.valid);
-    EXPECT_FALSE(ev2.dirty);
+    EXPECT_FALSE(ev2.dirty());
+    EXPECT_EQ(ev2.state, CoherenceState::Exclusive);
 }
 
 TEST(SetAssocCache, InvalidateRemovesLine)

@@ -34,6 +34,20 @@ auditTags(const SetAssocCache &tags, bool allow_duplicates = false)
     });
 }
 
+/** The way holding @p pa (which must be resident). */
+unsigned
+wayOf(const SetAssocCache &tags, Addr pa)
+{
+    const unsigned set = tags.setIndex(pa);
+    for (unsigned way = 0; way < tags.assoc(); ++way) {
+        const CacheLine &line = tags.lineAt(set, way);
+        if (line.valid && line.lineAddr == tags.lineAddrOf(pa))
+            return way;
+    }
+    ADD_FAILURE() << "line not resident: " << pa;
+    return 0;
+}
+
 TEST(CacheAuditsTest, PopulatedStoreAuditsClean)
 {
     SetAssocCache tags(32 * 1024, 8);
@@ -86,7 +100,12 @@ TEST(CacheAuditsTest, CatchesAmbiguousLruTimestamps)
     const Addr alias = 0x3000 + 32 * 1024;
     tags.insert(alias, SetAssocCache::InsertScope::FullSet,
                 CoherenceState::Exclusive, PageSize::Base4KB);
-    tags.findLine(alias)->lastUse = tags.findLine(0x3000)->lastUse;
+    // Corrupt the policy side-state: two ways sharing one timestamp
+    // makes the recency order ambiguous.
+    ReplacementPolicy &policy = tags.replacementPolicy();
+    const unsigned set = tags.setIndex(0x3000);
+    policy.debugStateAt(set, wayOf(tags, alias)) =
+        policy.debugStateAt(set, wayOf(tags, 0x3000));
 
     const auto seen = auditTags(tags);
     ASSERT_EQ(seen.size(), 1u);
@@ -99,11 +118,56 @@ TEST(CacheAuditsTest, CatchesLruClockRunningBehindALine)
     SetAssocCache tags(32 * 1024, 8);
     tags.insert(0x4000, SetAssocCache::InsertScope::FullSet,
                 CoherenceState::Exclusive, PageSize::Base4KB);
-    tags.findLine(0x4000)->lastUse = tags.useClock() + 100;
+    tags.replacementPolicy().debugStateAt(
+        tags.setIndex(0x4000), wayOf(tags, 0x4000)) += 100;
     const auto seen = auditTags(tags);
     ASSERT_EQ(seen.size(), 1u);
     EXPECT_NE(seen[0].detail.find("exceeds use clock"),
               std::string::npos);
+}
+
+TEST(CacheAuditsTest, CatchesPolicyOccupancyDisagreement)
+{
+    SetAssocCache tags(32 * 1024, 8);
+    tags.insert(0x6000, SetAssocCache::InsertScope::FullSet,
+                CoherenceState::Exclusive, PageSize::Base4KB);
+    // Kill the line behind the policy's back (state too, so only the
+    // occupancy check fires).
+    CacheLine *line = tags.findLine(0x6000);
+    line->valid = false;
+    line->state = CoherenceState::Invalid;
+    const auto seen = auditTags(tags);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("tracks an invalid line"),
+              std::string::npos);
+}
+
+TEST(CacheAuditsTest, CatchesSrripRrpvOutOfRange)
+{
+    ReplacementParams params;
+    params.kind = ReplacementKind::Srrip;
+    params.rripBits = 2; // RRPVs 0..3
+    SetAssocCache tags(32 * 1024, 8, 64, 1, params);
+    tags.insert(0x7000, SetAssocCache::InsertScope::FullSet,
+                CoherenceState::Exclusive, PageSize::Base4KB);
+    EXPECT_TRUE(auditTags(tags).empty());
+    tags.replacementPolicy().debugStateAt(
+        tags.setIndex(0x7000), wayOf(tags, 0x7000)) = 99;
+    const auto seen = auditTags(tags);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("out of range"), std::string::npos);
+}
+
+TEST(CacheAuditsTest, RandomPolicyStoreAuditsClean)
+{
+    ReplacementParams params;
+    params.kind = ReplacementKind::Random;
+    params.seed = 7;
+    SetAssocCache tags(32 * 1024, 8, 64, 1, params);
+    for (Addr pa = 0; pa < 64 * 1024; pa += 64)
+        tags.insert(pa, SetAssocCache::InsertScope::FullSet,
+                    CoherenceState::Exclusive, PageSize::Base4KB);
+    EXPECT_TRUE(auditTags(tags).empty());
 }
 
 TEST(CacheAuditsTest, CatchesValidLineInStateInvalid)
@@ -204,6 +268,47 @@ TEST(CacheAuditsTest, FourWayEightWayConstrainsOnlySuperpageLines)
     ASSERT_NE(super_line, nullptr);
     super_line->lineAddr ^= 1ULL << 6;
     EXPECT_EQ(auditPlacement(cache).size(), 1u);
+}
+
+// ------------------------------------------------------------------
+// Prefetched-line placement (partition-scoped fills, every policy).
+
+std::vector<Violation>
+auditPrefetch(const SeesawCache &cache)
+{
+    return collect([&](AuditContext &ctx) {
+        auditPrefetchPlacement(cache, ctx);
+    });
+}
+
+TEST(CacheAuditsTest, PrefetchPlacementAuditsCleanAfterFills)
+{
+    LatencyTable latency;
+    SeesawCache cache(seesawConfig(InsertionPolicy::FourWayEightWay),
+                      latency);
+    for (Addr pa = 0; pa < 64 * 1024; pa += 64)
+        cache.prefetchFill(pa, PageSize::Base4KB);
+    EXPECT_TRUE(auditPrefetch(cache).empty());
+}
+
+TEST(CacheAuditsTest, CatchesPrefetchedLineOutsideItsPartition)
+{
+    LatencyTable latency;
+    SeesawCache cache(seesawConfig(InsertionPolicy::FourWayEightWay),
+                      latency);
+    cache.prefetchFill(0x1000, PageSize::Base4KB);
+    CacheLine *line = cache.tags().findLine(0x1000);
+    ASSERT_NE(line, nullptr);
+    ASSERT_TRUE(line->prefetched);
+    line->lineAddr ^= 1ULL << 6; // flip the partition bit
+
+    // Base-page lines are exempt from the general 4way-8way placement
+    // rule, but a *prefetched* line never is.
+    EXPECT_TRUE(auditPlacement(cache).empty());
+    const auto seen = auditPrefetch(cache);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_NE(seen[0].detail.find("illegal prefetch crossing"),
+              std::string::npos);
 }
 
 } // namespace

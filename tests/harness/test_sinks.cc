@@ -338,7 +338,8 @@ TEST(Sinks, CsvHeaderIsStable)
         "l1_coherence_dynamic_nj,l1_leakage_nj,outer_nj,"
         "translation_nj,l1i_accesses,l1i_misses,squashes,probes,"
         "probe_hits,owner_supplies,wp_accuracy,promotions,splinters,"
-        "page_faults");
+        "page_faults,prefetch_issued,prefetch_useful,prefetch_late,"
+        "prefetch_illegal_crossing");
 }
 
 TEST(Sinks, CsvQuotesAwkwardFieldsAndMatchesHeaderWidth)

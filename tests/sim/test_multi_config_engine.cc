@@ -168,6 +168,54 @@ TEST(MultiConfigEngine, MultiCoreCoherentFabricsStayIndependent)
     expectOnePassMatchesSerial(configs, w);
 }
 
+TEST(MultiConfigEngine, PolicyAndPrefetchSubstratesStayBitIdentical)
+{
+    // Substrates differing only in replacement policy or prefetcher:
+    // the TLB groups must fork on the replacement params (policies own
+    // TLB victim side-state) while everything else stays shared, and
+    // every member must match its solo run exactly.
+    std::vector<SystemConfig> configs;
+    for (ReplacementKind rk :
+         {ReplacementKind::Lru, ReplacementKind::Fifo,
+          ReplacementKind::Random, ReplacementKind::Srrip}) {
+        SystemConfig cfg = baseConfig(L1Kind::Seesaw);
+        cfg.replacement.kind = rk;
+        configs.push_back(cfg);
+    }
+    for (PrefetchKind pk :
+         {PrefetchKind::NextLine, PrefetchKind::Stride}) {
+        SystemConfig cfg = baseConfig(L1Kind::Seesaw);
+        cfg.prefetch.kind = pk;
+        configs.push_back(cfg);
+    }
+    SystemConfig combo = baseConfig(L1Kind::ViptBaseline);
+    combo.replacement.kind = ReplacementKind::Random;
+    combo.prefetch.kind = PrefetchKind::NextLine;
+    configs.push_back(combo);
+
+    expectOnePassMatchesSerial(configs, testWorkload());
+}
+
+TEST(MultiConfigEngine, RandomAndPrefetchAtFourCoresStayBitIdentical)
+{
+    // Four cores under the directory fabric with Random victims and
+    // next-line prefetch: the per-core seed derivation
+    // (coreSeed ^ salt) and the prefetch fills' coherence transitions
+    // must replicate exactly between grouped and solo execution.
+    WorkloadSpec w = testWorkload();
+    std::vector<SystemConfig> configs;
+    for (ReplacementKind rk :
+         {ReplacementKind::Lru, ReplacementKind::Random}) {
+        SystemConfig cfg = baseConfig(L1Kind::Seesaw);
+        cfg.cores = 4;
+        cfg.fabric = CoherenceKind::Directory;
+        cfg.replacement.kind = rk;
+        cfg.prefetch.kind = PrefetchKind::NextLine;
+        configs.push_back(cfg);
+    }
+    expectOnePassMatchesSerial(configs, w);
+}
+
 TEST(MultiConfigEngine, OsEventsBroadcastToEverySubstrate)
 {
     // Aggressive OS-event schedule: several promotions and splinters
