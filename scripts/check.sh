@@ -27,6 +27,11 @@
 #              errors over the capability annotations) plus the
 #              compile-fail snippet tests (skipped with a notice when
 #              clang++ is not installed; CI runs it)
+#   analyze    seesaw-analyze whole-program gate: facts-level mutation
+#              ctests, then extract over compile_commands.json and the
+#              five-invariant check with warnings as errors (the
+#              extraction half SKIPs with a notice when Clang dev
+#              packages are absent; CI requires it)
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages)
 
@@ -37,7 +42,7 @@ jobs="$(nproc)"
 stages=("$@")
 [ ${#stages[@]} -eq 0 ] && \
     stages=(default audit-off asan-ubsan tsan tidy lint format perf
-        service threads)
+        service threads analyze)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -166,10 +171,27 @@ for stage in "${stages[@]}"; do
         ctest --test-dir "$repo/build-threads" --output-on-failure \
             -R compile_fail
         ;;
+    analyze)
+        banner "seesaw-analyze whole-program invariants"
+        cmake -S "$repo" -B "$repo/build" > /dev/null
+        cmake --build "$repo/build" -j "$jobs"
+        # Always-run halves: facts-level mutation tests + escape
+        # policing; the extraction fixture SKIPs without Clang dev
+        # packages and ctest reports that visibly.
+        ctest --test-dir "$repo/build" --output-on-failure \
+            -R 'lint_analyze|lint_nolint_policy'
+        if [ -x "$repo/build/tools/seesaw_extract" ]; then
+            python3 "$repo/scripts/analyze.py" --werror
+            python3 "$repo/scripts/config_hash_drift.py"
+        else
+            echo "seesaw_extract not built (Clang dev packages" \
+                "missing); skipping whole-program extract (CI runs it)"
+        fi
+        ;;
     *)
         echo "unknown stage: $stage" >&2
         echo "stages: default audit-off asan-ubsan tsan tidy lint" \
-            "format perf service threads" >&2
+            "format perf service threads analyze" >&2
         exit 1
         ;;
     esac

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Police NOLINT suppressions of seesaw-tidy checks.
+"""Police NOLINT suppressions of seesaw-tidy checks and the
+seesaw-analyze escape hatch.
 
 A suppression is an auditable decision, so the project requires the
 form
@@ -7,21 +8,27 @@ form
     // NOLINT(seesaw-<check>): <justification>
 
 with a named seesaw check and a non-trivial justification after the
-colon.  This script fails on:
+colon (NOLINTNEXTLINE and NOLINTBEGIN take the same form; a matching
+NOLINTEND needs none).  This script fails on:
 
   * bare ``NOLINT`` / ``NOLINTNEXTLINE`` without a check list -- they
     would silently suppress seesaw checks along with everything else;
   * seesaw suppressions without a justification, or with a throwaway
     one (fewer than three words).
 
-The same discipline applies to the thread-safety escape hatch: a
-``SEESAW_NO_THREAD_SAFETY_ANALYSIS`` attribute disables Clang's
-capability analysis for a whole function body, so every use (outside
-its definition in common/thread_annotations.hh) must carry a same-line
-``// <justification>`` comment of three or more words explaining why
-the analysis cannot express the function's locking.
+The same discipline applies to the two other escape hatches:
 
-Run as a ctest ("check_nolint") and in CI's lint job.
+  * ``SEESAW_NO_THREAD_SAFETY_ANALYSIS`` disables Clang's capability
+    analysis for a whole function body;
+  * ``// seesaw-analyze-ignore: <justification>`` drops every
+    seesaw-analyze fact on its source line (tools/analyze), hiding the
+    line from the whole-program invariant checks.
+
+Every use (outside the defining/implementing file) must carry a
+same-line justification of three or more words.
+
+Run as a ctest ("check_nolint") and in CI's lint job; the negative
+self-test runs as ctest "lint_nolint_policy".
 """
 
 import argparse
@@ -35,7 +42,7 @@ EXTENSIONS = (".hh", ".cc", ".h", ".cpp")
 
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(\([^)]*\))?")
 JUSTIFIED_RE = re.compile(
-    r"NOLINT(?:NEXTLINE)?\(([^)]*)\)\s*:\s*(.*\S)")
+    r"NOLINT(?:NEXTLINE|BEGIN)?\(([^)]*)\)\s*:\s*(.*\S)")
 MIN_JUSTIFICATION_WORDS = 3
 
 NO_TSA_TOKEN = "SEESAW_NO_THREAD_SAFETY_ANALYSIS"
@@ -44,32 +51,39 @@ NO_TSA_JUSTIFIED_RE = re.compile(
 # The macro's own definition and documentation live here.
 NO_TSA_HOME = os.path.join("src", "common", "thread_annotations.hh")
 
+ANALYZE_IGNORE_TOKEN = "seesaw-analyze-ignore"
+ANALYZE_IGNORE_JUSTIFIED_RE = re.compile(
+    ANALYZE_IGNORE_TOKEN + r"\s*:\s*(.*\S)")
+# The extract tool implements (and documents) the marker.
+ANALYZE_IGNORE_HOME = os.path.join("tools", "analyze",
+                                   "SeesawExtract.cc")
 
-def scan_file(path: str, rel: str) -> "list[str]":
+
+def scan_lines(lines: "list[str]", rel: str) -> "list[str]":
     problems = []
-    with open(path, encoding="utf-8", errors="replace") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            for m in NOLINT_RE.finditer(line):
-                checks = m.group(1)
-                if checks is None:
-                    problems.append(
-                        f"{rel}:{lineno}: bare {m.group(0)} suppresses every "
-                        f"check; name the check: NOLINT(<check>): <reason>")
-                    continue
-                if "seesaw-" not in checks:
-                    continue  # other tools' suppressions are not ours
-                jm = JUSTIFIED_RE.search(line[m.start():])
-                words = jm.group(2).split() if jm else []
-                if len(words) < MIN_JUSTIFICATION_WORDS:
-                    problems.append(
-                        f"{rel}:{lineno}: NOLINT{checks} needs a "
-                        f"justification -- write "
-                        f"'// NOLINT{checks}: <why this is safe>' "
-                        f"({MIN_JUSTIFICATION_WORDS}+ words)")
-            if NO_TSA_TOKEN in line and rel != NO_TSA_HOME:
-                stripped = line.lstrip()
-                if stripped.startswith(("#", "//", "*")):
-                    continue  # preprocessor line or comment mention
+    for lineno, line in enumerate(lines, start=1):
+        for m in NOLINT_RE.finditer(line):
+            checks = m.group(1)
+            if checks is None:
+                problems.append(
+                    f"{rel}:{lineno}: bare {m.group(0)} suppresses every "
+                    f"check; name the check: NOLINT(<check>): <reason>")
+                continue
+            if "seesaw-" not in checks:
+                continue  # other tools' suppressions are not ours
+            if m.group(0).startswith("NOLINTEND"):
+                continue  # closes a justified NOLINTBEGIN region
+            jm = JUSTIFIED_RE.search(line[m.start():])
+            words = jm.group(2).split() if jm else []
+            if len(words) < MIN_JUSTIFICATION_WORDS:
+                problems.append(
+                    f"{rel}:{lineno}: NOLINT{checks} needs a "
+                    f"justification -- write "
+                    f"'// NOLINT{checks}: <why this is safe>' "
+                    f"({MIN_JUSTIFICATION_WORDS}+ words)")
+        if NO_TSA_TOKEN in line and rel != NO_TSA_HOME:
+            stripped = line.lstrip()
+            if not stripped.startswith(("#", "//", "*")):
                 jm = NO_TSA_JUSTIFIED_RE.search(line)
                 words = jm.group(1).split() if jm else []
                 if len(words) < MIN_JUSTIFICATION_WORDS:
@@ -79,14 +93,75 @@ def scan_file(path: str, rel: str) -> "list[str]":
                         f"add a same-line '// <why the analysis cannot "
                         f"express this>' justification "
                         f"({MIN_JUSTIFICATION_WORDS}+ words)")
+        if ANALYZE_IGNORE_TOKEN in line and rel != ANALYZE_IGNORE_HOME:
+            jm = ANALYZE_IGNORE_JUSTIFIED_RE.search(line)
+            words = jm.group(1).split() if jm else []
+            if len(words) < MIN_JUSTIFICATION_WORDS:
+                problems.append(
+                    f"{rel}:{lineno}: {ANALYZE_IGNORE_TOKEN} hides this "
+                    f"line from every seesaw-analyze invariant; write "
+                    f"'// {ANALYZE_IGNORE_TOKEN}: <why the fact is a "
+                    f"false positive>' "
+                    f"({MIN_JUSTIFICATION_WORDS}+ words)")
     return problems
+
+
+def scan_file(path: str, rel: str) -> "list[str]":
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        return scan_lines(fh.readlines(), rel)
+
+
+def self_test() -> int:
+    """Negative self-test: every bad suppression form must be caught,
+    every well-justified one accepted."""
+    bad = [
+        "int x; // NOLINT",
+        "// NOLINTNEXTLINE",
+        "// NOLINTNEXTLINE(seesaw-raw-random)",
+        "int x; // NOLINT(seesaw-raw-random): no",
+        "// NOLINTBEGIN(seesaw-lock-order)",
+        "int x; // seesaw-analyze-ignore",
+        "int x; // seesaw-analyze-ignore: why",
+        "void f() SEESAW_NO_THREAD_SAFETY_ANALYSIS {}",
+        "void f() SEESAW_NO_THREAD_SAFETY_ANALYSIS {} // recursive",
+    ]
+    good = [
+        "int x;",
+        "int x; // NOLINT(seesaw-raw-random): seeded by the harness",
+        "// NOLINTNEXTLINE(seesaw-lock-order): lock proven unreachable here",
+        "// NOLINTBEGIN(seesaw-lock-order): ordered by the pool invariant",
+        "// NOLINTEND(seesaw-lock-order)",
+        "int x; // NOLINT(clang-diagnostic-unused): not a seesaw check",
+        "int x; // seesaw-analyze-ignore: alias feeds logging only",
+        "void f() SEESAW_NO_THREAD_SAFETY_ANALYSIS {} "
+        "// recursion the analysis cannot model",
+    ]
+    failures = []
+    for line in bad:
+        if not scan_lines([line], "selftest.cc"):
+            failures.append(f"NOT caught (should fail): {line!r}")
+    for line in good:
+        got = scan_lines([line], "selftest.cc")
+        if got:
+            failures.append(f"false positive on {line!r}: {got}")
+    for f in failures:
+        print(f"SELF-TEST FAIL: {f}")
+    if failures:
+        return 1
+    print(f"OK: self-test caught all {len(bad)} bad forms, "
+          f"accepted all {len(good)} good forms")
+    return 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     problems = []
     scanned = 0

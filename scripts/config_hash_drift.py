@@ -5,15 +5,27 @@ Campaign resume (harness/campaign.cc) keys cached results on
 configHash(SystemConfig).  A field added to SystemConfig but not mixed
 into the hash silently aliases distinct experiments onto one cache
 entry -- runs with different configs would reuse each other's results.
-This checker parses the SystemConfig struct (and its nested parameter
-structs) out of the headers, parses the ``h.mix(config.X)`` lines out
-of configHash(), and fails on any field that is declared but not mixed
-(drift) or mixed but no longer declared (stale).
+
+Two evidence sources, best available wins:
+
+  * **facts mode** -- when seesaw-analyze extraction facts exist
+    (build/analyze/facts.json, or --facts PATH), declared fields and
+    hash reads come from the Clang AST.  This sees mixes the regex
+    cannot: reads through local aliases (``const OsParams &os =
+    config.os; h.mix(os.memBytes)``) and helper functions called from
+    configHash() (followed via the extracted call graph).
+  * **regex fallback** -- with no facts (machines without Clang dev
+    packages), parse the SystemConfig struct out of the headers and
+    the ``h.mix(config.X)`` lines out of configHash() as before.
+
+Either way the check fails on any field declared but not mixed
+(DRIFT) or mixed but no longer declared (STALE).
 
 Run as a ctest ("config_hash_drift") and in CI's lint job.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -116,6 +128,41 @@ def mixed_paths(repo: str) -> "set[str]":
     return set(re.findall(r"h\.mix\(config\.([A-Za-z0-9_.]+)\)", body))
 
 
+def facts_paths(facts: dict) -> "tuple[set[str], set[str]]":
+    """(expected leaves, mixed leaves) from seesaw-analyze facts.
+
+    hash_fields holds the reads lexically inside configHash(); reads in
+    functions reachable from it via the call graph are folded in, and
+    whole-struct reads ("os") expand to their leaves -- together these
+    close the alias/helper gap of the regex path.
+    """
+    fields = [f["path"] for f in facts.get("config_fields", [])]
+    leaves = {p for p in fields
+              if not any(q.startswith(p + ".") for q in fields)}
+
+    mixed = set(facts.get("hash_fields", []))
+    callees = {}
+    for c in facts.get("calls", []):
+        callees.setdefault(c["caller"], set()).add(c["callee"])
+    reachable = {f for f in callees
+                 if f.split("::")[-1] == "configHash"}
+    work = list(reachable)
+    while work:
+        for callee in callees.get(work.pop(), ()):
+            if callee not in reachable:
+                reachable.add(callee)
+                work.append(callee)
+    for r in facts.get("config_reads", []):
+        if not r.get("write") and r.get("func") in reachable:
+            mixed.add(r["path"])
+
+    expanded = set()
+    for p in mixed:
+        kids = {leaf for leaf in leaves if leaf.startswith(p + ".")}
+        expanded |= kids if kids else {p}
+    return leaves, expanded
+
+
 def diff_messages(expected: "set[str]", mixed: "set[str]") -> "list[str]":
     messages = []
     for path in sorted(expected - mixed):
@@ -154,7 +201,32 @@ def self_test(expected: "set[str]", mixed: "set[str]") -> int:
               f"(got {stale})")
         return 1
 
-    print("OK: self-test — seeded drift and stale mixes are both caught")
+    # Facts mode must close the alias/helper gap: a whole-struct read
+    # inside a helper called from configHash() counts as mixing every
+    # leaf of that struct.
+    synthetic = {
+        "config_fields": [{"path": "cores"}, {"path": "os"},
+                          {"path": "os.memBytes"}, {"path": "os.thp"}],
+        "hash_fields": ["cores"],
+        "calls": [{"caller": "configHash", "callee": "mixOs"}],
+        "config_reads": [
+            {"path": "os", "func": "mixOs", "write": False},
+        ],
+    }
+    f_expected, f_mixed = facts_paths(synthetic)
+    if f_expected != {"cores", "os.memBytes", "os.thp"} \
+            or f_mixed != f_expected:
+        print(f"self-test FAILED: facts mode did not follow the "
+              f"helper/whole-struct mix (expected={f_expected}, "
+              f"mixed={f_mixed})")
+        return 1
+    if facts_paths({**synthetic, "calls": []})[1] != {"cores"}:
+        print("self-test FAILED: facts mode credited an unreachable "
+              "helper's reads to configHash()")
+        return 1
+
+    print("OK: self-test — seeded drift/stale and the facts-mode "
+          "helper-following are all caught")
     return 0
 
 
@@ -165,10 +237,26 @@ def main() -> int:
     parser.add_argument("--self-test", action="store_true",
                         help="verify the checker itself catches seeded "
                              "drift (negative test)")
+    parser.add_argument("--facts", default=None,
+                        help="seesaw-analyze merged facts JSON "
+                             "(default: build/analyze/facts.json when "
+                             "present, else the regex fallback)")
     args = parser.parse_args()
 
-    expected = expected_paths(args.repo)
-    mixed = mixed_paths(args.repo)
+    facts_path = args.facts or os.path.join(
+        args.repo, "build", "analyze", "facts.json")
+    if os.path.exists(facts_path):
+        with open(facts_path, encoding="utf-8") as fh:
+            expected, mixed = facts_paths(json.load(fh))
+        source = f"facts ({os.path.relpath(facts_path, args.repo)})"
+        if not expected:
+            sys.exit(f"error: {facts_path} declares no config fields")
+    else:
+        if args.facts:
+            sys.exit(f"error: --facts {args.facts} not found")
+        expected = expected_paths(args.repo)
+        mixed = mixed_paths(args.repo)
+        source = "regex fallback"
 
     if args.self_test:
         return self_test(expected, mixed)
@@ -178,8 +266,7 @@ def main() -> int:
         print(message)
     if not messages:
         print(f"OK: configHash() covers all {len(expected)} SystemConfig "
-              f"fields ({len(expected - {p for p in expected if '.' not in p})}"
-              f" nested)")
+              f"fields [{source}]")
     return 0 if not messages else 1
 
 

@@ -73,6 +73,9 @@ class SiptCache final : public L1Cache
         return total > 0.0 ? stats_.get("spec_correct") / total : 0.0;
     }
 
+    /** Accesses whose speculated index bits were wrong (replays). */
+    std::uint64_t specWrong() const { return stSpecWrong_->count(); }
+
   private:
     struct PredictorEntry
     {

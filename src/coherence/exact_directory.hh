@@ -85,6 +85,30 @@ class ExactDirectory
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 
+    /** Dirty owners downgraded to supply read misses. */
+    std::uint64_t ownerDowngrades() const
+    {
+        return stOwnerDowngrades_->count();
+    }
+
+    /** Silent-E holders downgraded before a second copy filled. */
+    std::uint64_t exclusiveDowngrades() const
+    {
+        return stExclusiveDowngrades_->count();
+    }
+
+    /** Writes that invalidated at least one remote sharer copy. */
+    std::uint64_t writeInvalidations() const
+    {
+        return stWriteInvalidations_->count();
+    }
+
+    /** Fills recorded (lines gaining a sharer). */
+    std::uint64_t fills() const { return stFills_->count(); }
+
+    /** Silent evictions recorded. */
+    std::uint64_t evictions() const { return stEvictions_->count(); }
+
   private:
     struct Entry
     {

@@ -78,6 +78,12 @@ class ProbeEngine
         return stInvalidations_->count();
     }
 
+    /** Read probes answered from a dirty resident line. */
+    std::uint64_t dirtySupplies() const
+    {
+        return stDirtySupplies_->count();
+    }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 

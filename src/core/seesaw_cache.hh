@@ -101,6 +101,9 @@ class SeesawCache final : public L1Cache
     unsigned numPartitions() const { return tags_.numPartitions(); }
     const SeesawConfig &config() const { return config_; }
 
+    /** Coherence probes serviced (partition-scoped on a TFT hit). */
+    std::uint64_t probes() const { return stProbes_->count(); }
+
   private:
     SeesawConfig config_;
     SetAssocCache tags_;

@@ -149,7 +149,13 @@ class CpuModel
     }
 
     Cycles cycles() const { return cycles_; }
-    std::uint64_t squashes() const { return squashes_; }
+    std::uint64_t squashes() const { return stSquashes_->count(); }
+    std::uint64_t missStalls() const { return stMissStalls_->count(); }
+    std::uint64_t
+    rescheduleBubbles() const
+    {
+        return stRescheduleBubbles_->count();
+    }
     std::uint64_t instructions() const { return instructions_; }
 
     /** Zero the timing counters (end of a warmup phase). */
@@ -159,7 +165,6 @@ class CpuModel
         cycles_ = 0;
         fractionalCycles_ = 0.0;
         instructions_ = 0;
-        squashes_ = 0;
         stats_.resetAll();
     }
 
@@ -181,7 +186,6 @@ class CpuModel
     Cycles cycles_ = 0;
     double fractionalCycles_ = 0.0;
     std::uint64_t instructions_ = 0;
-    std::uint64_t squashes_ = 0;
     StatGroup stats_;
 
     // Hot-path stat handles (registered once; see common/stats.hh).
@@ -211,7 +215,6 @@ class CpuModel
         }
         if (late_discovery) {
             cycles_ += params_.squashPenaltyCycles;
-            ++squashes_;
             ++*stSquashes_;
         } else {
             // Early discovery (e.g., the TFT miss signal): the

@@ -94,6 +94,9 @@ class Tlb
         return *policy_;
     }
 
+    /** Valid entries displaced by fills. */
+    std::uint64_t evictions() const { return stEvictions_->count(); }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 

@@ -168,6 +168,12 @@ class TlbHierarchy
     const Tlb &l2Tlb2m() const { return l22m_; }
     const PageWalker &walker() const { return walker_; }
 
+    /** Lookups that missed every L1 TLB and probed the L2. */
+    std::uint64_t l2Lookups() const { return stL2Lookups_->count(); }
+
+    /** invlpg operations serviced (shootdown receive side). */
+    std::uint64_t invlpgs() const { return stInvlpg_->count(); }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 

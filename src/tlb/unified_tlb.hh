@@ -66,6 +66,9 @@ class UnifiedTlb
         return *policy_;
     }
 
+    /** Valid entries displaced by fills. */
+    std::uint64_t evictions() const { return stEvictions_->count(); }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 

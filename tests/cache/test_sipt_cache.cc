@@ -94,6 +94,7 @@ TEST(SiptCache, BasePageMispeculationPaysReplay)
     EXPECT_TRUE(second.fastPath);
     EXPECT_EQ(second.waysRead, 2u);
     EXPECT_GT(cache.predictionAccuracy(), 0.0);
+    EXPECT_EQ(cache.specWrong(), 1u); // only the untrained access
 }
 
 TEST(SiptCache, LinesLiveAtPhysicalIndexSoProbesAreDirect)

@@ -98,6 +98,35 @@ TEST(ExactDirectory, EvictionUntracksAndErasesEmptyEntries)
     EXPECT_EQ(dir.trackedLines(), 0u);
 }
 
+TEST(ExactDirectory, StatAccessorsCountProbeWork)
+{
+    ExactDirectory dir(4);
+    EXPECT_EQ(dir.fills(), 0u);
+
+    // Dirty owner downgraded to supply a remote read.
+    dir.recordFill(0, 0x7000, /*dirty=*/true);
+    (void)dir.onReadMiss(1, 0x7000);
+    EXPECT_EQ(dir.ownerDowngrades(), 1u);
+
+    // The sole clean sharer may be silent-E: a second reader
+    // downgrades it before filling.
+    dir.recordFill(1, 0x7000, false);
+    (void)dir.onReadMiss(2, 0x7000);
+    EXPECT_EQ(dir.exclusiveDowngrades(), 0u); // two sharers, no E
+    dir.recordFill(0, 0x8000, false);
+    (void)dir.onReadMiss(1, 0x8000);
+    EXPECT_EQ(dir.exclusiveDowngrades(), 1u);
+
+    // A write that invalidates remote sharers counts once.
+    dir.recordFill(2, 0x7000, false);
+    (void)dir.onWrite(2, 0x7000);
+    EXPECT_EQ(dir.writeInvalidations(), 1u);
+
+    EXPECT_EQ(dir.fills(), 4u);
+    dir.recordEviction(2, 0x7000);
+    EXPECT_EQ(dir.evictions(), 1u);
+}
+
 TEST(ExactDirectory, ReadAfterWriteSequence)
 {
     // The canonical migratory pattern: W0 -> R1 -> W2.

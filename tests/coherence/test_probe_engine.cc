@@ -118,6 +118,10 @@ TEST_F(ProbeEngineTest, TickIssuesProbesAndChargesCoherenceEnergy)
     EXPECT_GT(energy_.l1CoherenceDynamicNj(), 0.0);
     EXPECT_EQ(energy_.l1CpuDynamicNj(), 0.0);
     EXPECT_GT(engine.stats().get("probe_hits"), 0.0);
+    // Every line was written, so read probes that hit supply dirty
+    // data (cache-to-cache transfers).
+    EXPECT_GT(engine.dirtySupplies(), 0u);
+    EXPECT_LE(engine.dirtySupplies(), engine.probeHits());
 }
 
 TEST_F(ProbeEngineTest, NoResidencyNoProbes)

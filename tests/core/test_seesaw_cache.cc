@@ -247,6 +247,7 @@ TEST(SeesawCache, CoherenceProbeReadsOnePartition)
     EXPECT_TRUE(probe.wasDirty);
     // §IV-C1: all coherence lookups pay 4-way cost, base or super.
     EXPECT_EQ(probe.waysRead, 4u);
+    EXPECT_EQ(cache.probes(), 1u);
 }
 
 TEST(SeesawCache, CoherenceProbeMissAlsoCheap)

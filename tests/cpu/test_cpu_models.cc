@@ -144,6 +144,7 @@ TEST(OoOCore, EarlyDiscoveryCostsOnlyABubble)
     MemTiming t{true, 2, 0, /*assumed=*/1, /*late=*/false};
     core.retireMemory(t);
     EXPECT_EQ(core.squashes(), 0u);
+    EXPECT_EQ(core.rescheduleBubbles(), 1u);
     EXPECT_LT(core.cycles(),
               CpuParams::sandybridge().squashPenaltyCycles);
     EXPECT_GE(core.cycles(), 1u);
@@ -163,6 +164,7 @@ TEST(OoOCore, MissIsASquashUnderHitAssumption)
     MemTiming t{false, 2, 50, 2, /*late=*/true};
     core.retireMemory(t);
     EXPECT_EQ(core.squashes(), 1u);
+    EXPECT_EQ(core.missStalls(), 1u);
 }
 
 TEST(OoOCore, MissPenaltyPartiallyOverlapped)

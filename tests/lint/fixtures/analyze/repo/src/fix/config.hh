@@ -1,0 +1,48 @@
+// Miniature config + stats surface for the seesaw-extract fixture.
+// The extractor keys on *names* (the configured --config-struct and
+// the StatGroup/StatScalar class names), so this standalone mini repo
+// exercises the same extraction paths as the real tree.
+#ifndef FIXTURE_CONFIG_HH
+#define FIXTURE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fix {
+
+struct OsKnobs {
+    std::uint64_t memBytes = 0;
+    bool thp = false;
+};
+
+struct MiniConfig {
+    unsigned cores = 1;
+    std::uint64_t seed = 0;
+    int l1Assoc = 8;
+    OsKnobs os;
+};
+
+class StatScalar
+{
+  public:
+    void add(double d) { v_ += d; }
+    double value() const { return v_; }
+
+  private:
+    double v_ = 0.0;
+};
+
+class StatGroup
+{
+  public:
+    StatScalar &scalar(const char *) { return s_; }
+    double get(const char *) const { return 0.0; }
+
+  private:
+    StatScalar s_;
+};
+
+} // namespace fix
+
+#endif // FIXTURE_CONFIG_HH

@@ -1,0 +1,46 @@
+// Substrate-side fixture TU: a borrowed-config member read (classified
+// "indexed" via the config_ member-name convention), a cross-class
+// mutation, an owning/non-owning member pair, and a virtual override.
+#include "fix/config.hh"
+
+namespace fix {
+
+class Backing
+{
+  public:
+    std::uint64_t bump() { return ++calls_; }
+
+  private:
+    std::uint64_t calls_ = 0;
+};
+
+class Cacheish
+{
+  public:
+    explicit Cacheish(const MiniConfig &config) : config_(config) {}
+    int ways() const { return config_.l1Assoc; }
+    std::uint64_t fill(Backing &backing) { return backing.bump(); }
+
+  private:
+    const MiniConfig &config_;
+    Backing local_;
+};
+
+class BaseModel
+{
+  public:
+    virtual ~BaseModel() = default;
+    virtual void tick() {}
+};
+
+class FastModel : public BaseModel
+{
+  public:
+    ~FastModel() override = default;
+    void tick() override { ++ticks_; }
+
+  private:
+    unsigned ticks_ = 0;
+};
+
+} // namespace fix

@@ -56,6 +56,8 @@ TEST(Tlb, LruEvictionWithinSet)
     tlb.insert(1, 4ULL << 12, 4ULL << 12);
     EXPECT_TRUE(tlb.lookup(1, 0x0).has_value());
     EXPECT_FALSE(tlb.lookup(1, 1ULL << 12).has_value());
+    // Only the fifth fill displaced a valid entry.
+    EXPECT_EQ(tlb.evictions(), 1u);
 }
 
 TEST(Tlb, SetIndexingSeparatesConflicts)

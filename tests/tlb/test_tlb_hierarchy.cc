@@ -92,6 +92,20 @@ TEST_F(TlbHierarchyTest, L2HitAfterL1Eviction)
     EXPECT_LT(tlb.stats().get("l1_hits") - l1_hits_before, 256.0);
 }
 
+TEST_F(TlbHierarchyTest, StatAccessorsCountL2LookupsAndInvlpgs)
+{
+    TlbHierarchy tlb(TlbHierarchyParams::sandybridge(), table_);
+    EXPECT_EQ(tlb.l2Lookups(), 0u);
+    tlb.lookup(1, 0x1000); // cold: L1 miss -> L2 probe -> walk
+    EXPECT_EQ(tlb.l2Lookups(), 1u);
+    tlb.lookup(1, 0x1000); // L1 hit: no L2 probe
+    EXPECT_EQ(tlb.l2Lookups(), 1u);
+
+    EXPECT_EQ(tlb.invlpgs(), 0u);
+    tlb.invalidatePage(1, 0x1000);
+    EXPECT_EQ(tlb.invlpgs(), 1u);
+}
+
 TEST_F(TlbHierarchyTest, FaultOnUnmappedAddress)
 {
     TlbHierarchy tlb(TlbHierarchyParams::sandybridge(), table_);

@@ -49,6 +49,7 @@ TEST(UnifiedTlb, SharedCapacityAcrossSizes)
     EXPECT_EQ(tlb.validCount(), 4u);
     EXPECT_EQ(tlb.superpageValidCount(), 3u);
     EXPECT_FALSE(tlb.lookup(1, 0).has_value()); // LRU victim
+    EXPECT_EQ(tlb.evictions(), 1u);
 }
 
 TEST(UnifiedTlb, LruAcrossTheWholePool)
